@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation of the design choices DESIGN.md calls out: what ILP
+ * scheduling, instruction fusion, state pruning and the packet frame size
+ * individually buy in pipeline depth, latency and area (paper sections
+ * 3.2, 3.3, 4.2, 4.3).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "hdl/resources.hpp"
+
+using namespace ehdl;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    hdl::PipelineOptions options;
+};
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Ablation: compiler passes (toy + the five evaluation "
+                "programs)\n\n");
+
+    std::vector<Variant> variants;
+    variants.push_back({"full (defaults)", {}});
+    {
+        hdl::PipelineOptions o;
+        o.enableIlp = false;
+        variants.push_back({"no ILP", o});
+    }
+    {
+        hdl::PipelineOptions o;
+        o.enableFusion = false;
+        variants.push_back({"no fusion", o});
+    }
+    {
+        hdl::PipelineOptions o;
+        o.enablePruning = false;
+        variants.push_back({"no pruning", o});
+    }
+    {
+        hdl::PipelineOptions o;
+        o.frameBytes = 32;
+        variants.push_back({"32B frames", o});
+    }
+
+    std::vector<bench::NamedApp> apps_list = bench::paperApps();
+    apps_list.insert(apps_list.begin(),
+                     {"Toy", apps::makeToyCounter()});
+
+    for (const bench::NamedApp &app : apps_list) {
+        std::printf("== %s (%zu instructions) ==\n", app.name.c_str(),
+                    app.spec.prog.size());
+        TextTable table({"Variant", "Stages", "Latency (ns)", "LUT frac",
+                         "FF frac"});
+        for (const Variant &variant : variants) {
+            const hdl::Pipeline pipe =
+                hdl::compile(app.spec.prog, variant.options);
+            const hdl::ResourceReport report =
+                hdl::estimateResources(pipe, false);
+            table.addRow({variant.name, std::to_string(pipe.numStages()),
+                          fmtF(4.0 * pipe.numStages(), 0),
+                          fmtPct(report.total.luts / hdl::kU50Luts, 2),
+                          fmtPct(report.total.ffs / hdl::kU50Ffs, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

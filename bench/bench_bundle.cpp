@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-program deployment study (paper section 2.4): "in real
+ * deployments, it is also possible that multiple XDP programs are loaded
+ * at the same time" — the motivation for per-stage state minimization.
+ * Compiles all five evaluation programs behind one Corundum shell and
+ * prices the combined design, with and without state pruning, showing
+ * that pruning is what makes co-residence practical.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "hdl/bundle.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Multi-program bundle: all five evaluation programs "
+                "behind one shell (section 2.4)\n\n");
+
+    std::vector<ebpf::Program> programs;
+    for (const bench::NamedApp &app : bench::paperApps())
+        programs.push_back(app.spec.prog);
+
+    TextTable table({"Configuration", "LUT", "FF", "BRAM", "Fits U50"});
+    auto add = [&table](const char *name,
+                        const hdl::PipelineBundle &bundle) {
+        const hdl::ResourceReport report = bundle.resources();
+        table.addRow({name, fmtPct(report.lutFrac, 1),
+                      fmtPct(report.ffFrac, 1),
+                      fmtPct(report.bramFrac, 1),
+                      bundle.fitsDevice() ? "yes" : "NO"});
+    };
+
+    add("5 programs, pruned (default)", hdl::compileBundle(programs));
+    {
+        hdl::PipelineOptions options;
+        options.enablePruning = false;
+        add("5 programs, pruning disabled",
+            hdl::compileBundle(programs, options));
+    }
+    {
+        hdl::PipelineOptions options;
+        options.enableIlp = false;
+        add("5 programs, ILP disabled",
+            hdl::compileBundle(programs, options));
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Per-member breakdown of the default bundle.
+    const hdl::PipelineBundle bundle = hdl::compileBundle(programs);
+    TextTable members({"Program", "ifindex", "Stages", "LUTs"});
+    for (const hdl::BundleMember &member : bundle.members) {
+        const hdl::ResourceReport one =
+            hdl::estimateResources(member.pipeline, false);
+        members.addRow({member.name,
+                        std::to_string(member.ingressIfindex),
+                        std::to_string(member.pipeline.numStages()),
+                        fmtF(one.pipeline.luts, 0)});
+    }
+    std::printf("%s\n", members.render().c_str());
+    return 0;
+}

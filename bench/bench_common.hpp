@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries that regenerate the paper's
+ * tables and figures. Each binary prints the same rows/series the paper
+ * reports; see EXPERIMENTS.md for the paper-vs-measured record.
+ */
+
+#ifndef EHDL_BENCH_BENCH_COMMON_HPP_
+#define EHDL_BENCH_BENCH_COMMON_HPP_
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "ebpf/maps.hpp"
+#include "hdl/compiler.hpp"
+#include "sim/nic_shell.hpp"
+#include "sim/pipe_sim.hpp"
+#include "sim/traffic.hpp"
+
+namespace ehdl::bench {
+
+/** The five evaluation applications, keyed by their paper names. */
+struct NamedApp
+{
+    std::string name;
+    apps::AppSpec spec;
+};
+
+inline std::vector<NamedApp>
+paperApps()
+{
+    return {
+        {"Firewall", apps::makeSimpleFirewall()},
+        {"Router", apps::makeRouterIpv4()},
+        {"Tunnel", apps::makeTxIpTunnel()},
+        {"DNAT", apps::makeDnat()},
+        {"Suricata", apps::makeSuricataFilter()},
+    };
+}
+
+/** One end-to-end pipeline measurement under generated traffic. */
+struct PipelineRun
+{
+    sim::EndToEndResult endToEnd;
+    sim::PipeSimStats stats;
+};
+
+/**
+ * Compile @p spec, seed its maps, offer @p num_packets of line-rate
+ * traffic from @p num_flows flows, and summarize.
+ */
+inline PipelineRun
+runPipeline(const apps::AppSpec &spec, uint64_t num_flows, int num_packets,
+            uint32_t frame_len = 64, double zipf_s = 0.0, uint64_t seed = 1)
+{
+    const hdl::Pipeline pipe = hdl::compile(spec.prog);
+    ebpf::MapSet maps(spec.prog.maps);
+    spec.seedMaps(maps);
+
+    sim::TrafficConfig traffic;
+    traffic.numFlows = num_flows;
+    traffic.packetLen = frame_len;
+    traffic.zipfS = zipf_s;
+    traffic.reverseFraction = spec.reverseFraction;
+    traffic.ipProto = spec.ipProto;
+    traffic.seed = seed;
+    sim::TrafficGen gen(traffic);
+
+    sim::PipeSimConfig config;
+    config.inputQueueCapacity = 1u << 20;
+    sim::PipeSim sim(pipe, maps, config);
+    for (int i = 0; i < num_packets; ++i)
+        sim.offer(gen.next());
+    sim.drain();
+
+    PipelineRun run;
+    run.stats = sim.stats();
+    run.endToEnd = sim::summarizeEndToEnd(sim, frame_len);
+    return run;
+}
+
+/** Build a fixed workload for the processor baseline models. */
+inline std::vector<net::Packet>
+baselineWorkload(const apps::AppSpec &spec, int num_packets = 500,
+                 uint64_t num_flows = 10000)
+{
+    sim::TrafficConfig traffic;
+    traffic.numFlows = num_flows;
+    traffic.reverseFraction = spec.reverseFraction;
+    traffic.ipProto = spec.ipProto;
+    sim::TrafficGen gen(traffic);
+    std::vector<net::Packet> packets;
+    for (int i = 0; i < num_packets; ++i)
+        packets.push_back(gen.next());
+    return packets;
+}
+
+}  // namespace ehdl::bench
+
+#endif  // EHDL_BENCH_BENCH_COMMON_HPP_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 10: FPGA resource utilization (fraction of the Alveo U50) for
+ * eHDL, hXDP and SDNet designs, Corundum shell included. Expected shape:
+ * eHDL comparable to or below hXDP, SDNet 2-4x higher; eHDL totals in the
+ * 6.5%-13.3% device range reported in section 5.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "hdl/resources.hpp"
+#include "sim/baselines.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    const hdl::ResourceReport hxdp = sim::HxdpModel::resources();
+
+    for (const char *metric : {"LUT", "FF", "BRAM"}) {
+        std::printf("Figure 10 (%s fraction of Alveo U50, shell "
+                    "included)\n\n",
+                    metric);
+        TextTable table({"Program", "eHDL", "hXDP", "SDNet"});
+        for (bench::NamedApp &app : bench::paperApps()) {
+            const hdl::ResourceReport ehdl =
+                hdl::estimateResources(hdl::compile(app.spec.prog));
+            const sim::SdnetModel sdnet(app.spec.prog);
+            const hdl::ResourceReport sd = sdnet.resources();
+            auto pick = [&metric](const hdl::ResourceReport &r) {
+                if (std::string(metric) == "LUT")
+                    return r.lutFrac;
+                if (std::string(metric) == "FF")
+                    return r.ffFrac;
+                return r.bramFrac;
+            };
+            table.addRow({app.name, fmtPct(pick(ehdl), 2),
+                          fmtPct(pick(hxdp), 2),
+                          sdnet.supported() ? fmtPct(pick(sd), 2) : "n/a"});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("hXDP is a fixed processor: identical utilization for "
+                "every program.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 9a: forwarding throughput (Mpps, 64B packets, 10k flows,
+ * 100 Gbps offered) for eHDL pipelines vs SDNet, hXDP and BlueField-2
+ * with 1 and 4 Arm cores. Expected shape: eHDL and SDNet at line rate
+ * (148.8 Mpps), SDNet unable to implement DNAT, hXDP at 0.9-5.4 Mpps,
+ * Bf2 1c comparable to hXDP and 4c scaling linearly past 10 Mpps.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/baselines.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Figure 9a: throughput in Mpps "
+                "(10k flows, 64B packets, 100 Gbps offered)\n\n");
+    TextTable table({"Program", "eHDL", "SDNet", "hXDP", "Bf2 1c",
+                     "Bf2 4c"});
+
+    for (bench::NamedApp &app : bench::paperApps()) {
+        const bench::PipelineRun run =
+            bench::runPipeline(app.spec, 10000, 30000);
+
+        const auto workload = bench::baselineWorkload(app.spec);
+        ebpf::MapSet hxdp_maps(app.spec.prog.maps);
+        app.spec.seedMaps(hxdp_maps);
+        const double hxdp = sim::HxdpModel(app.spec.prog)
+                                .measure(workload, hxdp_maps)
+                                .mpps;
+        ebpf::MapSet bf2_maps(app.spec.prog.maps);
+        app.spec.seedMaps(bf2_maps);
+        const double bf2_1 = sim::Bf2Model(app.spec.prog, 1)
+                                 .measure(workload, bf2_maps)
+                                 .mpps;
+        ebpf::MapSet bf2_maps4(app.spec.prog.maps);
+        app.spec.seedMaps(bf2_maps4);
+        const double bf2_4 = sim::Bf2Model(app.spec.prog, 4)
+                                 .measure(workload, bf2_maps4)
+                                 .mpps;
+        sim::SdnetModel sdnet(app.spec.prog);
+
+        table.addRow({app.name, fmtF(run.endToEnd.throughputMpps, 1),
+                      sdnet.supported() ? fmtF(sdnet.mpps(), 1) : "n/a",
+                      fmtF(hxdp, 1), fmtF(bf2_1, 1), fmtF(bf2_4, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("SDNet cannot express the DNAT's dynamic port selection "
+                "(paper section 5).\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 9b: per-packet forwarding latency (ns) for eHDL pipelines and
+ * hXDP. Expected shape: both around one microsecond, with variation
+ * tracking the pipeline stage count (figure 9c).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/baselines.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Figure 9b: forwarding latency in nanoseconds\n\n");
+    TextTable table({"Program", "eHDL (ns)", "hXDP (ns)", "Bf2 (ns)",
+                     "eHDL stages"});
+
+    for (bench::NamedApp &app : bench::paperApps()) {
+        const bench::PipelineRun run =
+            bench::runPipeline(app.spec, 10000, 5000);
+        const auto workload = bench::baselineWorkload(app.spec);
+        ebpf::MapSet hxdp_maps(app.spec.prog.maps);
+        app.spec.seedMaps(hxdp_maps);
+        const double hxdp = sim::HxdpModel(app.spec.prog)
+                                .measure(workload, hxdp_maps)
+                                .latencyNs;
+        ebpf::MapSet bf2_maps(app.spec.prog.maps);
+        app.spec.seedMaps(bf2_maps);
+        const double bf2 = sim::Bf2Model(app.spec.prog, 1)
+                               .measure(workload, bf2_maps)
+                               .latencyNs;
+        const hdl::Pipeline pipe = hdl::compile(app.spec.prog);
+        table.addRow({app.name, fmtF(run.endToEnd.avgLatencyNs, 0),
+                      fmtF(hxdp, 0), fmtF(bf2, 0),
+                      std::to_string(pipe.numStages())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Bf2 latency is ~10x the FPGA designs and is plotted "
+                "separately in the paper for readability.\n");
+    return 0;
+}

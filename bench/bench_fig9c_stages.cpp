@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 9c: eHDL pipeline stages vs hXDP VLIW instructions vs original
+ * eBPF instruction count. Expected shape: both eHDL and hXDP compress the
+ * original program (sometimes by ~50%) by exploiting the same ILP.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/baselines.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Figure 9c: pipeline stages vs instruction counts\n\n");
+    TextTable table({"Program", "eHDL stages", "hXDP instr.",
+                     "Original instr.", "Reduction"});
+
+    for (bench::NamedApp &app : bench::paperApps()) {
+        const hdl::Pipeline pipe = hdl::compile(app.spec.prog);
+        const sim::HxdpModel hxdp(app.spec.prog);
+        const double reduction =
+            1.0 - static_cast<double>(pipe.numStages()) /
+                      static_cast<double>(app.spec.prog.size());
+        table.addRow({app.name, std::to_string(pipe.numStages()),
+                      std::to_string(hxdp.vliwInstructionCount()),
+                      std::to_string(app.spec.prog.size()),
+                      fmtPct(reduction, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the tool chain itself: compiler
+ * pass throughput (the "few seconds" claim of section 6), VM execution
+ * rate, pipeline-simulation rate, and codec speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "ebpf/codec.hpp"
+#include "ebpf/vm.hpp"
+#include "hdl/compiler.hpp"
+#include "hdl/vhdl.hpp"
+#include "sim/pipe_sim.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace ehdl;
+
+void
+BM_CompileToyPipeline(benchmark::State &state)
+{
+    const apps::AppSpec spec = apps::makeToyCounter();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hdl::compile(spec.prog));
+}
+BENCHMARK(BM_CompileToyPipeline);
+
+void
+BM_CompileDnatPipeline(benchmark::State &state)
+{
+    const apps::AppSpec spec = apps::makeDnat();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hdl::compile(spec.prog));
+}
+BENCHMARK(BM_CompileDnatPipeline);
+
+void
+BM_GenerateVhdl(benchmark::State &state)
+{
+    const hdl::Pipeline pipe = hdl::compile(apps::makeDnat().prog);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hdl::generateVhdl(pipe));
+}
+BENCHMARK(BM_GenerateVhdl);
+
+void
+BM_VmPacket(benchmark::State &state)
+{
+    const apps::AppSpec spec = apps::makeRouterIpv4();
+    ebpf::MapSet maps(spec.prog.maps);
+    spec.seedMaps(maps);
+    ebpf::Vm vm(spec.prog, maps);
+    sim::TrafficConfig config;
+    sim::TrafficGen gen(config);
+    net::Packet pkt = gen.next();
+    for (auto _ : state) {
+        net::Packet copy = pkt;
+        benchmark::DoNotOptimize(vm.run(copy));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmPacket);
+
+void
+BM_PipeSimPacket(benchmark::State &state)
+{
+    const apps::AppSpec spec = apps::makeRouterIpv4();
+    const hdl::Pipeline pipe = hdl::compile(spec.prog);
+    ebpf::MapSet maps(spec.prog.maps);
+    spec.seedMaps(maps);
+    sim::TrafficConfig config;
+    sim::TrafficGen gen(config);
+    sim::PipeSimConfig sim_config;
+    sim_config.inputQueueCapacity = 1u << 16;
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::PipeSim sim(pipe, maps, sim_config);
+        std::vector<net::Packet> packets;
+        for (int i = 0; i < 256; ++i)
+            packets.push_back(gen.next());
+        state.ResumeTiming();
+        for (net::Packet &pkt : packets)
+            sim.offer(std::move(pkt));
+        sim.drain();
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PipeSimPacket);
+
+void
+BM_CodecRoundTrip(benchmark::State &state)
+{
+    const apps::AppSpec spec = apps::makeDnat();
+    for (auto _ : state) {
+        const std::vector<uint8_t> wire = ebpf::encode(spec.prog.insns);
+        benchmark::DoNotOptimize(ebpf::decode(wire));
+    }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

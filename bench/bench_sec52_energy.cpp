@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Section 5.2's power measurement: wall power of the machine under test
+ * while forwarding at full rate. Paper: 80-85 W with the Alveo U50
+ * (regardless of which design is flashed), 100-105 W with the
+ * BlueField-2. We reproduce it with the explicit power model of
+ * sim/nic_shell.hpp and derive energy-per-packet at the achieved rates.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/baselines.hpp"
+#include "sim/nic_shell.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Section 5.2: modeled system power and energy per "
+                "packet\n\n");
+    const sim::PowerModel power;
+    TextTable table({"Platform", "System power (W)", "Rate (Mpps)",
+                     "nJ/packet"});
+
+    const double u50 = power.u50SystemW();
+    const double bf2 = power.bf2SystemW();
+
+    // eHDL / SDNet / hXDP all flash the same board: same wall power.
+    table.addRow({"eHDL (U50)", fmtF(u50, 0), "148.8",
+                  fmtF(u50 / 148.8, 1)});
+    table.addRow({"SDNet (U50)", fmtF(u50, 0), "148.8",
+                  fmtF(u50 / 148.8, 1)});
+
+    bench::NamedApp router{"Router", apps::makeRouterIpv4()};
+    const auto workload = bench::baselineWorkload(router.spec);
+    ebpf::MapSet maps(router.spec.prog.maps);
+    router.spec.seedMaps(maps);
+    const double hxdp_mpps =
+        sim::HxdpModel(router.spec.prog).measure(workload, maps).mpps;
+    table.addRow({"hXDP (U50)", fmtF(u50, 0), fmtF(hxdp_mpps, 1),
+                  fmtF(u50 / hxdp_mpps, 1)});
+    ebpf::MapSet maps4(router.spec.prog.maps);
+    router.spec.seedMaps(maps4);
+    const double bf2_mpps =
+        sim::Bf2Model(router.spec.prog, 4).measure(workload, maps4).mpps;
+    table.addRow({"BlueField-2 (4c)", fmtF(bf2, 0), fmtF(bf2_mpps, 1),
+                  fmtF(bf2 / bf2_mpps, 1)});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: 80-85 W for the U50 host (little variation across "
+                "flashed designs), 100-105 W for the Bf2 host.\n");
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table 4 (appendix A.1): the largest number of flushable stages K_max
+ * that still sustains 148 Mpps (100 Gbps of 64B packets) for hazard
+ * windows L = 2..5, under 50k Zipfian flows. Paper values: 61/21/11/7
+ * with P_f of 1%/3%/6%/10%.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hdl/flush_model.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Table 4: K_max sustaining 148 Mpps vs hazard window L "
+                "(50k Zipfian flows, T = 250 Mpps)\n\n");
+    TextTable table({"L", "P_f (Zipf)", "K_max"});
+    for (unsigned l = 2; l <= 5; ++l) {
+        const double pf = hdl::flushProbabilityZipf(l, 50000);
+        const double kmax = hdl::maxFlushableStages(250.0, 148.0, pf);
+        table.addRow({std::to_string(l), fmtPct(pf, 1), fmtF(kmax, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

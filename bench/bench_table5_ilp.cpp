@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table 5 (appendix A.3): instruction-level parallelism achieved per
+ * application: the maximum row width and the average ILP across all
+ * pipeline rows. Paper: max 3-15, average 1.42-2.37.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace ehdl;
+
+int
+main()
+{
+    std::printf("Table 5: instruction-level parallelism per use case\n\n");
+    TextTable table({"Program", "max ILP", "avg ILP", "rows", "insns"});
+    for (const bench::NamedApp &app : bench::paperApps()) {
+        const hdl::Pipeline pipe = hdl::compile(app.spec.prog);
+        table.addRow({app.name, std::to_string(pipe.schedule.maxIlp),
+                      fmtF(pipe.schedule.avgIlp, 2),
+                      std::to_string(pipe.schedule.totalRows),
+                      std::to_string(app.spec.prog.size())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

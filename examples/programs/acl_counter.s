@@ -1,0 +1,63 @@
+; acl_counter.s — drop traffic from blocked sources, count the rest.
+;
+; The blocklist is a hash map written from the host (the ACL pattern of
+; paper section 6); the counter is global state handled by the atomic
+; map primitive.
+;
+;   ehdlc report  examples/programs/acl_counter.s
+;   ehdlc compile examples/programs/acl_counter.s -o acl.vhd --report
+;   ehdlc sim     examples/programs/acl_counter.s --packets 20000
+
+.map blocklist hash 4 8 1024
+.map counters array 4 8 2
+
+        r2 = *(u32 *)(r1 + 4)        ; data_end
+        r6 = *(u32 *)(r1 + 0)        ; data
+        r3 = r6
+        r3 += 34
+        if r3 > r2 goto pass         ; need the IPv4 header
+
+        r4 = *(u8 *)(r6 + 12)        ; EtherType check
+        r4 <<= 8
+        r5 = *(u8 *)(r6 + 13)
+        r4 |= r5
+        if r4 != 2048 goto pass
+
+        r7 = *(u32 *)(r6 + 26)       ; source address (wire bytes)
+        *(u32 *)(r10 - 4) = r7
+        r1 = map[blocklist]
+        r2 = r10
+        r2 += -4
+        call 1                       ; bpf_map_lookup_elem
+        if r0 == 0 goto allowed
+
+        r3 = 0                       ; blocked: count into counters[0]
+        *(u32 *)(r10 - 8) = r3
+        r1 = map[counters]
+        r2 = r10
+        r2 += -8
+        call 1
+        if r0 == 0 goto dropit
+        r2 = 1
+        lock *(u64 *)(r0 + 0) += r2
+dropit:
+        r0 = 1                       ; XDP_DROP
+        exit
+
+allowed:
+        r3 = 1                       ; allowed: count into counters[1]
+        *(u32 *)(r10 - 8) = r3
+        r1 = map[counters]
+        r2 = r10
+        r2 += -8
+        call 1
+        if r0 == 0 goto fwd
+        r2 = 1
+        lock *(u64 *)(r0 + 0) += r2
+fwd:
+        r0 = 3                       ; XDP_TX
+        exit
+
+pass:
+        r0 = 2                       ; XDP_PASS
+        exit

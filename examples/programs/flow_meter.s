@@ -1,0 +1,66 @@
+; flow_meter.s — per-flow packet/byte accounting.
+;
+; Creates a flow record on the first packet and updates it in place
+; afterwards: the read-modify-write pair exercises the RAW flush window,
+; so this is a good program to study with `ehdlc report` (look at the
+; flush blocks and the speculation buffer).
+;
+;   ehdlc report examples/programs/flow_meter.s
+;   ehdlc sim    examples/programs/flow_meter.s --flows 4 --packets 5000
+
+.map meters hash 8 16 8192
+
+        r2 = *(u32 *)(r1 + 4)
+        r6 = *(u32 *)(r1 + 0)
+        r3 = r6
+        r3 += 34
+        if r3 > r2 goto pass
+        r4 = *(u8 *)(r6 + 12)
+        r4 <<= 8
+        r5 = *(u8 *)(r6 + 13)
+        r4 |= r5
+        if r4 != 2048 goto pass
+
+        ; key = {source, destination}
+        r7 = *(u32 *)(r6 + 26)
+        *(u32 *)(r10 - 8) = r7
+        r7 = *(u32 *)(r6 + 30)
+        *(u32 *)(r10 - 4) = r7
+
+        ; packet length for the byte counter
+        r8 = *(u16 *)(r6 + 16)
+        r8 = be16 r8
+
+        r1 = map[meters]
+        r2 = r10
+        r2 += -8
+        call 1
+        if r0 == 0 goto create
+
+        ; existing flow: packets += 1, bytes += length (in place)
+        r3 = *(u64 *)(r0 + 0)
+        r3 += 1
+        r4 = *(u64 *)(r0 + 8)
+        r4 += r8
+        *(u64 *)(r0 + 0) = r3
+        *(u64 *)(r0 + 8) = r4
+        r0 = 2
+        exit
+
+create:
+        r3 = 1
+        *(u64 *)(r10 - 24) = r3
+        *(u64 *)(r10 - 16) = r8
+        r1 = map[meters]
+        r2 = r10
+        r2 += -8
+        r3 = r10
+        r3 += -24
+        r4 = 0
+        call 2                       ; bpf_map_update_elem
+        r0 = 2
+        exit
+
+pass:
+        r0 = 2
+        exit

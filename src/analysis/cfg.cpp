@@ -1,0 +1,137 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "ebpf/disasm.hpp"
+
+namespace ehdl::analysis {
+
+using ebpf::Insn;
+using ebpf::Program;
+
+Cfg
+Cfg::build(const Program &prog)
+{
+    const size_t n = prog.insns.size();
+    if (n == 0)
+        fatal("cannot build CFG of an empty program");
+
+    // Identify leaders.
+    std::set<size_t> leaders;
+    leaders.insert(0);
+    for (size_t pc = 0; pc < n; ++pc) {
+        const Insn &insn = prog.insns[pc];
+        if (insn.isExit()) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+            continue;
+        }
+        if (insn.isJmp() && !insn.isCall()) {
+            const size_t target = prog.jumpTarget(pc);
+            if (target >= n)
+                fatal("jump at ", pc, " leaves the program");
+            leaders.insert(target);
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        }
+    }
+
+    Cfg cfg;
+    cfg.blockOf_.assign(n, 0);
+    std::vector<size_t> leader_list(leaders.begin(), leaders.end());
+    for (size_t i = 0; i < leader_list.size(); ++i) {
+        BasicBlock bb;
+        bb.id = i;
+        bb.first = leader_list[i];
+        bb.last = (i + 1 < leader_list.size() ? leader_list[i + 1] : n) - 1;
+        for (size_t pc = bb.first; pc <= bb.last; ++pc)
+            cfg.blockOf_[pc] = i;
+        cfg.blocks_.push_back(bb);
+    }
+
+    // Edges.
+    for (BasicBlock &bb : cfg.blocks_) {
+        const Insn &term = prog.insns[bb.last];
+        auto link = [&cfg, &bb](size_t target_pc) {
+            const size_t succ = cfg.blockOf_[target_pc];
+            bb.succs.push_back(succ);
+            cfg.blocks_[succ].preds.push_back(bb.id);
+        };
+        if (term.isExit())
+            continue;
+        if (term.isUncondJmp()) {
+            link(bb.last + 1 + term.off);
+            continue;
+        }
+        if (term.isCondJmp()) {
+            // Fallthrough first, then taken (stable order used elsewhere).
+            if (bb.last + 1 >= cfg.blockOf_.size())
+                fatal("conditional jump at ", bb.last, " falls off the end");
+            link(bb.last + 1);
+            link(bb.last + 1 + term.off);
+            continue;
+        }
+        // Straight-line block.
+        if (bb.last + 1 >= cfg.blockOf_.size())
+            fatal("control flow falls off the end at ", bb.last);
+        link(bb.last + 1);
+    }
+
+    // Reverse post-order + cycle detection via iterative DFS.
+    std::vector<int> color(cfg.blocks_.size(), 0);  // 0 white 1 grey 2 black
+    std::vector<size_t> post;
+    struct Frame
+    {
+        size_t block;
+        size_t next;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0, 0});
+    color[0] = 1;
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const BasicBlock &bb = cfg.blocks_[frame.block];
+        if (frame.next < bb.succs.size()) {
+            // Visit successors in reverse so the fallthrough edge (succs[0])
+            // lands earliest in the reverse post-order: sibling blocks keep
+            // program order in the pipeline, which keeps map-write stages
+            // after the reads they pair with.
+            const size_t succ =
+                bb.succs[bb.succs.size() - 1 - frame.next++];
+            if (color[succ] == 0) {
+                color[succ] = 1;
+                stack.push_back({succ, 0});
+            } else if (color[succ] == 1) {
+                cfg.isDag_ = false;
+            }
+        } else {
+            color[frame.block] = 2;
+            post.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
+    cfg.topo_.assign(post.rbegin(), post.rend());
+    return cfg;
+}
+
+std::string
+Cfg::toDot(const Program &prog) const
+{
+    std::ostringstream os;
+    os << "digraph cfg {\n  node [shape=box fontname=monospace];\n";
+    for (const BasicBlock &bb : blocks_) {
+        os << "  b" << bb.id << " [label=\"B" << bb.id << "\\l";
+        for (size_t pc = bb.first; pc <= bb.last; ++pc)
+            os << pc << ": " << ebpf::disasmInsn(prog.insns[pc]) << "\\l";
+        os << "\"];\n";
+        for (size_t succ : bb.succs)
+            os << "  b" << bb.id << " -> b" << succ << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace ehdl::analysis

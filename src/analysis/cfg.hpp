@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Control-flow graph over eBPF bytecode (paper section 3.1). Basic blocks
+ * are maximal straight-line instruction ranges; eHDL requires the CFG to be
+ * a DAG (backward edges must be removed by bounded-loop unrolling first),
+ * which is what allows the program to unroll into a strictly forward-
+ * feeding pipeline (section 3.5).
+ */
+
+#ifndef EHDL_ANALYSIS_CFG_HPP_
+#define EHDL_ANALYSIS_CFG_HPP_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hpp"
+
+namespace ehdl::analysis {
+
+/** One basic block: instructions [first, last] inclusive. */
+struct BasicBlock
+{
+    size_t id = 0;
+    size_t first = 0;
+    size_t last = 0;
+    std::vector<size_t> succs;  ///< successor block ids
+    std::vector<size_t> preds;  ///< predecessor block ids
+
+    size_t size() const { return last - first + 1; }
+};
+
+/** The whole-program CFG. */
+class Cfg
+{
+  public:
+    /** Build the CFG for @p prog. @throw FatalError on malformed flow. */
+    static Cfg build(const ebpf::Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block containing instruction @p pc. */
+    size_t blockOf(size_t pc) const { return blockOf_[pc]; }
+
+    /** True when the graph has no cycles. */
+    bool isDag() const { return isDag_; }
+
+    /**
+     * Blocks in reverse-post-order (a topological order when the CFG is a
+     * DAG). This is the order in which eHDL lays blocks into the pipeline.
+     */
+    const std::vector<size_t> &topoOrder() const { return topo_; }
+
+    /** Graphviz rendering (debugging aid). */
+    std::string toDot(const ebpf::Program &prog) const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<size_t> blockOf_;
+    std::vector<size_t> topo_;
+    bool isDag_ = true;
+};
+
+}  // namespace ehdl::analysis
+
+#endif  // EHDL_ANALYSIS_CFG_HPP_

@@ -1,0 +1,239 @@
+#include "analysis/effects.hpp"
+
+#include "common/logging.hpp"
+#include "ebpf/helpers.hpp"
+
+namespace ehdl::analysis {
+
+using ebpf::AbsIntResult;
+using ebpf::CallSite;
+using ebpf::HelperInfo;
+using ebpf::Insn;
+using ebpf::InsnClass;
+using ebpf::InsnLabel;
+using ebpf::MemRegion;
+using ebpf::Program;
+
+namespace {
+
+void
+applyMemAccess(Effects &fx, const InsnLabel &label, bool is_read,
+               uint32_t len)
+{
+    switch (label.region) {
+      case MemRegion::Stack:
+        (is_read ? fx.stack.reads : fx.stack.writes) = true;
+        fx.stack.known = label.offKnown;
+        fx.stack.off = label.staticOff;
+        fx.stack.len = len;
+        break;
+      case MemRegion::Packet:
+        (is_read ? fx.packet.reads : fx.packet.writes) = true;
+        fx.packet.known = label.offKnown;
+        fx.packet.off = label.staticOff;
+        fx.packet.len = len;
+        break;
+      case MemRegion::Map:
+        (is_read ? fx.mapRead : fx.mapWrite) = true;
+        fx.mapKnown = true;
+        fx.mapId = label.mapId;
+        (is_read ? fx.mapVal.reads : fx.mapVal.writes) = true;
+        fx.mapVal.known = label.offKnown;
+        fx.mapVal.off = label.staticOff;
+        fx.mapVal.len = len;
+        break;
+      case MemRegion::Ctx:
+        break;  // ctx loads are pure (pointer materialization)
+      default:
+        // Unknown region: conservatively touch everything.
+        (is_read ? fx.stack.reads : fx.stack.writes) = true;
+        (is_read ? fx.packet.reads : fx.packet.writes) = true;
+        (is_read ? fx.mapRead : fx.mapWrite) = true;
+        fx.mapKnown = false;
+        break;
+    }
+}
+
+}  // namespace
+
+Effects
+insnEffects(const Program &prog, size_t pc, const AbsIntResult &analysis)
+{
+    const Insn &insn = prog.insns[pc];
+    const InsnLabel &label = analysis.labels[pc];
+    Effects fx;
+    auto def = [&fx](unsigned r) { fx.regDefs |= uint16_t(1u << r); };
+    auto use = [&fx](unsigned r) { fx.regUses |= uint16_t(1u << r); };
+
+    switch (insn.cls()) {
+      case InsnClass::Alu:
+      case InsnClass::Alu64: {
+        const ebpf::AluOp op = insn.aluOp();
+        def(insn.dst);
+        if (op != ebpf::AluOp::Mov)
+            use(insn.dst);
+        if (insn.srcKind() == ebpf::SrcKind::X && op != ebpf::AluOp::Neg &&
+            op != ebpf::AluOp::End)
+            use(insn.src);
+        return fx;
+      }
+      case InsnClass::Ld:
+        // lddw: pure constant/map-handle materialization.
+        def(insn.dst);
+        return fx;
+      case InsnClass::Ldx:
+        def(insn.dst);
+        use(insn.src);
+        applyMemAccess(fx, label, true, ebpf::memSizeBytes(insn.memSize()));
+        return fx;
+      case InsnClass::St:
+        use(insn.dst);
+        applyMemAccess(fx, label, false, ebpf::memSizeBytes(insn.memSize()));
+        return fx;
+      case InsnClass::Stx:
+        use(insn.dst);
+        use(insn.src);
+        if (insn.isAtomic()) {
+            applyMemAccess(fx, label, true,
+                           ebpf::memSizeBytes(insn.memSize()));
+            applyMemAccess(fx, label, false,
+                           ebpf::memSizeBytes(insn.memSize()));
+            if (insn.imm == static_cast<int32_t>(ebpf::AtomicOp::AddFetch))
+                def(insn.src);
+        } else {
+            applyMemAccess(fx, label, false,
+                           ebpf::memSizeBytes(insn.memSize()));
+        }
+        return fx;
+      case InsnClass::Jmp:
+      case InsnClass::Jmp32:
+        if (insn.isExit()) {
+            use(0);
+            // Exit terminates the execution: every side effect scheduled
+            // in this block must have completed, so exit conservatively
+            // "reads" all memories and joins the ordered chain.
+            fx.stack.reads = true;
+            fx.packet.reads = true;
+            fx.mapRead = true;
+            fx.mapIndexOp = true;
+            fx.ordered = true;
+            fx.isExit = true;
+            return fx;
+        }
+        if (insn.isCondJmp()) {
+            use(insn.dst);
+            if (insn.srcKind() == ebpf::SrcKind::X)
+                use(insn.src);
+            return fx;
+        }
+        if (insn.isUncondJmp())
+            return fx;
+        if (insn.isCall()) {
+            const HelperInfo *info =
+                ebpf::helperInfo(static_cast<int32_t>(insn.imm));
+            const CallSite &site = analysis.calls[pc];
+            const unsigned nargs = info != nullptr ? info->numArgs : 5;
+            for (unsigned a = 1; a <= nargs; ++a)
+                use(a);
+            // Calls clobber all caller-saved registers.
+            for (unsigned r = 0; r <= 5; ++r)
+                def(r);
+            if (info == nullptr)
+                return fx;
+            if (info->isMapOp) {
+                fx.mapRead = fx.mapRead || info->mapRead;
+                fx.mapWrite = fx.mapWrite || info->mapWrite;
+                fx.mapKnown = site.mapId != UINT32_MAX;
+                fx.mapId = static_cast<uint16_t>(site.mapId);
+                fx.mapIndexOp = true;
+                // Key (and update value) reads from the stack.
+                if (site.keyOnStack && site.mapId < prog.maps.size()) {
+                    fx.stack.reads = true;
+                    fx.stack.known = true;
+                    fx.stack.off = site.keyStackOff;
+                    fx.stack.len = prog.maps[site.mapId].keySize;
+                    if (site.valueOnStack) {
+                        // Widen to cover both spans conservatively.
+                        const int64_t lo =
+                            std::min(site.keyStackOff, site.valueStackOff);
+                        const int64_t hi = std::max(
+                            site.keyStackOff +
+                                prog.maps[site.mapId].keySize,
+                            site.valueStackOff +
+                                prog.maps[site.mapId].valueSize);
+                        fx.stack.off = lo;
+                        fx.stack.len = static_cast<uint32_t>(hi - lo);
+                    }
+                } else if (info->readsStack) {
+                    fx.stack.reads = true;
+                    fx.stack.known = false;
+                }
+            } else if (info->readsStack) {
+                fx.stack.reads = true;
+                fx.stack.known = false;
+            }
+            if (info->readsPacket) {
+                fx.packet.reads = true;
+                fx.packet.known = false;
+            }
+            if (info->writesPacket) {
+                fx.packet.reads = true;
+                fx.packet.writes = true;
+                fx.packet.known = false;
+            }
+            // prandom's sequence counter and redirect's target register
+            // impose mutual program order.
+            if (info->id == ebpf::kHelperGetPrandomU32 ||
+                info->id == ebpf::kHelperRedirect ||
+                info->id == ebpf::kHelperXdpAdjustHead ||
+                info->id == ebpf::kHelperXdpAdjustTail)
+                fx.ordered = true;
+            return fx;
+        }
+        return fx;
+    }
+    panic("insnEffects: unreachable");
+}
+
+bool
+dependsOn(const Effects &early, const Effects &late)
+{
+    // Register RAW / WAR / WAW.
+    if ((early.regDefs & late.regUses) || (early.regUses & late.regDefs) ||
+        (early.regDefs & late.regDefs))
+        return true;
+
+    auto mem_dep = [](const MemFootprint &a, const MemFootprint &b) {
+        if (!MemFootprint::overlap(a, b))
+            return false;
+        return (a.writes && b.any()) || (a.any() && b.writes);
+    };
+    if (mem_dep(early.stack, late.stack))
+        return true;
+    if (mem_dep(early.packet, late.packet))
+        return true;
+
+    // Map accesses to the same (or an unknown) map: index-level operations
+    // act at whole-map granularity; pointer accesses order by their byte
+    // footprint within the entry value, so disjoint fields of one entry
+    // can share a pipeline stage.
+    const bool both_maps = (early.mapRead || early.mapWrite) &&
+                           (late.mapRead || late.mapWrite);
+    if (both_maps) {
+        const bool same =
+            !early.mapKnown || !late.mapKnown || early.mapId == late.mapId;
+        if (same && (early.mapWrite || late.mapWrite)) {
+            if (early.mapIndexOp || late.mapIndexOp)
+                return true;
+            if (mem_dep(early.mapVal, late.mapVal))
+                return true;
+        }
+    }
+
+    if (early.ordered && late.ordered)
+        return true;
+
+    return false;
+}
+
+}  // namespace ehdl::analysis

@@ -1,0 +1,59 @@
+#include "analysis/fusion.hpp"
+
+#include "analysis/effects.hpp"
+
+namespace ehdl::analysis {
+
+using ebpf::AluOp;
+using ebpf::Insn;
+
+namespace {
+
+/** ALU ops cheap enough to chain two deep in one clock cycle. */
+bool
+isFusableAlu(const Insn &insn)
+{
+    if (!insn.isAlu())
+        return false;
+    switch (insn.aluOp()) {
+      case AluOp::Mul:
+      case AluOp::Div:
+      case AluOp::Mod:
+        return false;
+      default:
+        return true;
+    }
+}
+
+}  // namespace
+
+FusionPlan
+planFusion(const ebpf::Program &prog, const Cfg &cfg,
+           const ebpf::AbsIntResult &analysis, bool enabled)
+{
+    FusionPlan plan;
+    if (!enabled)
+        return plan;
+
+    for (const BasicBlock &bb : cfg.blocks()) {
+        for (size_t pc = bb.first; pc < bb.last; ++pc) {
+            const size_t next = pc + 1;
+            if (plan.isFollower(pc) || plan.followerOf.count(pc))
+                continue;  // already part of a pair
+            if (!isFusableAlu(prog.insns[pc]) ||
+                !isFusableAlu(prog.insns[next]))
+                continue;
+            const Effects a = insnEffects(prog, pc, analysis);
+            const Effects b = insnEffects(prog, next, analysis);
+            // Fuse only a true RAW chain: the follower reads the leader's
+            // destination. (Independent pairs are handled by plain ILP.)
+            if ((a.regDefs & b.regUses) == 0)
+                continue;
+            plan.leaderOf[next] = pc;
+            plan.followerOf[pc] = next;
+        }
+    }
+    return plan;
+}
+
+}  // namespace ehdl::analysis

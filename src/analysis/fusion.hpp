@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Instruction fusion (paper section 3.2). eHDL can mint new "fused" ISA
+ * instructions at will because each one becomes dedicated hardware only
+ * where used: a dependent pair of simple ALU operations (e.g. the classic
+ * "r1 <<= 8; r1 |= r2" byte-combine, or "r2 = r10; r2 += -4" three-operand
+ * address formation) shares a single pipeline stage, with the second
+ * operation consuming the first's result combinationally.
+ *
+ * Fusion is restricted to *adjacent* simple ALU instructions so the fused
+ * pair can never straddle another dependency (which would create a
+ * scheduling cycle), and to operations cheap enough not to limit the
+ * pipeline clock (no multiply/divide/modulo — see footnote 1 in the paper).
+ */
+
+#ifndef EHDL_ANALYSIS_FUSION_HPP_
+#define EHDL_ANALYSIS_FUSION_HPP_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "ebpf/absint.hpp"
+#include "ebpf/program.hpp"
+
+namespace ehdl::analysis {
+
+/** Which instructions fuse with which. */
+struct FusionPlan
+{
+    /** follower pc -> leader pc. */
+    std::unordered_map<size_t, size_t> leaderOf;
+    /** leader pc -> follower pc. */
+    std::unordered_map<size_t, size_t> followerOf;
+
+    size_t pairCount() const { return leaderOf.size(); }
+
+    bool
+    isFollower(size_t pc) const
+    {
+        return leaderOf.count(pc) != 0;
+    }
+};
+
+/** Compute the fusion plan (empty when @p enabled is false). */
+FusionPlan planFusion(const ebpf::Program &prog, const Cfg &cfg,
+                      const ebpf::AbsIntResult &analysis,
+                      bool enabled = true);
+
+}  // namespace ehdl::analysis
+
+#endif  // EHDL_ANALYSIS_FUSION_HPP_

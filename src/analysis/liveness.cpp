@@ -1,0 +1,93 @@
+#include "analysis/liveness.hpp"
+
+#include <unordered_map>
+
+#include "analysis/effects.hpp"
+#include "common/logging.hpp"
+
+namespace ehdl::analysis {
+
+using ebpf::kStackSize;
+
+namespace {
+
+/** Apply one instruction backward to a live set. */
+void
+stepBackward(RowLiveness &live, const Effects &fx)
+{
+    // Kill defs, then add uses.
+    live.regsIn &= static_cast<uint16_t>(~fx.regDefs);
+    live.regsIn |= fx.regUses;
+
+    if (fx.isExit)
+        return;  // exit's memory footprint is ordering-only
+
+    if (fx.stack.writes && fx.stack.known) {
+        for (int64_t b = fx.stack.off;
+             b < fx.stack.off + fx.stack.len; ++b) {
+            if (b >= 0 && b < static_cast<int64_t>(kStackSize))
+                live.stackIn.reset(static_cast<size_t>(b));
+        }
+    }
+    if (fx.stack.reads) {
+        if (fx.stack.known) {
+            for (int64_t b = fx.stack.off;
+                 b < fx.stack.off + fx.stack.len; ++b) {
+                if (b >= 0 && b < static_cast<int64_t>(kStackSize))
+                    live.stackIn.set(static_cast<size_t>(b));
+            }
+        } else {
+            live.stackIn.set();  // unknown read keeps everything live
+        }
+    }
+}
+
+}  // namespace
+
+Liveness
+computeLiveness(const ebpf::Program &prog, const Cfg &cfg,
+                const Schedule &sched, const ebpf::AbsIntResult &analysis)
+{
+    Liveness lv;
+    lv.blockRows.resize(sched.blocks.size());
+    lv.blockOut.resize(sched.blocks.size());
+
+    // Map CFG block id -> index in the (topo-ordered) schedule.
+    std::unordered_map<size_t, size_t> sched_index;
+    for (size_t i = 0; i < sched.blocks.size(); ++i)
+        sched_index[sched.blocks[i].blockId] = i;
+
+    // Process in reverse topological order: successors first.
+    for (size_t rev = sched.blocks.size(); rev-- > 0;) {
+        const BlockSchedule &bs = sched.blocks[rev];
+        const BasicBlock &bb = cfg.blocks()[bs.blockId];
+
+        RowLiveness live;  // live-out of the block
+        for (size_t succ : bb.succs) {
+            auto it = sched_index.find(succ);
+            if (it == sched_index.end())
+                continue;  // unreachable successor
+            const auto &succ_rows = lv.blockRows[it->second];
+            const RowLiveness &succ_in =
+                succ_rows.empty() ? lv.blockOut[it->second]
+                                  : succ_rows.front();
+            live.regsIn |= succ_in.regsIn;
+            live.stackIn |= succ_in.stackIn;
+        }
+        lv.blockOut[rev] = live;
+
+        lv.blockRows[rev].resize(bs.rows.size());
+        for (size_t r = bs.rows.size(); r-- > 0;) {
+            // Within a row, walk ops backward in program order so a fused
+            // follower's use of its leader's def stays row-internal.
+            for (size_t k = bs.rows[r].ops.size(); k-- > 0;) {
+                const size_t pc = bs.rows[r].ops[k];
+                stepBackward(live, insnEffects(prog, pc, analysis));
+            }
+            lv.blockRows[rev][r] = live;
+        }
+    }
+    return lv;
+}
+
+}  // namespace ehdl::analysis

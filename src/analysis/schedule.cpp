@@ -1,0 +1,160 @@
+#include "analysis/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/effects.hpp"
+#include "common/logging.hpp"
+
+namespace ehdl::analysis {
+
+using ebpf::Program;
+
+namespace {
+
+/** One schedulable unit: a single instruction or a fused pair. */
+struct Unit
+{
+    std::vector<size_t> pcs;  // in program order
+    Effects fx;
+    size_t row = 0;
+    std::vector<size_t> preds;  // unit indices this one depends on
+};
+
+/** Number of distinct map-port demands of a unit (0, 1). */
+bool
+usesMapPort(const Effects &fx)
+{
+    return fx.mapRead || fx.mapWrite;
+}
+
+}  // namespace
+
+Schedule
+buildSchedule(const Program &prog, const Cfg &cfg,
+              const ebpf::AbsIntResult &analysis,
+              const ScheduleOptions &options)
+{
+    if (!cfg.isDag())
+        fatal("cannot schedule a cyclic CFG; unroll loops first");
+
+    Schedule sched;
+    sched.fusion = planFusion(prog, cfg, analysis, options.enableFusion);
+
+    for (size_t block_id : cfg.topoOrder()) {
+        const BasicBlock &bb = cfg.blocks()[block_id];
+        BlockSchedule bs;
+        bs.blockId = block_id;
+
+        // Build units in program order.
+        std::vector<Unit> units;
+        for (size_t pc = bb.first; pc <= bb.last; ++pc) {
+            if (sched.fusion.isFollower(pc))
+                continue;  // folded into its leader below
+            Unit unit;
+            unit.pcs.push_back(pc);
+            unit.fx = insnEffects(prog, pc, analysis);
+            auto fol = sched.fusion.followerOf.find(pc);
+            if (fol != sched.fusion.followerOf.end() &&
+                fol->second <= bb.last) {
+                unit.pcs.push_back(fol->second);
+                const Effects ffx = insnEffects(prog, fol->second, analysis);
+                unit.fx.regDefs |= ffx.regDefs;
+                unit.fx.regUses |= ffx.regUses;
+                // Fused pairs are pure ALU: no memory footprints to merge.
+            }
+            units.push_back(std::move(unit));
+        }
+
+        // Dependency edges between units (quadratic within a block).
+        for (size_t v = 0; v < units.size(); ++v) {
+            for (size_t u = 0; u < v; ++u) {
+                if (dependsOn(units[u].fx, units[v].fx))
+                    units[v].preds.push_back(u);
+            }
+        }
+
+        // Level assignment.
+        if (options.enableIlp) {
+            for (size_t v = 0; v < units.size(); ++v) {
+                size_t level = 0;
+                for (size_t u : units[v].preds)
+                    level = std::max(level, units[u].row + 1);
+                units[v].row = level;
+            }
+        } else {
+            for (size_t v = 0; v < units.size(); ++v)
+                units[v].row = v;
+        }
+
+        // Enforce the per-map port budget: at most N map accesses to the
+        // same map (or any unknown-map access) in one row.
+        bool changed = true;
+        size_t guard = 0;
+        while (changed && ++guard < units.size() * 8 + 64) {
+            changed = false;
+            // Re-relax dependencies first.
+            for (size_t v = 0; v < units.size(); ++v) {
+                for (size_t u : units[v].preds) {
+                    if (units[v].row <= units[u].row) {
+                        units[v].row = units[u].row + 1;
+                        changed = true;
+                    }
+                }
+            }
+            // Count ports per (row, map).
+            std::map<std::pair<size_t, uint32_t>, unsigned> ports;
+            for (size_t v = 0; v < units.size(); ++v) {
+                if (!usesMapPort(units[v].fx))
+                    continue;
+                const uint32_t map_key =
+                    units[v].fx.mapKnown ? units[v].fx.mapId : UINT32_MAX;
+                unsigned &n = ports[{units[v].row, map_key}];
+                if (++n > options.maxMapPortsPerRow) {
+                    units[v].row += 1;
+                    changed = true;
+                }
+            }
+            // Lane cap (used by the hXDP VLIW baseline model).
+            if (options.maxOpsPerRow > 0) {
+                std::map<size_t, unsigned> lanes;
+                for (size_t v = 0; v < units.size(); ++v) {
+                    unsigned &n = lanes[units[v].row];
+                    n += static_cast<unsigned>(units[v].pcs.size());
+                    if (n > options.maxOpsPerRow) {
+                        units[v].row += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Emit rows.
+        size_t max_row = 0;
+        for (const Unit &u : units)
+            max_row = std::max(max_row, u.row);
+        bs.rows.resize(units.empty() ? 0 : max_row + 1);
+        for (const Unit &u : units)
+            for (size_t pc : u.pcs)
+                bs.rows[u.row].ops.push_back(pc);
+        // Keep deterministic program order within each row.
+        for (Row &row : bs.rows)
+            std::sort(row.ops.begin(), row.ops.end());
+
+        for (const Row &row : bs.rows) {
+            sched.totalOps += row.ops.size();
+            sched.maxIlp = std::max(sched.maxIlp,
+                                    static_cast<unsigned>(row.ops.size()));
+        }
+        sched.totalRows += bs.rows.size();
+        sched.blocks.push_back(std::move(bs));
+    }
+
+    sched.avgIlp = sched.totalRows == 0
+                       ? 0.0
+                       : static_cast<double>(sched.totalOps) /
+                             static_cast<double>(sched.totalRows);
+    return sched;
+}
+
+}  // namespace ehdl::analysis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ILP scheduler (paper section 3.3). Within each basic block, instructions
+ * with no mutual data dependencies are packed into the same parallel row;
+ * one row becomes one pipeline stage. Because eHDL tailors hardware to the
+ * program, a row can be arbitrarily wide (the paper reports up to 15
+ * parallel instructions for Tunnel) and shrinks to one unit when no
+ * parallelism exists — there is no fixed-lane trade-off.
+ *
+ * Fused pairs (analysis/fusion.hpp) are scheduled as single units and
+ * execute in order within their row.
+ */
+
+#ifndef EHDL_ANALYSIS_SCHEDULE_HPP_
+#define EHDL_ANALYSIS_SCHEDULE_HPP_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/fusion.hpp"
+#include "ebpf/absint.hpp"
+#include "ebpf/program.hpp"
+
+namespace ehdl::analysis {
+
+/** One parallel row: instruction indices executing in the same stage.
+ *  A fused follower appears immediately after its leader. */
+struct Row
+{
+    std::vector<size_t> ops;
+};
+
+/** Schedule of one basic block. */
+struct BlockSchedule
+{
+    size_t blockId = 0;
+    std::vector<Row> rows;
+};
+
+/** Knobs for ablation studies. */
+struct ScheduleOptions
+{
+    bool enableIlp = true;
+    bool enableFusion = true;
+    /** eHDLmap blocks expose at most this many channels per row (4.1). */
+    unsigned maxMapPortsPerRow = 2;
+    /**
+     * Lane cap per row: eHDL pipelines are unbounded (0), while the hXDP
+     * baseline model schedules the same program onto a 2-lane VLIW.
+     */
+    unsigned maxOpsPerRow = 0;
+};
+
+/** Whole-program schedule plus the ILP statistics of paper Table 5. */
+struct Schedule
+{
+    /** Reachable blocks in topological (pipeline) order. */
+    std::vector<BlockSchedule> blocks;
+    FusionPlan fusion;
+
+    size_t totalRows = 0;
+    size_t totalOps = 0;
+    unsigned maxIlp = 0;
+    double avgIlp = 0.0;
+};
+
+/** Build the schedule. The CFG must be a DAG. */
+Schedule buildSchedule(const ebpf::Program &prog, const Cfg &cfg,
+                       const ebpf::AbsIntResult &analysis,
+                       const ScheduleOptions &options = {});
+
+}  // namespace ehdl::analysis
+
+#endif  // EHDL_ANALYSIS_SCHEDULE_HPP_

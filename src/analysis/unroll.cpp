@@ -1,0 +1,190 @@
+#include "analysis/unroll.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace ehdl::analysis {
+
+using ebpf::Insn;
+using ebpf::Program;
+
+namespace {
+
+bool
+isRelativeJump(const Insn &insn)
+{
+    return insn.isJmp() && !insn.isCall() && !insn.isExit();
+}
+
+/** Find the innermost backward edge; returns false when none exists. */
+bool
+findBackwardEdge(const Program &prog, size_t &head, size_t &tail)
+{
+    bool found = false;
+    for (size_t pc = 0; pc < prog.insns.size(); ++pc) {
+        const Insn &insn = prog.insns[pc];
+        if (!isRelativeJump(insn))
+            continue;
+        const size_t target = prog.jumpTarget(pc);
+        if (target <= pc) {
+            // Innermost: the backward edge with the largest head.
+            if (!found || target > head) {
+                head = target;
+                tail = pc;
+                found = true;
+            }
+        }
+    }
+    return found;
+}
+
+/** Unroll one loop; returns the rewritten program. */
+Program
+unrollOne(const Program &prog, size_t head, size_t tail, unsigned max_trips)
+{
+    const size_t n = prog.insns.size();
+    const size_t body_len = tail - head + 1;
+
+    // Reject jumps from outside the body into its interior (irreducible).
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (pc >= head && pc <= tail)
+            continue;
+        const Insn &insn = prog.insns[pc];
+        if (!isRelativeJump(insn))
+            continue;
+        const size_t target = prog.jumpTarget(pc);
+        if (target > head && target <= tail)
+            fatal("irreducible loop: jump from ", pc, " into loop body at ",
+                  target);
+    }
+
+    // A conditional back edge (the usual "if cond goto top") continues
+    // the loop when taken and exits when it falls through. Laid-out
+    // copies are consecutive, so the fallthrough would land on the next
+    // copy's head; each copy therefore gains one extra unconditional jump
+    // to the loop exit right after the back edge.
+    const bool cond_backedge = prog.insns[tail].isCondJmp();
+    const size_t copy_len = body_len + (cond_backedge ? 1 : 0);
+
+    // New layout: [0, head) | copies * max_trips | (tail, n) | abort stub.
+    auto new_pos = [&](size_t old_pc, unsigned copy) -> size_t {
+        if (old_pc < head)
+            return old_pc;
+        if (old_pc <= tail)
+            return head + copy * copy_len + (old_pc - head);
+        return head + max_trips * copy_len + (old_pc - tail - 1);
+    };
+    // End of rewritten code: prefix + unrolled bodies + suffix.
+    const size_t abort_pos = head + max_trips * copy_len + (n - tail - 1);
+
+    Program out;
+    out.name = prog.name;
+    out.maps = prog.maps;
+
+    struct Pending
+    {
+        size_t new_index;
+        size_t abs_target;  // already in new coordinates
+    };
+    std::vector<Pending> pending;
+
+    auto emit = [&out](Insn insn) {
+        out.insns.push_back(insn);
+    };
+
+    auto emit_range = [&](size_t first, size_t last, unsigned copy) {
+        for (size_t pc = first; pc <= last; ++pc) {
+            Insn insn = prog.insns[pc];
+            if (isRelativeJump(insn)) {
+                const size_t target = prog.jumpTarget(pc);
+                size_t new_target;
+                const bool in_body = target >= head && target <= tail;
+                if (pc == tail && target == head) {
+                    // The back edge: next copy, or abort after the last.
+                    new_target = (copy + 1 < max_trips)
+                                     ? new_pos(head, copy + 1)
+                                     : abort_pos;
+                    pending.push_back({out.insns.size(), new_target});
+                    emit(insn);
+                    if (cond_backedge) {
+                        // Loop exit: jump over the remaining copies.
+                        Insn ja;
+                        ja.opcode = ebpf::makeJmpOpcode(
+                            ebpf::InsnClass::Jmp, ebpf::JmpOp::Ja,
+                            ebpf::SrcKind::K);
+                        pending.push_back(
+                            {out.insns.size(), new_pos(tail + 1, 0)});
+                        emit(ja);
+                    }
+                    continue;
+                }
+                if (in_body) {
+                    new_target = new_pos(target, copy);
+                } else {
+                    new_target = new_pos(target, 0);
+                }
+                pending.push_back({out.insns.size(), new_target});
+            }
+            emit(insn);
+        }
+    };
+
+    if (head > 0)
+        emit_range(0, head - 1, 0);
+    for (unsigned copy = 0; copy < max_trips; ++copy)
+        emit_range(head, tail, copy);
+    if (tail + 1 < n)
+        emit_range(tail + 1, n - 1, 0);
+
+    // Abort stub: r0 = XDP_ABORTED; exit.
+    if (out.insns.size() != abort_pos)
+        panic("unroll layout mismatch: ", out.insns.size(), " vs ",
+              abort_pos);
+    Insn mov0;
+    mov0.opcode = ebpf::makeAluOpcode(ebpf::InsnClass::Alu64,
+                                      ebpf::AluOp::Mov, ebpf::SrcKind::K);
+    mov0.dst = 0;
+    mov0.imm = 0;
+    emit(mov0);
+    Insn exit_insn;
+    exit_insn.opcode = ebpf::makeJmpOpcode(ebpf::InsnClass::Jmp,
+                                           ebpf::JmpOp::Exit,
+                                           ebpf::SrcKind::K);
+    emit(exit_insn);
+
+    // Patch relative offsets.
+    for (const Pending &p : pending) {
+        const int64_t rel = static_cast<int64_t>(p.abs_target) -
+                            static_cast<int64_t>(p.new_index) - 1;
+        if (rel < std::numeric_limits<int16_t>::min() ||
+            rel > std::numeric_limits<int16_t>::max())
+            fatal("unrolled jump offset overflow");
+        out.insns[p.new_index].off = static_cast<int16_t>(rel);
+    }
+    for (size_t i = 0; i < out.insns.size(); ++i)
+        out.insns[i].origPc = static_cast<int32_t>(i);
+    return out;
+}
+
+}  // namespace
+
+UnrollResult
+unrollLoops(const Program &prog, unsigned max_trips)
+{
+    if (max_trips == 0)
+        fatal("max_trips must be positive");
+    UnrollResult result;
+    result.prog = prog;
+    // Innermost-first, bounded pass count for safety.
+    for (unsigned iter = 0; iter < 64; ++iter) {
+        size_t head = 0, tail = 0;
+        if (!findBackwardEdge(result.prog, head, tail))
+            return result;
+        result.prog = unrollOne(result.prog, head, tail, max_trips);
+        ++result.loopsUnrolled;
+    }
+    fatal("too many nested loops to unroll");
+}
+
+}  // namespace ehdl::analysis

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bounded-loop unrolling. eBPF only admits loops whose trip count is
+ * bounded at compile time (paper section 2.2: "backward branches are only
+ * allowed in bounded loops so that they can be unrolled in a hardware
+ * pipeline"). This pass rewrites each backward edge into @p max_trips
+ * forward copies of the loop body, so the control flow becomes the strictly
+ * forward-feeding DAG the pipeline generator requires (section 3.5).
+ *
+ * If at run time a loop would iterate beyond max_trips, the unrolled
+ * program aborts the packet (XDP_ABORTED) — the bound must dominate the
+ * real trip count, exactly as the kernel verifier's bounded-loop analysis
+ * guarantees.
+ */
+
+#ifndef EHDL_ANALYSIS_UNROLL_HPP_
+#define EHDL_ANALYSIS_UNROLL_HPP_
+
+#include "ebpf/program.hpp"
+
+namespace ehdl::analysis {
+
+/** Outcome of unrolling. */
+struct UnrollResult
+{
+    ebpf::Program prog;
+    unsigned loopsUnrolled = 0;
+};
+
+/**
+ * Unroll every bounded loop.
+ *
+ * @param prog      Input program (may contain backward jumps).
+ * @param max_trips Copies emitted per loop.
+ * @throw FatalError for irreducible loops (jumps into a loop body that
+ *        bypass its head) or offset overflow.
+ */
+UnrollResult unrollLoops(const ebpf::Program &prog, unsigned max_trips = 64);
+
+}  // namespace ehdl::analysis
+
+#endif  // EHDL_ANALYSIS_UNROLL_HPP_

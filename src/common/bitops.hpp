@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the eHDL code base.
+ */
+
+#ifndef EHDL_COMMON_BITOPS_HPP_
+#define EHDL_COMMON_BITOPS_HPP_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace ehdl {
+
+/** Sign-extend the low @p bits bits of @p value to 64 bits. */
+inline int64_t
+signExtend(uint64_t value, unsigned bits)
+{
+    if (bits == 0 || bits >= 64)
+        return static_cast<int64_t>(value);
+    const uint64_t mask = (uint64_t(1) << bits) - 1;
+    value &= mask;
+    const uint64_t sign = uint64_t(1) << (bits - 1);
+    return static_cast<int64_t>((value ^ sign) - sign);
+}
+
+/** Mask keeping only the low @p bits bits (bits >= 64 keeps everything). */
+inline uint64_t
+lowBits(uint64_t value, unsigned bits)
+{
+    if (bits >= 64)
+        return value;
+    return value & ((uint64_t(1) << bits) - 1);
+}
+
+/** Byte-swap a 16-bit value. */
+inline uint16_t bswap16(uint16_t v) { return __builtin_bswap16(v); }
+/** Byte-swap a 32-bit value. */
+inline uint32_t bswap32(uint32_t v) { return __builtin_bswap32(v); }
+/** Byte-swap a 64-bit value. */
+inline uint64_t bswap64(uint64_t v) { return __builtin_bswap64(v); }
+
+/** Load an unaligned little-endian integer of @p Bytes bytes. */
+template <typename T>
+inline T
+loadLe(const uint8_t *p)
+{
+    static_assert(std::is_unsigned_v<T>);
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;  // host is little-endian (x86) in this project
+}
+
+/** Store an unaligned little-endian integer. */
+template <typename T>
+inline void
+storeLe(uint8_t *p, T v)
+{
+    static_assert(std::is_unsigned_v<T>);
+    std::memcpy(p, &v, sizeof(T));
+}
+
+/** Load a big-endian (network order) integer. */
+template <typename T>
+inline T
+loadBe(const uint8_t *p)
+{
+    T v = loadLe<T>(p);
+    if constexpr (sizeof(T) == 2) return bswap16(v);
+    else if constexpr (sizeof(T) == 4) return bswap32(v);
+    else if constexpr (sizeof(T) == 8) return bswap64(v);
+    else return v;
+}
+
+/** Store a big-endian (network order) integer. */
+template <typename T>
+inline void
+storeBe(uint8_t *p, T v)
+{
+    if constexpr (sizeof(T) == 2) v = bswap16(v);
+    else if constexpr (sizeof(T) == 4) v = bswap32(v);
+    else if constexpr (sizeof(T) == 8) v = bswap64(v);
+    storeLe(p, v);
+}
+
+/** Integer ceiling division. */
+inline uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+inline uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+}  // namespace ehdl
+
+#endif  // EHDL_COMMON_BITOPS_HPP_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All experiments in this
+ * repository must be reproducible bit-for-bit, so every stochastic component
+ * takes an explicitly seeded Rng rather than using global std::rand state.
+ */
+
+#ifndef EHDL_COMMON_RNG_HPP_
+#define EHDL_COMMON_RNG_HPP_
+
+#include <cstdint>
+
+namespace ehdl {
+
+/**
+ * xoshiro256** generator seeded through SplitMix64. Small, fast and good
+ * enough for workload generation; not cryptographic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free reduction is fine here:
+        // slight modulo bias is irrelevant for workload generation.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+};
+
+}  // namespace ehdl
+
+#endif  // EHDL_COMMON_RNG_HPP_

@@ -1,0 +1,42 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace ehdl {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n)
+{
+    if (n == 0)
+        fatal("ZipfSampler needs at least one element");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    total_ = acc;
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform() * total_;
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return n_ - 1;
+    return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::probability(uint64_t i) const
+{
+    if (i >= n_)
+        return 0.0;
+    const double prev = (i == 0) ? 0.0 : cdf_[i - 1];
+    return (cdf_[i] - prev) / total_;
+}
+
+}  // namespace ehdl

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Zipfian sampler used by the traffic generators and the analytic flush
+ * model (paper Appendix A.1 assumes flow popularity f_i proportional to 1/i).
+ */
+
+#ifndef EHDL_COMMON_ZIPF_HPP_
+#define EHDL_COMMON_ZIPF_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ehdl {
+
+/**
+ * Draws integers in [0, n) with P(i) proportional to 1/(i+1)^s.
+ *
+ * Uses an inverted-CDF table with binary search; construction is O(n) and
+ * sampling O(log n), which is fine for the flow counts used in the paper
+ * (up to ~200k flows).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint64_t n, double s = 1.0);
+
+    /** Sample one rank. */
+    uint64_t sample(Rng &rng) const;
+
+    /** Probability of rank @p i under this distribution. */
+    double probability(uint64_t i) const;
+
+    uint64_t size() const { return n_; }
+
+  private:
+    uint64_t n_;
+    double total_ = 0.0;
+    std::vector<double> cdf_;
+};
+
+}  // namespace ehdl
+
+#endif  // EHDL_COMMON_ZIPF_HPP_

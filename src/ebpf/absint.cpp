@@ -1,0 +1,624 @@
+#include "ebpf/absint.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "ebpf/helpers.hpp"
+#include "ebpf/xdp.hpp"
+
+namespace ehdl::ebpf {
+
+AbsVal
+joinVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == AbsKind::Uninit)
+        return b;
+    if (b.kind == AbsKind::Uninit)
+        return a;
+    if (a.kind != b.kind || (a.kind == AbsKind::MapValue &&
+                             a.mapId != b.mapId)) {
+        AbsVal top;
+        top.kind = AbsKind::Top;
+        return top;
+    }
+    AbsVal out = a;
+    out.nullable = a.nullable || b.nullable;
+    if (!a.offKnown || !b.offKnown || a.off != b.off) {
+        out.offKnown = false;
+        out.off = 0;
+    }
+    return out;
+}
+
+namespace {
+
+constexpr unsigned kSlots = kStackSize / 8;
+
+/** Abstract machine state at one program point. */
+struct AbsState
+{
+    std::array<AbsVal, kNumRegs> regs;
+    /** Per 8-byte stack slot: the spilled value (slot-granular model). */
+    std::array<AbsVal, kSlots> stack;
+    /** Whether each slot has been written at all. */
+    std::array<bool, kSlots> stackInit{};
+    bool reachable = false;
+
+    bool
+    mergeFrom(const AbsState &other)
+    {
+        if (!other.reachable)
+            return false;
+        if (!reachable) {
+            *this = other;
+            return true;
+        }
+        bool changed = false;
+        for (unsigned r = 0; r < kNumRegs; ++r) {
+            const AbsVal joined = joinVals(regs[r], other.regs[r]);
+            if (!(joined == regs[r])) {
+                regs[r] = joined;
+                changed = true;
+            }
+        }
+        for (unsigned s = 0; s < kSlots; ++s) {
+            const AbsVal joined = joinVals(stack[s], other.stack[s]);
+            if (!(joined == stack[s])) {
+                stack[s] = joined;
+                changed = true;
+            }
+            const bool init = stackInit[s] && other.stackInit[s];
+            if (init != stackInit[s]) {
+                stackInit[s] = init;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+/** Worklist-driven forward analysis. */
+class Analyzer
+{
+  public:
+    explicit Analyzer(const Program &prog) : prog_(prog)
+    {
+        result_.labels.resize(prog.insns.size());
+        result_.calls.resize(prog.insns.size());
+        result_.reachable.assign(prog.insns.size(), false);
+        result_.regsIn.resize(prog.insns.size());
+        in_.resize(prog.insns.size());
+    }
+
+    AbsIntResult run();
+
+  private:
+    void flowInto(size_t pc, const AbsState &state);
+    void transfer(size_t pc, AbsState state);
+    void transferAlu(const Insn &insn, AbsState &state, size_t pc);
+    void transferLoad(const Insn &insn, AbsState &state, size_t pc);
+    void transferStore(const Insn &insn, AbsState &state, size_t pc);
+    void transferCall(const Insn &insn, AbsState &state, size_t pc);
+    void labelMemAccess(size_t pc, const AbsVal &addr, int64_t off);
+
+    void
+    error(size_t pc, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << "insn " << pc << ": " << msg;
+        // Deduplicate identical messages (the worklist may revisit).
+        for (const auto &e : result_.errors)
+            if (e == os.str())
+                return;
+        result_.errors.push_back(os.str());
+    }
+
+    const Program &prog_;
+    AbsIntResult result_;
+    std::vector<AbsState> in_;
+    std::deque<size_t> worklist_;
+};
+
+void
+Analyzer::flowInto(size_t pc, const AbsState &state)
+{
+    if (pc >= prog_.insns.size())
+        return;  // reported elsewhere (fallthrough off end)
+    if (in_[pc].mergeFrom(state))
+        worklist_.push_back(pc);
+}
+
+void
+Analyzer::labelMemAccess(size_t pc, const AbsVal &addr, int64_t off)
+{
+    InsnLabel &label = result_.labels[pc];
+    MemRegion region = MemRegion::Unknown;
+    switch (addr.kind) {
+      case AbsKind::Ctx: region = MemRegion::Ctx; break;
+      case AbsKind::Packet: region = MemRegion::Packet; break;
+      case AbsKind::Stack: region = MemRegion::Stack; break;
+      case AbsKind::MapValue: region = MemRegion::Map; break;
+      default: region = MemRegion::Unknown; break;
+    }
+    const bool off_known = addr.offKnown;
+    const int64_t static_off = addr.off + off;
+    if (label.region == MemRegion::None) {
+        // First visit of this instruction.
+        label.region = region;
+        label.mapId = addr.mapId;
+        label.offKnown = off_known;
+        label.staticOff = static_off;
+    } else {
+        // Joins across paths with different regions degrade to Unknown.
+        if (label.region != region)
+            label.region = MemRegion::Unknown;
+        if (!off_known || !label.offKnown || label.staticOff != static_off)
+            label.offKnown = false;
+    }
+}
+
+void
+Analyzer::transferAlu(const Insn &insn, AbsState &state, size_t pc)
+{
+    AbsVal &dst = state.regs[insn.dst];
+    const AluOp op = insn.aluOp();
+    const bool is64 = insn.is64();
+
+    if (dst.kind == AbsKind::Uninit && op != AluOp::Mov)
+        error(pc, "ALU on uninitialized register r" +
+                      std::to_string(insn.dst));
+
+    if (op == AluOp::Neg || op == AluOp::End) {
+        dst = AbsVal::scalar();
+        return;
+    }
+
+    AbsVal src;
+    if (insn.srcKind() == SrcKind::X) {
+        src = state.regs[insn.src];
+        if (src.kind == AbsKind::Uninit)
+            error(pc, "use of uninitialized register r" +
+                          std::to_string(insn.src));
+    } else {
+        src = AbsVal::constant(insn.imm);
+    }
+
+    if (op == AluOp::Mov) {
+        if (!is64) {
+            dst = src.isPtr() ? AbsVal::scalar()
+                              : (src.offKnown
+                                     ? AbsVal::constant(
+                                           static_cast<uint32_t>(src.off))
+                                     : AbsVal::scalar());
+        } else {
+            dst = src;
+        }
+        return;
+    }
+
+    // Pointer arithmetic: add/sub keeps provenance and adjusts offsets.
+    if (dst.isPtr() && !src.isPtr() &&
+        (op == AluOp::Add || op == AluOp::Sub) && is64) {
+        if (src.offKnown && dst.offKnown)
+            dst.off += (op == AluOp::Add) ? src.off : -src.off;
+        else
+            dst.offKnown = false;
+        return;
+    }
+    if (!dst.isPtr() && src.isPtr() && op == AluOp::Add && is64) {
+        const AbsVal delta = dst;
+        dst = src;
+        if (delta.offKnown && dst.offKnown)
+            dst.off += delta.off;
+        else
+            dst.offKnown = false;
+        return;
+    }
+    if (dst.isPtr() && src.isPtr()) {
+        auto space = [](AbsKind k) {
+            return k == AbsKind::PacketEnd ? AbsKind::Packet : k;
+        };
+        if (op == AluOp::Sub && space(dst.kind) == space(src.kind)) {
+            dst = AbsVal::scalar();
+            return;
+        }
+        error(pc, "forbidden pointer/pointer ALU");
+        dst = AbsVal::scalar();
+        return;
+    }
+    if (dst.isPtr() || src.isPtr()) {
+        error(pc, "forbidden ALU op on pointer");
+        dst = AbsVal::scalar();
+        return;
+    }
+
+    // Scalar constant folding (64-bit only; enough for key constness).
+    if (is64 && dst.offKnown && src.offKnown) {
+        int64_t r = 0;
+        bool known = true;
+        const int64_t a = dst.off, b = src.off;
+        switch (op) {
+          case AluOp::Add: r = a + b; break;
+          case AluOp::Sub: r = a - b; break;
+          case AluOp::Mul: r = a * b; break;
+          case AluOp::Or: r = a | b; break;
+          case AluOp::And: r = a & b; break;
+          case AluOp::Xor: r = a ^ b; break;
+          case AluOp::Lsh: r = static_cast<int64_t>(
+              static_cast<uint64_t>(a) << (b & 63)); break;
+          case AluOp::Rsh: r = static_cast<int64_t>(
+              static_cast<uint64_t>(a) >> (b & 63)); break;
+          default: known = false; break;
+        }
+        dst = known ? AbsVal::constant(r) : AbsVal::scalar();
+        return;
+    }
+    dst = AbsVal::scalar();
+}
+
+void
+Analyzer::transferLoad(const Insn &insn, AbsState &state, size_t pc)
+{
+    if (insn.isLddw()) {
+        if (insn.isMapLoad) {
+            if (static_cast<uint64_t>(insn.imm) >= prog_.maps.size()) {
+                error(pc, "lddw references unknown map");
+                state.regs[insn.dst] = AbsVal::scalar();
+                return;
+            }
+            AbsVal v;
+            v.kind = AbsKind::MapHandle;
+            v.mapId = static_cast<uint16_t>(insn.imm);
+            state.regs[insn.dst] = v;
+        } else {
+            state.regs[insn.dst] = AbsVal::constant(insn.imm);
+        }
+        return;
+    }
+
+    const AbsVal &addr = state.regs[insn.src];
+    if (addr.kind == AbsKind::Uninit) {
+        error(pc, "load through uninitialized register");
+        state.regs[insn.dst] = AbsVal::scalar();
+        return;
+    }
+    if (!addr.isPtr()) {
+        error(pc, "load through non-pointer (r" + std::to_string(insn.src) +
+                      ")");
+        state.regs[insn.dst] = AbsVal::scalar();
+        return;
+    }
+    if (addr.kind == AbsKind::MapValue && addr.nullable)
+        error(pc, "map value dereferenced without null check");
+
+    labelMemAccess(pc, addr, insn.off);
+
+    if (addr.kind == AbsKind::Ctx) {
+        const int64_t off = addr.offKnown ? addr.off + insn.off : -1;
+        AbsVal v = AbsVal::scalar();
+        if (off == kXdpMdData || off == kXdpMdDataMeta) {
+            v.kind = AbsKind::Packet;
+            v.offKnown = true;
+            v.off = 0;
+        } else if (off == kXdpMdDataEnd) {
+            v.kind = AbsKind::PacketEnd;
+        }
+        state.regs[insn.dst] = v;
+        return;
+    }
+
+    if (addr.kind == AbsKind::Stack && addr.offKnown &&
+        memSizeBytes(insn.memSize()) == 8) {
+        const int64_t at = addr.off + insn.off;
+        if (at >= 0 && at + 8 <= kStackSize && at % 8 == 0) {
+            const AbsVal &slot = state.stack[at / 8];
+            if (!state.stackInit[at / 8])
+                error(pc, "load of uninitialized stack slot");
+            state.regs[insn.dst] =
+                slot.kind == AbsKind::Uninit ? AbsVal::scalar() : slot;
+            return;
+        }
+    }
+    if (addr.kind == AbsKind::Stack && addr.offKnown) {
+        const int64_t at = addr.off + insn.off;
+        if (at < 0 || at + memSizeBytes(insn.memSize()) >
+                          static_cast<int64_t>(kStackSize))
+            error(pc, "stack access out of bounds");
+    }
+
+    state.regs[insn.dst] = AbsVal::scalar();
+}
+
+void
+Analyzer::transferStore(const Insn &insn, AbsState &state, size_t pc)
+{
+    const AbsVal &addr = state.regs[insn.dst];
+    if (!addr.isPtr()) {
+        error(pc, "store through non-pointer (r" + std::to_string(insn.dst) +
+                      ")");
+        return;
+    }
+    if (addr.kind == AbsKind::Ctx) {
+        error(pc, "store to read-only xdp_md");
+        return;
+    }
+    if (addr.kind == AbsKind::MapValue && addr.nullable)
+        error(pc, "map value written without null check");
+
+    labelMemAccess(pc, addr, insn.off);
+
+    if (insn.cls() == InsnClass::Stx &&
+        state.regs[insn.src].kind == AbsKind::Uninit) {
+        error(pc, "store of uninitialized register r" +
+                      std::to_string(insn.src));
+    }
+
+    if (addr.kind == AbsKind::Stack && addr.offKnown) {
+        const int64_t at = addr.off + insn.off;
+        const unsigned size = memSizeBytes(insn.memSize());
+        if (at < 0 || at + size > static_cast<int64_t>(kStackSize)) {
+            error(pc, "stack access out of bounds");
+            return;
+        }
+        for (int64_t slot = at / 8;
+             slot <= (at + static_cast<int64_t>(size) - 1) / 8; ++slot) {
+            state.stackInit[slot] = true;
+            state.stack[slot] = AbsVal::scalar();
+        }
+        if (size == 8 && at % 8 == 0) {
+            AbsVal stored =
+                insn.cls() == InsnClass::Stx
+                    ? state.regs[insn.src]
+                    : AbsVal::constant(insn.imm);
+            state.stack[at / 8] = stored;
+        } else if (insn.cls() == InsnClass::St ||
+                   insn.cls() == InsnClass::Stx) {
+            // Track stored constants at sub-slot granularity only for
+            // key-constness purposes: a constant store to an aligned
+            // 4-byte half marks the slot as constant-initialized.
+            AbsVal stored =
+                insn.cls() == InsnClass::Stx
+                    ? state.regs[insn.src]
+                    : AbsVal::constant(insn.imm);
+            if (stored.kind == AbsKind::Scalar && stored.offKnown)
+                state.stack[at / 8] = stored;
+        }
+    }
+}
+
+void
+Analyzer::transferCall(const Insn &insn, AbsState &state, size_t pc)
+{
+    const HelperInfo *info = helperInfo(static_cast<int32_t>(insn.imm));
+    CallSite &site = result_.calls[pc];
+    site.reachable = true;
+    site.helperId = static_cast<int32_t>(insn.imm);
+    if (info == nullptr) {
+        error(pc, "call to unsupported helper " + std::to_string(insn.imm));
+        state.regs[0] = AbsVal::scalar();
+        for (unsigned r = 1; r <= 5; ++r)
+            state.regs[r] = AbsVal{};
+        return;
+    }
+
+    for (unsigned a = 1; a <= info->numArgs; ++a) {
+        if (state.regs[a].kind == AbsKind::Uninit)
+            error(pc, std::string("helper ") + info->name +
+                          " argument r" + std::to_string(a) +
+                          " uninitialized");
+    }
+
+    AbsVal ret = AbsVal::scalar();
+    if (info->isMapOp) {
+        if (state.regs[1].kind != AbsKind::MapHandle) {
+            error(pc, std::string(info->name) + ": R1 is not a map handle");
+        } else {
+            site.mapId = state.regs[1].mapId;
+            // Key constness: the key pointer must be a stack pointer whose
+            // slots all hold known constants.
+            const AbsVal &key = state.regs[2];
+            if (key.kind == AbsKind::Stack && key.offKnown) {
+                site.keyOnStack = true;
+                site.keyStackOff = key.off;
+            }
+            if (info->id == kHelperMapUpdate &&
+                state.regs[3].kind == AbsKind::Stack &&
+                state.regs[3].offKnown) {
+                site.valueOnStack = true;
+                site.valueStackOff = state.regs[3].off;
+                if (site.mapId < prog_.maps.size()) {
+                    bool all_const = true;
+                    const int64_t vsz = prog_.maps[site.mapId].valueSize;
+                    for (int64_t b = site.valueStackOff;
+                         b < site.valueStackOff + vsz && all_const; b += 8) {
+                        const int64_t slot = b / 8;
+                        if (slot < 0 ||
+                            slot >= static_cast<int64_t>(kSlots) ||
+                            !state.stackInit[slot] ||
+                            state.stack[slot].kind != AbsKind::Scalar ||
+                            !state.stack[slot].offKnown) {
+                            all_const = false;
+                        }
+                    }
+                    site.valueConst = all_const;
+                }
+            }
+            if (key.kind == AbsKind::Stack && key.offKnown &&
+                site.mapId < prog_.maps.size()) {
+                const MapDef &def = prog_.maps[site.mapId];
+                bool all_const = true;
+                for (int64_t b = key.off;
+                     b < key.off + static_cast<int64_t>(def.keySize) &&
+                     all_const;
+                     b += 8) {
+                    const int64_t slot = b / 8;
+                    if (slot < 0 || slot >= static_cast<int64_t>(kSlots) ||
+                        !state.stackInit[slot] ||
+                        state.stack[slot].kind != AbsKind::Scalar ||
+                        !state.stack[slot].offKnown) {
+                        all_const = false;
+                    }
+                }
+                site.keyConst = all_const;
+            }
+            if (info->id == kHelperMapLookup) {
+                ret.kind = AbsKind::MapValue;
+                ret.mapId = static_cast<uint16_t>(site.mapId);
+                ret.nullable = true;
+                ret.offKnown = true;
+                ret.off = 0;
+            }
+        }
+    }
+    if ((info->id == kHelperXdpAdjustHead ||
+         info->id == kHelperXdpAdjustTail) &&
+        state.regs[1].kind != AbsKind::Ctx) {
+        error(pc, std::string(info->name) + ": R1 must be the context");
+    }
+
+    state.regs[0] = ret;
+    for (unsigned r = 1; r <= 5; ++r)
+        state.regs[r] = AbsVal{};
+}
+
+void
+Analyzer::transfer(size_t pc, AbsState state)
+{
+    const Insn &insn = prog_.insns[pc];
+    result_.reachable[pc] = true;
+    result_.regsIn[pc] = state.regs;
+
+    if (insn.isExit()) {
+        if (state.regs[0].kind == AbsKind::Uninit)
+            error(pc, "exit with uninitialized r0");
+        return;
+    }
+    if (insn.isUncondJmp()) {
+        flowInto(prog_.jumpTarget(pc), state);
+        return;
+    }
+    if (insn.isCondJmp()) {
+        if (state.regs[insn.dst].kind == AbsKind::Uninit)
+            error(pc, "branch on uninitialized register");
+        if (insn.srcKind() == SrcKind::X &&
+            state.regs[insn.src].kind == AbsKind::Uninit)
+            error(pc, "branch on uninitialized register");
+
+        AbsState taken = state;
+        AbsState fall = std::move(state);
+        // Null-check refinement for map lookup results.
+        AbsVal &t = taken.regs[insn.dst];
+        AbsVal &f = fall.regs[insn.dst];
+        if (t.kind == AbsKind::MapValue && insn.srcKind() == SrcKind::K &&
+            insn.imm == 0) {
+            if (insn.jmpOp() == JmpOp::Jeq) {
+                taken.regs[insn.dst] = AbsVal::constant(0);
+                f.nullable = false;
+            } else if (insn.jmpOp() == JmpOp::Jne) {
+                t.nullable = false;
+                fall.regs[insn.dst] = AbsVal::constant(0);
+            }
+        }
+        flowInto(prog_.jumpTarget(pc), taken);
+        flowInto(pc + 1, fall);
+        return;
+    }
+    if (insn.isCall()) {
+        transferCall(insn, state, pc);
+        if (pc + 1 >= prog_.insns.size())
+            error(pc, "control flow falls off the end of the program");
+        else
+            flowInto(pc + 1, state);
+        return;
+    }
+
+    switch (insn.cls()) {
+      case InsnClass::Alu:
+      case InsnClass::Alu64:
+        if (insn.dst == kFp) {
+            error(pc, "write to read-only R10");
+            break;
+        }
+        transferAlu(insn, state, pc);
+        break;
+      case InsnClass::Ld:
+      case InsnClass::Ldx:
+        if (insn.dst == kFp) {
+            error(pc, "write to read-only R10");
+            break;
+        }
+        transferLoad(insn, state, pc);
+        break;
+      case InsnClass::St:
+        transferStore(insn, state, pc);
+        break;
+      case InsnClass::Stx:
+        if (insn.isAtomic()) {
+            labelMemAccess(pc, state.regs[insn.dst], insn.off);
+            if (!state.regs[insn.dst].isPtr())
+                error(pc, "atomic through non-pointer");
+            if (state.regs[insn.dst].nullable)
+                error(pc, "atomic on possibly-null map value");
+            if (insn.imm == static_cast<int32_t>(AtomicOp::AddFetch))
+                state.regs[insn.src] = AbsVal::scalar();
+        } else {
+            transferStore(insn, state, pc);
+        }
+        break;
+      default:
+        error(pc, "unsupported instruction class");
+        break;
+    }
+
+    if (pc + 1 >= prog_.insns.size())
+        error(pc, "control flow falls off the end of the program");
+    else
+        flowInto(pc + 1, state);
+}
+
+AbsIntResult
+Analyzer::run()
+{
+    if (prog_.insns.empty()) {
+        result_.errors.push_back("empty program");
+        result_.ok = false;
+        return std::move(result_);
+    }
+
+    AbsState entry;
+    entry.reachable = true;
+    entry.regs[1].kind = AbsKind::Ctx;
+    entry.regs[1].offKnown = true;
+    entry.regs[10].kind = AbsKind::Stack;
+    entry.regs[10].offKnown = true;
+    entry.regs[10].off = kStackSize;
+
+    in_[0] = entry;
+    worklist_.push_back(0);
+
+    size_t iterations = 0;
+    const size_t budget = prog_.insns.size() * 256 + 4096;
+    while (!worklist_.empty()) {
+        if (++iterations > budget) {
+            result_.errors.push_back("analysis did not converge");
+            break;
+        }
+        const size_t pc = worklist_.front();
+        worklist_.pop_front();
+        transfer(pc, in_[pc]);
+    }
+
+    result_.ok = result_.errors.empty();
+    return std::move(result_);
+}
+
+}  // namespace
+
+AbsIntResult
+analyzeProgram(const Program &prog)
+{
+    return Analyzer(prog).run();
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Abstract interpretation over eBPF bytecode.
+ *
+ * This is the static-analysis core behind two consumers:
+ *
+ *  1. the verifier (ebpf/verifier.hpp), which rejects programs that read
+ *     uninitialized registers, perform illegal pointer arithmetic, or
+ *     access memory through non-pointers; and
+ *
+ *  2. the eHDL memory labeler (paper section 3.1): every load/store/atomic
+ *     is labeled with the memory area it touches (Stack, Packet, Ctx or a
+ *     specific Map) by tracking the provenance of R10, of the xdp_md
+ *     pointers loaded through R1, and of R0 after bpf_map_lookup_elem.
+ *
+ * The lattice tracks pointer provenance with optional constant offsets and
+ * scalar constants, refines map-lookup results across null checks, and
+ * models the stack at 8-byte slot granularity so spilled pointers keep
+ * their provenance.
+ */
+
+#ifndef EHDL_EBPF_ABSINT_HPP_
+#define EHDL_EBPF_ABSINT_HPP_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/isa.hpp"
+#include "ebpf/program.hpp"
+
+namespace ehdl::ebpf {
+
+/** Abstract value kinds (compare PtrTag in exec.hpp). */
+enum class AbsKind : uint8_t {
+    Uninit,     ///< never written (reading is a verification error)
+    Scalar,     ///< a number; off holds the constant when offKnown
+    Ctx,
+    Packet,
+    PacketEnd,
+    Stack,
+    MapHandle,
+    MapValue,
+    Top,        ///< irreconcilable join; unusable as a pointer
+};
+
+/** One abstract register or spilled-slot value. */
+struct AbsVal
+{
+    AbsKind kind = AbsKind::Uninit;
+    bool offKnown = false;
+    int64_t off = 0;
+    uint16_t mapId = 0;
+    bool nullable = false;  ///< MapValue that may still be null
+
+    bool isPtr() const
+    {
+        return kind == AbsKind::Ctx || kind == AbsKind::Packet ||
+               kind == AbsKind::PacketEnd || kind == AbsKind::Stack ||
+               kind == AbsKind::MapValue;
+    }
+
+    static AbsVal
+    scalar()
+    {
+        AbsVal v;
+        v.kind = AbsKind::Scalar;
+        return v;
+    }
+
+    static AbsVal
+    constant(int64_t c)
+    {
+        AbsVal v;
+        v.kind = AbsKind::Scalar;
+        v.offKnown = true;
+        v.off = c;
+        return v;
+    }
+
+    bool operator==(const AbsVal &) const = default;
+};
+
+/** Join of two abstract values (least upper bound). */
+AbsVal joinVals(const AbsVal &a, const AbsVal &b);
+
+/** Per-instruction memory label (the paper's Stack/Packet/Map tags). */
+struct InsnLabel
+{
+    MemRegion region = MemRegion::None;
+    uint16_t mapId = 0;
+    /** Address is region base + staticOff when offKnown. */
+    bool offKnown = false;
+    int64_t staticOff = 0;
+};
+
+/** Resolved information about a helper-call site. */
+struct CallSite
+{
+    bool reachable = false;
+    int32_t helperId = 0;
+    /** For map helpers: which map R1 held. */
+    uint32_t mapId = UINT32_MAX;
+    /**
+     * True when every byte of the key is a compile-time constant: the
+     * paper's "global state" access pattern (e.g. fixed-index counters),
+     * as opposed to flow state keyed by packet fields.
+     */
+    bool keyConst = false;
+    /** Key pointer resolved to a static stack offset. */
+    bool keyOnStack = false;
+    int64_t keyStackOff = 0;
+    /** Value pointer (map_update_elem) resolved to a static stack offset. */
+    bool valueOnStack = false;
+    int64_t valueStackOff = 0;
+    /**
+     * For map_update_elem: every written value byte is a compile-time
+     * constant. Programs whose updates are value-constant are expressible
+     * as presence tables in P4/SDNet; dynamic values (e.g. DNAT port
+     * allocations) are not (section 5: "no obvious way to define the
+     * dynamic port selection within the data plane with SDNet P4").
+     */
+    bool valueConst = false;
+};
+
+/** Analysis output for the whole program. */
+struct AbsIntResult
+{
+    bool ok = false;
+    std::vector<std::string> errors;
+
+    /** Per-instruction memory labels (index-aligned with Program::insns). */
+    std::vector<InsnLabel> labels;
+    /** Per-instruction call info (valid only for call instructions). */
+    std::vector<CallSite> calls;
+    /** Instructions proven reachable from the entry. */
+    std::vector<bool> reachable;
+    /** Abstract register state *before* each instruction. */
+    std::vector<std::array<AbsVal, kNumRegs>> regsIn;
+};
+
+/** Run the analysis. Never throws; problems land in AbsIntResult::errors. */
+AbsIntResult analyzeProgram(const Program &prog);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_ABSINT_HPP_

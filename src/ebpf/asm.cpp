@@ -1,0 +1,381 @@
+#include "ebpf/asm.hpp"
+
+#include <regex>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ehdl::ebpf {
+
+namespace {
+
+const char *kMemRe =
+    R"(\*\(\s*(u8|u16|u32|u64)\s*\*\s*\)\s*\(\s*r(\d+)\s*([+-])\s*(\d+)\s*\))";
+
+MemSize
+sizeFromName(const std::string &s)
+{
+    if (s == "u8") return MemSize::B;
+    if (s == "u16") return MemSize::H;
+    if (s == "u32") return MemSize::W;
+    return MemSize::DW;
+}
+
+JmpOp
+jmpFromSymbol(const std::string &s)
+{
+    if (s == "==") return JmpOp::Jeq;
+    if (s == "!=") return JmpOp::Jne;
+    if (s == ">") return JmpOp::Jgt;
+    if (s == ">=") return JmpOp::Jge;
+    if (s == "<") return JmpOp::Jlt;
+    if (s == "<=") return JmpOp::Jle;
+    if (s == "s>") return JmpOp::Jsgt;
+    if (s == "s>=") return JmpOp::Jsge;
+    if (s == "s<") return JmpOp::Jslt;
+    if (s == "s<=") return JmpOp::Jsle;
+    if (s == "&") return JmpOp::Jset;
+    fatal("unknown comparison '", s, "'");
+}
+
+AluOp
+aluFromSymbol(const std::string &s)
+{
+    if (s == "+") return AluOp::Add;
+    if (s == "-") return AluOp::Sub;
+    if (s == "*") return AluOp::Mul;
+    if (s == "/") return AluOp::Div;
+    if (s == "|") return AluOp::Or;
+    if (s == "&") return AluOp::And;
+    if (s == "<<") return AluOp::Lsh;
+    if (s == ">>") return AluOp::Rsh;
+    if (s == "s>>") return AluOp::Arsh;
+    if (s == "%") return AluOp::Mod;
+    if (s == "^") return AluOp::Xor;
+    fatal("unknown ALU operator '", s, "'");
+}
+
+MapKind
+mapKindFromName(const std::string &s)
+{
+    if (s == "array") return MapKind::Array;
+    if (s == "hash") return MapKind::Hash;
+    if (s == "lru_hash") return MapKind::LruHash;
+    if (s == "lpm_trie") return MapKind::LpmTrie;
+    fatal("unknown map kind '", s, "'");
+}
+
+int64_t
+parseImm(const std::string &s)
+{
+    try {
+        return std::stoll(s, nullptr, 0);
+    } catch (const std::exception &) {
+        fatal("bad immediate '", s, "'");
+    }
+}
+
+bool
+isImm(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    return i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]));
+}
+
+struct Assembler
+{
+    Program prog;
+    std::unordered_map<std::string, size_t> labels;
+    std::unordered_map<std::string, uint32_t> map_ids;
+    struct Fixup
+    {
+        size_t insn;
+        std::string target;
+        int line;
+    };
+    std::vector<Fixup> fixups;
+    int line_no = 0;
+
+    [[noreturn]] void
+    err(const std::string &what)
+    {
+        fatal("asm line ", line_no, ": ", what);
+    }
+
+    void
+    push(Insn insn)
+    {
+        insn.origPc = static_cast<int32_t>(prog.insns.size());
+        prog.insns.push_back(insn);
+    }
+
+    /** Record a jump target ("+N", "-N" or a label) for the last insn. */
+    void
+    target(const std::string &t)
+    {
+        if (t[0] == '+' || t[0] == '-') {
+            prog.insns.back().off =
+                static_cast<int16_t>(parseImm(t));
+        } else {
+            fixups.push_back({prog.insns.size() - 1, t, line_no});
+        }
+    }
+
+    void parseLine(std::string line);
+    void finish();
+};
+
+void
+Assembler::parseLine(std::string line)
+{
+    // Strip comments and whitespace.
+    for (const char *c : {";", "#", "//"}) {
+        const size_t pos = line.find(c);
+        if (pos != std::string::npos)
+            line.erase(pos);
+    }
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return;
+    const auto last = line.find_last_not_of(" \t");
+    line = line.substr(first, last - first + 1);
+
+    std::smatch m;
+
+    // Directive: .map name kind key value entries
+    static const std::regex map_re(
+        R"(^\.map\s+(\w+)\s+(\w+)\s+(\d+)\s+(\d+)\s+(\d+)$)");
+    if (std::regex_match(line, m, map_re)) {
+        MapDef def;
+        def.name = m[1];
+        def.kind = mapKindFromName(m[2]);
+        def.keySize = static_cast<uint32_t>(parseImm(m[3]));
+        def.valueSize = static_cast<uint32_t>(parseImm(m[4]));
+        def.maxEntries = static_cast<uint32_t>(parseImm(m[5]));
+        if (map_ids.count(def.name))
+            err("duplicate map '" + def.name + "'");
+        map_ids[def.name] = static_cast<uint32_t>(prog.maps.size());
+        prog.maps.push_back(def);
+        return;
+    }
+
+    // Label.
+    static const std::regex label_re(R"(^(\w+):$)");
+    if (std::regex_match(line, m, label_re)) {
+        if (labels.count(m[1]))
+            err("duplicate label '" + std::string(m[1]) + "'");
+        labels[m[1]] = prog.insns.size();
+        return;
+    }
+
+    if (line == "exit") {
+        Insn i;
+        i.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Exit, SrcKind::K);
+        push(i);
+        return;
+    }
+
+    static const std::regex call_re(R"(^call\s+(-?\d+)$)");
+    if (std::regex_match(line, m, call_re)) {
+        Insn i;
+        i.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Call, SrcKind::K);
+        i.imm = parseImm(m[1]);
+        push(i);
+        return;
+    }
+
+    static const std::regex goto_re(R"(^(?:goto|ja)\s+(\S+)$)");
+    if (std::regex_match(line, m, goto_re)) {
+        Insn i;
+        i.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Ja, SrcKind::K);
+        push(i);
+        target(m[1]);
+        return;
+    }
+
+    static const std::regex if_re(
+        R"(^if\s+([rw])(\d+)\s*(==|!=|s>=|s<=|s>|s<|>=|<=|>|<|&)\s*(\S+)\s+goto\s+(\S+)$)");
+    if (std::regex_match(line, m, if_re)) {
+        const InsnClass cls =
+            m[1] == "w" ? InsnClass::Jmp32 : InsnClass::Jmp;
+        const JmpOp op = jmpFromSymbol(m[3]);
+        Insn i;
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        const std::string rhs = m[4];
+        if (!rhs.empty() && (rhs[0] == 'r' || rhs[0] == 'w')) {
+            i.opcode = makeJmpOpcode(cls, op, SrcKind::X);
+            i.src = static_cast<uint8_t>(parseImm(rhs.substr(1)));
+        } else {
+            i.opcode = makeJmpOpcode(cls, op, SrcKind::K);
+            i.imm = parseImm(rhs);
+        }
+        push(i);
+        target(m[5]);
+        return;
+    }
+
+    // Atomic: lock MEM += rN
+    static const std::regex lock_re(std::string(R"(^lock\s+)") + kMemRe +
+                                    R"(\s*\+=\s*r(\d+)$)");
+    if (std::regex_match(line, m, lock_re)) {
+        Insn i;
+        i.opcode = makeMemOpcode(InsnClass::Stx, MemMode::Atomic,
+                                 sizeFromName(m[1]));
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        i.off = static_cast<int16_t>((m[3] == "-" ? -1 : 1) * parseImm(m[4]));
+        i.src = static_cast<uint8_t>(parseImm(m[5]));
+        i.imm = static_cast<int32_t>(AtomicOp::Add);
+        push(i);
+        return;
+    }
+
+    // Store: MEM = rN | imm
+    static const std::regex store_re(std::string("^") + kMemRe +
+                                     R"(\s*=\s*(\S+)$)");
+    if (std::regex_match(line, m, store_re)) {
+        Insn i;
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        i.off = static_cast<int16_t>((m[3] == "-" ? -1 : 1) * parseImm(m[4]));
+        const std::string rhs = m[5];
+        if (!rhs.empty() && rhs[0] == 'r') {
+            i.opcode = makeMemOpcode(InsnClass::Stx, MemMode::Mem,
+                                     sizeFromName(m[1]));
+            i.src = static_cast<uint8_t>(parseImm(rhs.substr(1)));
+        } else {
+            i.opcode = makeMemOpcode(InsnClass::St, MemMode::Mem,
+                                     sizeFromName(m[1]));
+            i.imm = parseImm(rhs);
+        }
+        push(i);
+        return;
+    }
+
+    // Load: rN = MEM
+    static const std::regex load_re(std::string(R"(^([rw])(\d+)\s*=\s*)") +
+                                    kMemRe + "$");
+    if (std::regex_match(line, m, load_re)) {
+        Insn i;
+        i.opcode = makeMemOpcode(InsnClass::Ldx, MemMode::Mem,
+                                 sizeFromName(m[3]));
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        i.src = static_cast<uint8_t>(parseImm(m[4]));
+        i.off = static_cast<int16_t>((m[5] == "-" ? -1 : 1) * parseImm(m[6]));
+        push(i);
+        return;
+    }
+
+    // lddw: rN = imm ll
+    static const std::regex lddw_re(R"(^r(\d+)\s*=\s*(-?\d+)\s+ll$)");
+    if (std::regex_match(line, m, lddw_re)) {
+        Insn i;
+        i.opcode = makeMemOpcode(InsnClass::Ld, MemMode::Imm, MemSize::DW);
+        i.dst = static_cast<uint8_t>(parseImm(m[1]));
+        i.imm = parseImm(m[2]);
+        push(i);
+        return;
+    }
+
+    // Map handle: rN = map[name]
+    static const std::regex mapld_re(R"(^r(\d+)\s*=\s*map\[(\w+)\](\s+ll)?$)");
+    if (std::regex_match(line, m, mapld_re)) {
+        auto it = map_ids.find(m[2]);
+        if (it == map_ids.end())
+            err("unknown map '" + std::string(m[2]) + "'");
+        Insn i;
+        i.opcode = makeMemOpcode(InsnClass::Ld, MemMode::Imm, MemSize::DW);
+        i.dst = static_cast<uint8_t>(parseImm(m[1]));
+        i.src = kPseudoMapFd;
+        i.imm = it->second;
+        i.isMapLoad = true;
+        push(i);
+        return;
+    }
+
+    // Byte swap: rN = be16 rN
+    static const std::regex end_re(
+        R"(^([rw])(\d+)\s*=\s*(be|le)(16|32|64)\s+[rw](\d+)$)");
+    if (std::regex_match(line, m, end_re)) {
+        if (m[2] != m[5])
+            err("byte swap source and destination must match");
+        Insn i;
+        i.opcode = makeAluOpcode(InsnClass::Alu, AluOp::End,
+                                 m[3] == "be" ? SrcKind::X : SrcKind::K);
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        i.imm = parseImm(m[4]);
+        push(i);
+        return;
+    }
+
+    // Negate: rN = -rN
+    static const std::regex neg_re(R"(^([rw])(\d+)\s*=\s*-\s*[rw](\d+)$)");
+    if (std::regex_match(line, m, neg_re) && m[2] == m[3]) {
+        Insn i;
+        i.opcode = makeAluOpcode(
+            m[1] == "w" ? InsnClass::Alu : InsnClass::Alu64, AluOp::Neg,
+            SrcKind::K);
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        push(i);
+        return;
+    }
+
+    // ALU: rN op= RHS  or  rN = RHS (mov)
+    static const std::regex alu_re(
+        R"(^([rw])(\d+)\s*(\+|-|\*|/|\||&|<<|>>|s>>|%|\^)?=\s*(\S+)$)");
+    if (std::regex_match(line, m, alu_re)) {
+        const InsnClass cls =
+            m[1] == "w" ? InsnClass::Alu : InsnClass::Alu64;
+        const AluOp op =
+            m[3].length() ? aluFromSymbol(m[3]) : AluOp::Mov;
+        Insn i;
+        i.dst = static_cast<uint8_t>(parseImm(m[2]));
+        const std::string rhs = m[4];
+        if (!rhs.empty() && (rhs[0] == 'r' || rhs[0] == 'w')) {
+            i.opcode = makeAluOpcode(cls, op, SrcKind::X);
+            i.src = static_cast<uint8_t>(parseImm(rhs.substr(1)));
+        } else if (isImm(rhs)) {
+            i.opcode = makeAluOpcode(cls, op, SrcKind::K);
+            i.imm = parseImm(rhs);
+        } else {
+            err("bad ALU operand '" + rhs + "'");
+        }
+        push(i);
+        return;
+    }
+
+    err("unrecognized instruction '" + line + "'");
+}
+
+void
+Assembler::finish()
+{
+    for (const Fixup &fix : fixups) {
+        auto it = labels.find(fix.target);
+        if (it == labels.end())
+            fatal("asm line ", fix.line, ": undefined label '", fix.target,
+                  "'");
+        prog.insns[fix.insn].off = static_cast<int16_t>(
+            static_cast<int64_t>(it->second) -
+            static_cast<int64_t>(fix.insn) - 1);
+    }
+}
+
+}  // namespace
+
+Program
+assemble(const std::string &text, const std::string &name)
+{
+    Assembler as;
+    as.prog.name = name;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        ++as.line_no;
+        as.parseLine(line);
+    }
+    as.finish();
+    return std::move(as.prog);
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Assembler for the Listing-2 style eBPF text syntax, so tests and
+ * examples can carry programs in readable form. Supported syntax:
+ *
+ *   .map stats array 4 8 16        ; name kind key-size value-size entries
+ *   r2 = *(u32 *)(r1 + 4)          ; loads
+ *   *(u32 *)(r10 - 4) = r3         ; stores (register or immediate source)
+ *   lock *(u64 *)(r1 + 0) += r2    ; atomic add
+ *   r1 = 3 / r1 = r2 / r1 += r2    ; ALU (w-registers select 32-bit ops)
+ *   r1 = -r1 / r1 = be16 r1        ; negate, byte swap
+ *   r1 = map[stats]                ; map handle load (lddw pseudo)
+ *   r1 = 12345 ll                  ; 64-bit immediate load
+ *   if r1 == 34525 goto +4         ; conditional jumps (labels or +N)
+ *   goto done / done: / call 1 / exit
+ *
+ * Relative "+N" offsets count decoded instructions (lddw is one).
+ */
+
+#ifndef EHDL_EBPF_ASM_HPP_
+#define EHDL_EBPF_ASM_HPP_
+
+#include <string>
+
+#include "ebpf/program.hpp"
+
+namespace ehdl::ebpf {
+
+/**
+ * Assemble @p text into a Program.
+ * @throw FatalError with a line number on any syntax error.
+ */
+Program assemble(const std::string &text, const std::string &name = "prog");
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_ASM_HPP_

@@ -1,0 +1,145 @@
+#include "ebpf/codec.hpp"
+
+#include <unordered_map>
+
+#include "common/bitops.hpp"
+#include "common/logging.hpp"
+
+namespace ehdl::ebpf {
+
+namespace {
+
+/** Raw 8-byte wire slot. */
+struct WireSlot
+{
+    uint8_t opcode;
+    uint8_t regs;  // dst in low nibble, src in high nibble
+    int16_t off;
+    int32_t imm;
+};
+
+WireSlot
+readSlot(const uint8_t *p)
+{
+    WireSlot s;
+    s.opcode = p[0];
+    s.regs = p[1];
+    s.off = static_cast<int16_t>(loadLe<uint16_t>(p + 2));
+    s.imm = static_cast<int32_t>(loadLe<uint32_t>(p + 4));
+    return s;
+}
+
+void
+writeSlot(std::vector<uint8_t> &out, uint8_t opcode, uint8_t dst, uint8_t src,
+          int16_t off, int32_t imm)
+{
+    out.push_back(opcode);
+    out.push_back(static_cast<uint8_t>((src << 4) | (dst & 0xf)));
+    out.push_back(static_cast<uint8_t>(off & 0xff));
+    out.push_back(static_cast<uint8_t>((off >> 8) & 0xff));
+    const uint32_t u = static_cast<uint32_t>(imm);
+    out.push_back(static_cast<uint8_t>(u & 0xff));
+    out.push_back(static_cast<uint8_t>((u >> 8) & 0xff));
+    out.push_back(static_cast<uint8_t>((u >> 16) & 0xff));
+    out.push_back(static_cast<uint8_t>((u >> 24) & 0xff));
+}
+
+}  // namespace
+
+std::vector<Insn>
+decode(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() % 8 != 0)
+        fatal("bytecode length ", bytes.size(), " is not a multiple of 8");
+    const size_t nslots = bytes.size() / 8;
+
+    std::vector<Insn> insns;
+    std::unordered_map<int32_t, size_t> slot_to_index;
+
+    for (size_t slot = 0; slot < nslots;) {
+        const WireSlot w = readSlot(bytes.data() + slot * 8);
+        Insn insn;
+        insn.opcode = w.opcode;
+        insn.dst = w.regs & 0xf;
+        insn.src = (w.regs >> 4) & 0xf;
+        insn.off = w.off;
+        insn.imm = w.imm;
+        insn.origPc = static_cast<int32_t>(slot);
+        slot_to_index[static_cast<int32_t>(slot)] = insns.size();
+
+        if (insn.isLddw()) {
+            if (slot + 1 >= nslots)
+                fatal("truncated lddw at slot ", slot);
+            const WireSlot hi = readSlot(bytes.data() + (slot + 1) * 8);
+            insn.imm = static_cast<int64_t>(
+                (static_cast<uint64_t>(static_cast<uint32_t>(hi.imm)) << 32) |
+                static_cast<uint32_t>(w.imm));
+            insn.isMapLoad = (insn.src == kPseudoMapFd);
+            if (insn.isMapLoad)
+                insn.imm = static_cast<uint32_t>(w.imm);  // map id
+            slot += 2;
+        } else {
+            slot += 1;
+        }
+        insns.push_back(insn);
+    }
+
+    // Rewrite jump offsets from slot space to index space.
+    for (size_t i = 0; i < insns.size(); ++i) {
+        Insn &insn = insns[i];
+        if (!insn.isJmp() || insn.isCall() || insn.isExit())
+            continue;
+        const int32_t target_slot = insn.origPc + 1 + insn.off;
+        auto it = slot_to_index.find(target_slot);
+        if (it == slot_to_index.end())
+            fatal("jump at slot ", insn.origPc, " targets invalid slot ",
+                  target_slot);
+        insn.off = static_cast<int16_t>(
+            static_cast<int64_t>(it->second) - static_cast<int64_t>(i) - 1);
+    }
+    return insns;
+}
+
+std::vector<uint8_t>
+encode(const std::vector<Insn> &insns)
+{
+    // First pass: compute the wire slot of each instruction index.
+    std::vector<int32_t> slot_of(insns.size() + 1);
+    int32_t slot = 0;
+    for (size_t i = 0; i < insns.size(); ++i) {
+        slot_of[i] = slot;
+        slot += insns[i].isLddw() ? 2 : 1;
+    }
+    slot_of[insns.size()] = slot;
+
+    std::vector<uint8_t> out;
+    out.reserve(static_cast<size_t>(slot) * 8);
+    for (size_t i = 0; i < insns.size(); ++i) {
+        const Insn &insn = insns[i];
+        int16_t off = insn.off;
+        if (insn.isJmp() && !insn.isCall() && !insn.isExit()) {
+            const size_t target = i + 1 + insn.off;
+            if (target > insns.size())
+                fatal("encode: jump at index ", i, " out of range");
+            off = static_cast<int16_t>(slot_of[target] - slot_of[i] - 1);
+        }
+        if (insn.isLddw()) {
+            const uint64_t imm64 = static_cast<uint64_t>(insn.imm);
+            const uint8_t src = insn.isMapLoad
+                                    ? static_cast<uint8_t>(kPseudoMapFd)
+                                    : insn.src;
+            writeSlot(out, insn.opcode, insn.dst, src, 0,
+                      static_cast<int32_t>(imm64 & 0xffffffff));
+            writeSlot(out, 0, 0, 0, 0,
+                      insn.isMapLoad
+                          ? 0
+                          : static_cast<int32_t>(imm64 >> 32));
+        } else {
+            writeSlot(out, insn.opcode, insn.dst, insn.src, off,
+                      static_cast<int32_t>(insn.imm));
+        }
+    }
+    return out;
+}
+
+}  // namespace ehdl::ebpf

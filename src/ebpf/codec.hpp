@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Wire-format codec for eBPF bytecode. Decodes the kernel's 8-byte
+ * instruction slots (including two-slot lddw) into the index-normalized
+ * Insn vector used by the rest of the tool chain, and encodes back.
+ */
+
+#ifndef EHDL_EBPF_CODEC_HPP_
+#define EHDL_EBPF_CODEC_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebpf/isa.hpp"
+
+namespace ehdl::ebpf {
+
+/**
+ * Decode raw bytecode.
+ *
+ * @param bytes Wire bytes; length must be a multiple of 8.
+ * @return Decoded instructions with jump offsets rewritten to
+ *         instruction-index space.
+ * @throw FatalError on malformed input (truncated lddw, bad target...).
+ */
+std::vector<Insn> decode(const std::vector<uint8_t> &bytes);
+
+/** Encode instructions back to wire bytes (offsets restored to slots). */
+std::vector<uint8_t> encode(const std::vector<Insn> &insns);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_CODEC_HPP_

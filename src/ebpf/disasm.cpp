@@ -1,0 +1,138 @@
+#include "ebpf/disasm.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ehdl::ebpf {
+
+namespace {
+
+std::string
+sizeName(MemSize s)
+{
+    switch (s) {
+      case MemSize::B: return "u8";
+      case MemSize::H: return "u16";
+      case MemSize::W: return "u32";
+      case MemSize::DW: return "u64";
+    }
+    return "?";
+}
+
+std::string
+memOperand(MemSize size, unsigned reg, int16_t off)
+{
+    std::ostringstream os;
+    os << "*(" << sizeName(size) << " *)(" << regName(reg);
+    if (off >= 0)
+        os << " + " << off;
+    else
+        os << " - " << -off;
+    os << ")";
+    return os.str();
+}
+
+std::string
+aluText(const Insn &insn)
+{
+    const bool is64 = insn.is64();
+    const std::string dst =
+        (is64 ? "r" : "w") + std::to_string(insn.dst);
+    const std::string src =
+        insn.srcKind() == SrcKind::X
+            ? (is64 ? "r" : "w") + std::to_string(insn.src)
+            : std::to_string(insn.imm);
+    switch (insn.aluOp()) {
+      case AluOp::Mov: return dst + " = " + src;
+      case AluOp::Add: return dst + " += " + src;
+      case AluOp::Sub: return dst + " -= " + src;
+      case AluOp::Mul: return dst + " *= " + src;
+      case AluOp::Div: return dst + " /= " + src;
+      case AluOp::Or: return dst + " |= " + src;
+      case AluOp::And: return dst + " &= " + src;
+      case AluOp::Lsh: return dst + " <<= " + src;
+      case AluOp::Rsh: return dst + " >>= " + src;
+      case AluOp::Mod: return dst + " %= " + src;
+      case AluOp::Xor: return dst + " ^= " + src;
+      case AluOp::Arsh: return dst + " s>>= " + src;
+      case AluOp::Neg: return dst + " = -" + dst;
+      case AluOp::End: {
+        const char *dir = insn.srcKind() == SrcKind::X ? "be" : "le";
+        return dst + " = " + dir + std::to_string(insn.imm) + " " + dst;
+      }
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string
+disasmInsn(const Insn &insn)
+{
+    std::ostringstream os;
+    switch (insn.cls()) {
+      case InsnClass::Alu:
+      case InsnClass::Alu64:
+        return aluText(insn);
+      case InsnClass::Ld:
+        if (insn.isLddw()) {
+            if (insn.isMapLoad)
+                os << regName(insn.dst) << " = map[" << insn.imm << "] ll";
+            else
+                os << regName(insn.dst) << " = " << insn.imm << " ll";
+            return os.str();
+        }
+        return "<legacy ld>";
+      case InsnClass::Ldx:
+        os << regName(insn.dst) << " = "
+           << memOperand(insn.memSize(), insn.src, insn.off);
+        return os.str();
+      case InsnClass::St:
+        os << memOperand(insn.memSize(), insn.dst, insn.off) << " = "
+           << insn.imm;
+        return os.str();
+      case InsnClass::Stx:
+        if (insn.isAtomic()) {
+            os << "lock " << memOperand(insn.memSize(), insn.dst, insn.off)
+               << " += " << regName(insn.src);
+            return os.str();
+        }
+        os << memOperand(insn.memSize(), insn.dst, insn.off) << " = "
+           << regName(insn.src);
+        return os.str();
+      case InsnClass::Jmp:
+      case InsnClass::Jmp32:
+        if (insn.isExit())
+            return "exit";
+        if (insn.isCall()) {
+            os << "call " << insn.imm;
+            return os.str();
+        }
+        if (insn.isUncondJmp()) {
+            os << "goto " << (insn.off >= 0 ? "+" : "") << insn.off;
+            return os.str();
+        }
+        os << "if " << (insn.cls() == InsnClass::Jmp32 ? "w" : "r")
+           << unsigned(insn.dst) << " " << jmpOpSymbol(insn.jmpOp()) << " ";
+        if (insn.srcKind() == SrcKind::X)
+            os << (insn.cls() == InsnClass::Jmp32 ? "w" : "r")
+               << unsigned(insn.src);
+        else
+            os << insn.imm;
+        os << " goto " << (insn.off >= 0 ? "+" : "") << insn.off;
+        return os.str();
+    }
+    return "?";
+}
+
+std::string
+disasm(const Program &prog)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < prog.insns.size(); ++i)
+        os << i << ": " << disasmInsn(prog.insns[i]) << "\n";
+    return os.str();
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler producing the Listing-2 style textual form of eBPF
+ * programs ("r2 = *(u32 *)(r1 + 4)", "if r1 == 34525 goto +4", ...).
+ */
+
+#ifndef EHDL_EBPF_DISASM_HPP_
+#define EHDL_EBPF_DISASM_HPP_
+
+#include <string>
+
+#include "ebpf/program.hpp"
+
+namespace ehdl::ebpf {
+
+/** Disassemble a single instruction. */
+std::string disasmInsn(const Insn &insn);
+
+/** Disassemble a whole program, one numbered line per instruction. */
+std::string disasm(const Program &prog);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_DISASM_HPP_

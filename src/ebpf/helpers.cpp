@@ -1,0 +1,42 @@
+#include "ebpf/helpers.hpp"
+
+namespace ehdl::ebpf {
+
+namespace {
+
+//                id  name                 args  map   rd     wr     stk    prd    pwr    stub  stg  lut   ff
+const HelperInfo kHelpers[] = {
+    {kHelperMapLookup, "bpf_map_lookup_elem", 2, true, true, false, true,
+     false, false, false, 1, 220, 180},
+    {kHelperMapUpdate, "bpf_map_update_elem", 4, true, true, true, true,
+     false, false, false, 2, 340, 260},
+    {kHelperMapDelete, "bpf_map_delete_elem", 2, true, false, true, true,
+     false, false, false, 1, 180, 140},
+    {kHelperKtimeGetNs, "bpf_ktime_get_ns", 0, false, false, false, false,
+     false, false, false, 1, 90, 110},
+    {kHelperGetPrandomU32, "bpf_get_prandom_u32", 0, false, false, false,
+     false, false, false, false, 1, 120, 96},
+    {kHelperGetSmpProcessorId, "bpf_get_smp_processor_id", 0, false, false,
+     false, false, false, false, true, 1, 8, 8},
+    {kHelperRedirect, "bpf_redirect", 2, false, false, false, false, false,
+     false, false, 1, 40, 48},
+    {kHelperCsumDiff, "bpf_csum_diff", 5, false, false, false, true, true,
+     false, false, 2, 420, 300},
+    {kHelperXdpAdjustHead, "bpf_xdp_adjust_head", 2, false, false, false,
+     false, false, true, false, 1, 260, 220},
+    {kHelperXdpAdjustTail, "bpf_xdp_adjust_tail", 2, false, false, false,
+     false, false, true, false, 1, 180, 150},
+};
+
+}  // namespace
+
+const HelperInfo *
+helperInfo(int32_t id)
+{
+    for (const HelperInfo &info : kHelpers)
+        if (info.id == id)
+            return &info;
+    return nullptr;
+}
+
+}  // namespace ehdl::ebpf

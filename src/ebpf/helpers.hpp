@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Helper-function metadata. Helpers are the only interface through which
+ * programs touch state outside their registers/stack/packet (paper
+ * section 2.2); the compiler consults this table to model each helper's
+ * side effects and to size the dedicated hardware block it instantiates
+ * (section 3.4.2).
+ *
+ * Identifiers match the Linux BPF helper numbering so that real bytecode
+ * decodes meaningfully.
+ */
+
+#ifndef EHDL_EBPF_HELPERS_HPP_
+#define EHDL_EBPF_HELPERS_HPP_
+
+#include <cstdint>
+
+namespace ehdl::ebpf {
+
+/** Supported helper-function identifiers (Linux uapi numbering). */
+enum HelperId : int32_t {
+    kHelperMapLookup = 1,
+    kHelperMapUpdate = 2,
+    kHelperMapDelete = 3,
+    kHelperKtimeGetNs = 5,
+    kHelperGetPrandomU32 = 7,
+    kHelperGetSmpProcessorId = 8,
+    kHelperRedirect = 23,
+    kHelperCsumDiff = 28,
+    kHelperXdpAdjustHead = 44,
+    kHelperXdpAdjustTail = 65,
+};
+
+/** Static description of one helper used by the VM and the compiler. */
+struct HelperInfo
+{
+    int32_t id;
+    const char *name;
+    unsigned numArgs;     ///< consumed from R1..R5
+
+    bool isMapOp;         ///< R1 must hold a map handle
+    bool mapRead;         ///< reads map memory
+    bool mapWrite;        ///< writes map memory
+    bool readsStack;      ///< may dereference stack pointers in args
+    bool readsPacket;     ///< may dereference packet pointers in args
+    bool writesPacket;    ///< modifies the packet (e.g. adjust_head)
+    bool isStub;          ///< CPU-only helper stubbed in hardware
+
+    /** Pipeline stages occupied by the generated hardware block. */
+    unsigned hwStages;
+    /** Resource-model cost of one block instance. */
+    unsigned hwLuts;
+    unsigned hwFfs;
+};
+
+/** Look up helper metadata; nullptr for unsupported ids. */
+const HelperInfo *helperInfo(int32_t id);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_HELPERS_HPP_

@@ -1,0 +1,56 @@
+#include "ebpf/isa.hpp"
+
+#include "common/logging.hpp"
+
+namespace ehdl::ebpf {
+
+std::string
+regName(unsigned reg)
+{
+    if (reg >= kNumRegs)
+        panic("invalid register index ", reg);
+    return "r" + std::to_string(reg);
+}
+
+std::string
+aluOpName(AluOp op)
+{
+    switch (op) {
+      case AluOp::Add: return "add";
+      case AluOp::Sub: return "sub";
+      case AluOp::Mul: return "mul";
+      case AluOp::Div: return "div";
+      case AluOp::Or: return "or";
+      case AluOp::And: return "and";
+      case AluOp::Lsh: return "lsh";
+      case AluOp::Rsh: return "rsh";
+      case AluOp::Neg: return "neg";
+      case AluOp::Mod: return "mod";
+      case AluOp::Xor: return "xor";
+      case AluOp::Mov: return "mov";
+      case AluOp::Arsh: return "arsh";
+      case AluOp::End: return "end";
+    }
+    return "?";
+}
+
+std::string
+jmpOpSymbol(JmpOp op)
+{
+    switch (op) {
+      case JmpOp::Jeq: return "==";
+      case JmpOp::Jgt: return ">";
+      case JmpOp::Jge: return ">=";
+      case JmpOp::Jset: return "&";
+      case JmpOp::Jne: return "!=";
+      case JmpOp::Jsgt: return "s>";
+      case JmpOp::Jsge: return "s>=";
+      case JmpOp::Jlt: return "<";
+      case JmpOp::Jle: return "<=";
+      case JmpOp::Jslt: return "s<";
+      case JmpOp::Jsle: return "s<=";
+      default: return "?";
+    }
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,479 @@
+#include "ebpf/maps.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/logging.hpp"
+
+namespace ehdl::ebpf {
+
+std::string
+mapKindName(MapKind kind)
+{
+    switch (kind) {
+      case MapKind::Array: return "array";
+      case MapKind::Hash: return "hash";
+      case MapKind::LruHash: return "lru_hash";
+      case MapKind::LpmTrie: return "lpm_trie";
+    }
+    return "?";
+}
+
+size_t
+BytesHash::operator()(const std::vector<uint8_t> &v) const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint8_t b : v) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+}
+
+std::optional<std::vector<uint8_t>>
+Map::hostLookup(const std::vector<uint8_t> &key)
+{
+    if (key.size() != def_.keySize)
+        return std::nullopt;
+    const int64_t idx = lookup(key.data());
+    if (idx < 0)
+        return std::nullopt;
+    const uint8_t *v = valueAt(static_cast<uint64_t>(idx));
+    return std::vector<uint8_t>(v, v + def_.valueSize);
+}
+
+int
+Map::hostUpdate(const std::vector<uint8_t> &key,
+                const std::vector<uint8_t> &value, uint64_t flags)
+{
+    if (key.size() != def_.keySize || value.size() != def_.valueSize)
+        return -22;  // -EINVAL
+    return update(key.data(), value.data(), flags);
+}
+
+int
+Map::hostDelete(const std::vector<uint8_t> &key)
+{
+    if (key.size() != def_.keySize)
+        return -22;
+    return erase(key.data());
+}
+
+// ---------------------------------------------------------------------
+// ArrayMap
+// ---------------------------------------------------------------------
+
+ArrayMap::ArrayMap(MapDef def) : Map(std::move(def))
+{
+    if (def_.keySize != 4)
+        fatal("array map '", def_.name, "' requires 4-byte keys");
+    values_.assign(size_t(def_.maxEntries) * def_.valueSize, 0);
+}
+
+int64_t
+ArrayMap::lookup(const uint8_t *key)
+{
+    const uint32_t idx = loadLe<uint32_t>(key);
+    if (idx >= def_.maxEntries)
+        return -1;
+    return idx;
+}
+
+int
+ArrayMap::update(const uint8_t *key, const uint8_t *value, uint64_t flags)
+{
+    if (flags == kBpfNoExist)
+        return -17;  // -EEXIST: array entries always exist
+    const uint32_t idx = loadLe<uint32_t>(key);
+    if (idx >= def_.maxEntries)
+        return -7;  // -E2BIG
+    std::memcpy(valueAt(idx), value, def_.valueSize);
+    return 0;
+}
+
+int
+ArrayMap::erase(const uint8_t * /*key*/)
+{
+    return -22;  // array entries cannot be deleted
+}
+
+uint8_t *
+ArrayMap::valueAt(uint64_t index)
+{
+    if (index >= def_.maxEntries)
+        panic("ArrayMap::valueAt index out of range");
+    return values_.data() + index * def_.valueSize;
+}
+
+std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+ArrayMap::snapshot() const
+{
+    std::map<std::vector<uint8_t>, std::vector<uint8_t>> out;
+    for (uint32_t i = 0; i < def_.maxEntries; ++i) {
+        std::vector<uint8_t> key(4);
+        storeLe<uint32_t>(key.data(), i);
+        const uint8_t *v = values_.data() + size_t(i) * def_.valueSize;
+        out.emplace(std::move(key),
+                    std::vector<uint8_t>(v, v + def_.valueSize));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// HashMap
+// ---------------------------------------------------------------------
+
+HashMap::HashMap(MapDef def) : Map(std::move(def))
+{
+    slots_.resize(def_.maxEntries);
+    values_.assign(size_t(def_.maxEntries) * def_.valueSize, 0);
+    freeList_.reserve(def_.maxEntries);
+    for (uint32_t i = 0; i < def_.maxEntries; ++i)
+        freeList_.push_back(def_.maxEntries - 1 - i);
+}
+
+int64_t
+HashMap::lookup(const uint8_t *key)
+{
+    std::vector<uint8_t> k(key, key + def_.keySize);
+    auto it = index_.find(k);
+    if (it == index_.end())
+        return -1;
+    touched(it->second);
+    return static_cast<int64_t>(it->second);
+}
+
+int64_t
+HashMap::allocate(const std::vector<uint8_t> &key)
+{
+    if (freeList_.empty() && !evict())
+        return -1;
+    const uint64_t idx = freeList_.back();
+    freeList_.pop_back();
+    slots_[idx].used = true;
+    slots_[idx].key = key;
+    index_.emplace(key, idx);
+    std::memset(values_.data() + idx * def_.valueSize, 0, def_.valueSize);
+    return static_cast<int64_t>(idx);
+}
+
+void
+HashMap::freeSlot(uint64_t index)
+{
+    index_.erase(slots_[index].key);
+    slots_[index] = Slot{};
+    freeList_.push_back(index);
+}
+
+int
+HashMap::update(const uint8_t *key, const uint8_t *value, uint64_t flags)
+{
+    std::vector<uint8_t> k(key, key + def_.keySize);
+    auto it = index_.find(k);
+    int64_t idx;
+    if (it != index_.end()) {
+        if (flags == kBpfNoExist)
+            return -17;  // -EEXIST
+        idx = static_cast<int64_t>(it->second);
+    } else {
+        if (flags == kBpfExist)
+            return -2;  // -ENOENT
+        idx = allocate(k);
+        if (idx < 0)
+            return -7;  // -E2BIG
+    }
+    std::memcpy(values_.data() + uint64_t(idx) * def_.valueSize, value,
+                def_.valueSize);
+    touched(static_cast<uint64_t>(idx));
+    return 0;
+}
+
+int
+HashMap::erase(const uint8_t *key)
+{
+    std::vector<uint8_t> k(key, key + def_.keySize);
+    auto it = index_.find(k);
+    if (it == index_.end())
+        return -2;  // -ENOENT
+    freeSlot(it->second);
+    return 0;
+}
+
+uint8_t *
+HashMap::valueAt(uint64_t index)
+{
+    if (index >= slots_.size() || !slots_[index].used)
+        panic("HashMap::valueAt on dead slot");
+    return values_.data() + index * def_.valueSize;
+}
+
+uint32_t
+HashMap::count() const
+{
+    return static_cast<uint32_t>(index_.size());
+}
+
+std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+HashMap::snapshot() const
+{
+    std::map<std::vector<uint8_t>, std::vector<uint8_t>> out;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].used)
+            continue;
+        const uint8_t *v = values_.data() + i * def_.valueSize;
+        out.emplace(slots_[i].key,
+                    std::vector<uint8_t>(v, v + def_.valueSize));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// LruHashMap
+// ---------------------------------------------------------------------
+
+void
+LruHashMap::touched(uint64_t index)
+{
+    slots_[index].lastUse = ++useClock_;
+}
+
+bool
+LruHashMap::evict()
+{
+    uint64_t victim = 0;
+    uint64_t best = UINT64_MAX;
+    bool found = false;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].used && slots_[i].lastUse < best) {
+            best = slots_[i].lastUse;
+            victim = i;
+            found = true;
+        }
+    }
+    if (!found)
+        return false;
+    freeSlot(victim);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// LpmTrieMap
+// ---------------------------------------------------------------------
+
+LpmTrieMap::LpmTrieMap(MapDef def) : Map(std::move(def))
+{
+    if (def_.keySize <= 4)
+        fatal("lpm map '", def_.name, "' key must exceed 4 bytes");
+    entries_.resize(def_.maxEntries);
+    values_.assign(size_t(def_.maxEntries) * def_.valueSize, 0);
+}
+
+bool
+LpmTrieMap::prefixMatch(const Entry &e, const uint8_t *data) const
+{
+    unsigned full = e.prefixLen / 8;
+    if (std::memcmp(e.data.data(), data, full) != 0)
+        return false;
+    const unsigned rem = e.prefixLen % 8;
+    if (rem == 0)
+        return true;
+    const uint8_t mask = static_cast<uint8_t>(0xff << (8 - rem));
+    return (e.data[full] & mask) == (data[full] & mask);
+}
+
+int64_t
+LpmTrieMap::lookup(const uint8_t *key)
+{
+    const uint32_t prefix_len = loadLe<uint32_t>(key);
+    const uint8_t *data = key + 4;
+    int64_t best = -1;
+    uint32_t best_len = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.used || e.prefixLen > prefix_len)
+            continue;
+        if (prefixMatch(e, data) &&
+            (best < 0 || e.prefixLen >= best_len)) {
+            // Ties (equal length) keep the later entry; lengths are unique
+            // per prefix anyway because update() replaces exact matches.
+            best = static_cast<int64_t>(i);
+            best_len = e.prefixLen;
+        }
+    }
+    return best;
+}
+
+int64_t
+LpmTrieMap::findExact(uint32_t prefix_len, const uint8_t *data) const
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (e.used && e.prefixLen == prefix_len &&
+            std::memcmp(e.data.data(), data, dataBytes()) == 0) {
+            return static_cast<int64_t>(i);
+        }
+    }
+    return -1;
+}
+
+int
+LpmTrieMap::update(const uint8_t *key, const uint8_t *value, uint64_t flags)
+{
+    const uint32_t prefix_len = loadLe<uint32_t>(key);
+    if (prefix_len > dataBytes() * 8)
+        return -22;
+    const uint8_t *data = key + 4;
+    int64_t idx = findExact(prefix_len, data);
+    if (idx >= 0) {
+        if (flags == kBpfNoExist)
+            return -17;
+    } else {
+        if (flags == kBpfExist)
+            return -2;
+        idx = -1;
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            if (!entries_[i].used) {
+                idx = static_cast<int64_t>(i);
+                break;
+            }
+        }
+        if (idx < 0)
+            return -7;
+        entries_[idx].used = true;
+        entries_[idx].prefixLen = prefix_len;
+        entries_[idx].data.assign(data, data + dataBytes());
+    }
+    std::memcpy(values_.data() + uint64_t(idx) * def_.valueSize, value,
+                def_.valueSize);
+    return 0;
+}
+
+int
+LpmTrieMap::erase(const uint8_t *key)
+{
+    const uint32_t prefix_len = loadLe<uint32_t>(key);
+    const int64_t idx = findExact(prefix_len, key + 4);
+    if (idx < 0)
+        return -2;
+    entries_[idx] = Entry{};
+    return 0;
+}
+
+uint8_t *
+LpmTrieMap::valueAt(uint64_t index)
+{
+    if (index >= entries_.size() || !entries_[index].used)
+        panic("LpmTrieMap::valueAt on dead entry");
+    return values_.data() + index * def_.valueSize;
+}
+
+uint32_t
+LpmTrieMap::count() const
+{
+    uint32_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.used ? 1 : 0;
+    return n;
+}
+
+std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+LpmTrieMap::snapshot() const
+{
+    std::map<std::vector<uint8_t>, std::vector<uint8_t>> out;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.used)
+            continue;
+        std::vector<uint8_t> key(def_.keySize, 0);
+        storeLe<uint32_t>(key.data(), e.prefixLen);
+        std::copy(e.data.begin(), e.data.end(), key.begin() + 4);
+        const uint8_t *v = values_.data() + i * def_.valueSize;
+        out.emplace(std::move(key),
+                    std::vector<uint8_t>(v, v + def_.valueSize));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// MapSet
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Map>
+makeMap(const MapDef &def)
+{
+    switch (def.kind) {
+      case MapKind::Array: return std::make_unique<ArrayMap>(def);
+      case MapKind::Hash: return std::make_unique<HashMap>(def);
+      case MapKind::LruHash: return std::make_unique<LruHashMap>(def);
+      case MapKind::LpmTrie: return std::make_unique<LpmTrieMap>(def);
+    }
+    fatal("unknown map kind");
+}
+
+MapSet::MapSet(const std::vector<MapDef> &defs)
+{
+    maps_.reserve(defs.size());
+    for (const MapDef &def : defs)
+        maps_.push_back(makeMap(def));
+}
+
+Map &
+MapSet::at(uint32_t id)
+{
+    if (id >= maps_.size())
+        panic("MapSet::at invalid map id ", id);
+    return *maps_[id];
+}
+
+const Map &
+MapSet::at(uint32_t id) const
+{
+    if (id >= maps_.size())
+        panic("MapSet::at invalid map id ", id);
+    return *maps_[id];
+}
+
+Map *
+MapSet::byName(const std::string &name)
+{
+    for (auto &m : maps_)
+        if (m->def().name == name)
+            return m.get();
+    return nullptr;
+}
+
+bool
+MapSet::equal(const MapSet &a, const MapSet &b)
+{
+    if (a.maps_.size() != b.maps_.size())
+        return false;
+    for (size_t i = 0; i < a.maps_.size(); ++i)
+        if (a.maps_[i]->snapshot() != b.maps_[i]->snapshot())
+            return false;
+    return true;
+}
+
+std::string
+MapSet::dump() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < maps_.size(); ++i) {
+        const Map &m = *maps_[i];
+        os << "map " << i << " '" << m.def().name << "' ("
+           << mapKindName(m.def().kind) << ") entries=" << m.count() << "\n";
+        for (const auto &[k, v] : m.snapshot()) {
+            os << "  key=";
+            for (uint8_t b : k)
+                os << std::hex << (b >> 4) << (b & 0xf);
+            os << " value=";
+            for (uint8_t b : v)
+                os << std::hex << (b >> 4) << (b & 0xf);
+            os << std::dec << "\n";
+        }
+    }
+    return os.str();
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * eBPF map implementations: array, hash, LRU hash and LPM trie.
+ *
+ * Maps are the only state that persists across program executions (paper
+ * section 2.2). The same Map objects back both the reference VM and the
+ * eHDLmap hardware blocks in the pipeline simulator, and expose a host-side
+ * API mirroring the userspace bpf() syscall interface (section 6 discusses
+ * host/NIC map interactions).
+ *
+ * Every live entry has a stable integer index while it exists; tagged
+ * map-value pointers produced by bpf_map_lookup_elem reference entries by
+ * that index so that pointers remain valid across rehashing-free updates.
+ */
+
+#ifndef EHDL_EBPF_MAPS_HPP_
+#define EHDL_EBPF_MAPS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ehdl::ebpf {
+
+/** Kinds of maps supported by this substrate. */
+enum class MapKind : uint8_t {
+    Array,
+    Hash,
+    LruHash,
+    LpmTrie,
+};
+
+/** Compile-time map declaration (the paper's statically created maps). */
+struct MapDef
+{
+    std::string name;
+    MapKind kind = MapKind::Array;
+    uint32_t keySize = 4;
+    uint32_t valueSize = 8;
+    uint32_t maxEntries = 1;
+};
+
+/** Human-readable name of a MapKind. */
+std::string mapKindName(MapKind kind);
+
+/** Update flags matching the kernel's BPF_ANY/BPF_NOEXIST/BPF_EXIST. */
+enum : uint64_t {
+    kBpfAny = 0,
+    kBpfNoExist = 1,
+    kBpfExist = 2,
+};
+
+/**
+ * Abstract runtime map. Lookup returns a stable entry index usable with
+ * valueAt(); -1 signals a miss.
+ */
+class Map
+{
+  public:
+    explicit Map(MapDef def) : def_(std::move(def)) {}
+    virtual ~Map() = default;
+
+    Map(const Map &) = delete;
+    Map &operator=(const Map &) = delete;
+
+    const MapDef &def() const { return def_; }
+
+    /** Look up @p key; returns entry index or -1 on miss. */
+    virtual int64_t lookup(const uint8_t *key) = 0;
+
+    /**
+     * Insert or replace the entry for @p key.
+     * @return 0 on success, negative errno-style code on failure.
+     */
+    virtual int update(const uint8_t *key, const uint8_t *value,
+                       uint64_t flags) = 0;
+
+    /** Delete the entry for @p key; 0 on success, negative on miss. */
+    virtual int erase(const uint8_t *key) = 0;
+
+    /** Stable pointer to the value bytes of live entry @p index. */
+    virtual uint8_t *valueAt(uint64_t index) = 0;
+
+    /** Number of live entries. */
+    virtual uint32_t count() const = 0;
+
+    /** Sorted key->value snapshot (for equality checks in tests). */
+    virtual std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+    snapshot() const = 0;
+
+    // ------------------------------------------------------------------
+    // Host-side (userspace) convenience API.
+    // ------------------------------------------------------------------
+
+    /** Userspace-style lookup returning a copy of the value. */
+    std::optional<std::vector<uint8_t>>
+    hostLookup(const std::vector<uint8_t> &key);
+
+    /** Userspace-style update. */
+    int hostUpdate(const std::vector<uint8_t> &key,
+                   const std::vector<uint8_t> &value,
+                   uint64_t flags = kBpfAny);
+
+    /** Userspace-style delete. */
+    int hostDelete(const std::vector<uint8_t> &key);
+
+  protected:
+    MapDef def_;
+};
+
+/** Vector-of-bytes hasher for key lookup tables. */
+struct BytesHash
+{
+    size_t operator()(const std::vector<uint8_t> &v) const;
+};
+
+/** Array map: key is a u32 index; all entries pre-exist and are zeroed. */
+class ArrayMap : public Map
+{
+  public:
+    explicit ArrayMap(MapDef def);
+
+    int64_t lookup(const uint8_t *key) override;
+    int update(const uint8_t *key, const uint8_t *value,
+               uint64_t flags) override;
+    int erase(const uint8_t *key) override;
+    uint8_t *valueAt(uint64_t index) override;
+    uint32_t count() const override { return def_.maxEntries; }
+    std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+    snapshot() const override;
+
+  private:
+    std::vector<uint8_t> values_;
+};
+
+/** Hash map with stable slot indices and an explicit free list. */
+class HashMap : public Map
+{
+  public:
+    explicit HashMap(MapDef def);
+
+    int64_t lookup(const uint8_t *key) override;
+    int update(const uint8_t *key, const uint8_t *value,
+               uint64_t flags) override;
+    int erase(const uint8_t *key) override;
+    uint8_t *valueAt(uint64_t index) override;
+    uint32_t count() const override;
+    std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+    snapshot() const override;
+
+  protected:
+    /** Allocate a slot for @p key; returns -1 when full. */
+    int64_t allocate(const std::vector<uint8_t> &key);
+
+    /** Hook for LRU bookkeeping. */
+    virtual void touched(uint64_t /*index*/) {}
+    /** Hook to make room when full; returns true if a slot was freed. */
+    virtual bool evict() { return false; }
+
+    void freeSlot(uint64_t index);
+
+    struct Slot
+    {
+        bool used = false;
+        std::vector<uint8_t> key;
+        uint64_t lastUse = 0;
+    };
+
+    std::vector<Slot> slots_;
+    std::vector<uint8_t> values_;
+    std::unordered_map<std::vector<uint8_t>, uint64_t, BytesHash> index_;
+    std::vector<uint64_t> freeList_;
+    uint64_t useClock_ = 0;
+};
+
+/** LRU hash map: evicts the least-recently-used entry when full. */
+class LruHashMap : public HashMap
+{
+  public:
+    explicit LruHashMap(MapDef def) : HashMap(std::move(def)) {}
+
+  protected:
+    void touched(uint64_t index) override;
+    bool evict() override;
+};
+
+/**
+ * Longest-prefix-match trie keyed like the kernel's bpf_lpm_trie_key:
+ * a 4-byte little-endian prefix length followed by the address bytes.
+ */
+class LpmTrieMap : public Map
+{
+  public:
+    explicit LpmTrieMap(MapDef def);
+
+    int64_t lookup(const uint8_t *key) override;
+    int update(const uint8_t *key, const uint8_t *value,
+               uint64_t flags) override;
+    int erase(const uint8_t *key) override;
+    uint8_t *valueAt(uint64_t index) override;
+    uint32_t count() const override;
+    std::map<std::vector<uint8_t>, std::vector<uint8_t>>
+    snapshot() const override;
+
+  private:
+    struct Entry
+    {
+        bool used = false;
+        uint32_t prefixLen = 0;
+        std::vector<uint8_t> data;
+    };
+
+    unsigned dataBytes() const { return def_.keySize - 4; }
+    bool prefixMatch(const Entry &e, const uint8_t *data) const;
+    int64_t findExact(uint32_t prefix_len, const uint8_t *data) const;
+
+    std::vector<Entry> entries_;
+    std::vector<uint8_t> values_;
+};
+
+/**
+ * The set of runtime maps instantiated for one loaded program. The VM and
+ * the pipeline simulator each hold their own MapSet so differential tests
+ * can compare final states.
+ */
+class MapSet
+{
+  public:
+    MapSet() = default;
+    explicit MapSet(const std::vector<MapDef> &defs);
+
+    /** Number of maps. */
+    size_t size() const { return maps_.size(); }
+
+    Map &at(uint32_t id);
+    const Map &at(uint32_t id) const;
+
+    /** Find a map by its declaration name; nullptr when absent. */
+    Map *byName(const std::string &name);
+
+    /** True when all maps have identical contents. */
+    static bool equal(const MapSet &a, const MapSet &b);
+
+    /** Render all map contents (debugging aid for test failures). */
+    std::string dump() const;
+
+  private:
+    std::vector<std::unique_ptr<Map>> maps_;
+};
+
+/** Factory dispatching on MapDef::kind. */
+std::unique_ptr<Map> makeMap(const MapDef &def);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_MAPS_HPP_

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A loaded eBPF program: decoded instructions plus its map declarations.
+ *
+ * Jump offsets in Program::insns are normalized to *instruction index*
+ * space (lddw counts as one instruction), unlike the wire encoding where
+ * offsets count 8-byte slots. The codec converts between the two.
+ */
+
+#ifndef EHDL_EBPF_PROGRAM_HPP_
+#define EHDL_EBPF_PROGRAM_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/isa.hpp"
+#include "ebpf/maps.hpp"
+
+namespace ehdl::ebpf {
+
+/** A complete eBPF/XDP program as consumed by the eHDL compiler. */
+struct Program
+{
+    std::string name = "prog";
+    std::vector<Insn> insns;
+    std::vector<MapDef> maps;
+
+    /** Index of the jump target of instruction @p pc (cond or uncond). */
+    size_t
+    jumpTarget(size_t pc) const
+    {
+        return pc + 1 + insns[pc].off;
+    }
+
+    /** Number of instructions. */
+    size_t size() const { return insns.size(); }
+};
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_PROGRAM_HPP_

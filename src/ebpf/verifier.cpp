@@ -1,0 +1,68 @@
+#include "ebpf/verifier.hpp"
+
+#include <sstream>
+
+#include "ebpf/helpers.hpp"
+
+namespace ehdl::ebpf {
+
+VerifyResult
+verify(const Program &prog, bool allow_backward_jumps)
+{
+    VerifyResult result;
+    auto err = [&result](size_t pc, const std::string &msg) {
+        std::ostringstream os;
+        os << "insn " << pc << ": " << msg;
+        result.errors.push_back(os.str());
+    };
+
+    if (prog.insns.empty()) {
+        result.errors.push_back("empty program");
+        return result;
+    }
+    if (prog.maps.size() > 0xffff) {
+        result.errors.push_back("too many maps");
+        return result;
+    }
+
+    bool has_exit = false;
+    for (size_t pc = 0; pc < prog.insns.size(); ++pc) {
+        const Insn &insn = prog.insns[pc];
+        if (insn.dst >= kNumRegs || insn.src >= kNumRegs)
+            err(pc, "register index out of range");
+        if (insn.isExit())
+            has_exit = true;
+        if (insn.isCall()) {
+            if (helperInfo(static_cast<int32_t>(insn.imm)) == nullptr)
+                err(pc, "unsupported helper " + std::to_string(insn.imm));
+            continue;
+        }
+        if (insn.isJmp() && !insn.isExit()) {
+            const int64_t target =
+                static_cast<int64_t>(pc) + 1 + insn.off;
+            if (target < 0 ||
+                target >= static_cast<int64_t>(prog.insns.size())) {
+                err(pc, "jump target out of range");
+                continue;
+            }
+            if (target <= static_cast<int64_t>(pc)) {
+                result.hasBackwardJumps = true;
+                if (!allow_backward_jumps)
+                    err(pc, "backward jump (unroll bounded loops first)");
+            }
+        }
+    }
+    if (!has_exit)
+        result.errors.push_back("program has no exit instruction");
+
+    if (!result.errors.empty())
+        return result;
+
+    result.analysis = analyzeProgram(prog);
+    for (const std::string &e : result.analysis.errors)
+        result.errors.push_back(e);
+    result.ok = result.errors.empty();
+    return result;
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Program verifier: structural checks plus the abstract-interpretation
+ * pass. eHDL requires verified programs; the same properties the Linux
+ * verifier enforces (bounded execution, typed pointers, initialized
+ * registers) are what make the hardware translation sound (paper
+ * section 2.2).
+ */
+
+#ifndef EHDL_EBPF_VERIFIER_HPP_
+#define EHDL_EBPF_VERIFIER_HPP_
+
+#include <string>
+#include <vector>
+
+#include "ebpf/absint.hpp"
+#include "ebpf/program.hpp"
+
+namespace ehdl::ebpf {
+
+/** Result of verification. */
+struct VerifyResult
+{
+    bool ok = false;
+    std::vector<std::string> errors;
+    /** True when the program contains backward jumps (bounded loops). */
+    bool hasBackwardJumps = false;
+    /** The underlying analysis (valid when structural checks passed). */
+    AbsIntResult analysis;
+};
+
+/**
+ * Verify @p prog.
+ *
+ * @param allow_backward_jumps When false (default), any backward jump is
+ *        an error; the eHDL front end first unrolls bounded loops
+ *        (analysis/unroll.hpp) and then requires a DAG.
+ */
+VerifyResult verify(const Program &prog, bool allow_backward_jumps = false);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_VERIFIER_HPP_

@@ -1,0 +1,54 @@
+#include "ebpf/vm.hpp"
+
+#include "common/logging.hpp"
+
+namespace ehdl::ebpf {
+
+Vm::Vm(const Program &prog, MapSet &maps)
+    : prog_(prog), maps_(maps), mapio_(maps)
+{
+}
+
+ExecResult
+Vm::run(net::Packet &pkt, uint64_t max_insns)
+{
+    ExecResult result;
+    ExecState state(prog_, &pkt, &mapio_);
+    state.nowNs = pkt.arrivalNs;
+
+    size_t pc = 0;
+    try {
+        while (true) {
+            if (pc >= prog_.insns.size())
+                throw VmTrap{"fell off the end of the program"};
+            if (result.insnsExecuted++ >= max_insns)
+                throw VmTrap{"instruction budget exceeded"};
+            const Insn &insn = prog_.insns[pc];
+            if (insn.isExit()) {
+                result.action =
+                    static_cast<XdpAction>(state.exitCode() <= 4
+                                               ? state.exitCode()
+                                               : 0);
+                result.redirectIfindex = state.redirectIfindex;
+                return result;
+            }
+            if (insn.isUncondJmp()) {
+                pc = prog_.jumpTarget(pc);
+                continue;
+            }
+            if (insn.isCondJmp()) {
+                pc = state.evalCond(insn) ? prog_.jumpTarget(pc) : pc + 1;
+                continue;
+            }
+            state.execute(insn);
+            ++pc;
+        }
+    } catch (const VmTrap &trap) {
+        result.trapped = true;
+        result.trapReason = trap.reason;
+        result.action = XdpAction::Aborted;
+        return result;
+    }
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference eBPF virtual machine: sequential execution of one program over
+ * one packet. This is the golden model for differential testing of the
+ * generated hardware pipelines, and the execution engine behind the hXDP
+ * and BlueField baseline performance models.
+ */
+
+#ifndef EHDL_EBPF_VM_HPP_
+#define EHDL_EBPF_VM_HPP_
+
+#include <cstdint>
+
+#include "ebpf/exec.hpp"
+#include "ebpf/maps.hpp"
+#include "ebpf/program.hpp"
+#include "net/packet.hpp"
+
+namespace ehdl::ebpf {
+
+/** Sequential interpreter over a Program and a MapSet. */
+class Vm
+{
+  public:
+    /**
+     * @param prog  The program to execute. Must outlive the Vm.
+     * @param maps  Runtime maps (shared with the host API). Must outlive.
+     */
+    Vm(const Program &prog, MapSet &maps);
+
+    /**
+     * Execute the program once over @p pkt (mutated in place).
+     *
+     * A trapping program yields XDP_ABORTED with ExecResult::trapped set,
+     * matching the generated hardware's drop-on-fault behaviour.
+     *
+     * @param pkt     The packet; pkt.arrivalNs feeds bpf_ktime_get_ns.
+     * @param max_insns Safety bound on executed instructions.
+     */
+    ExecResult run(net::Packet &pkt, uint64_t max_insns = 1u << 20);
+
+  private:
+    const Program &prog_;
+    MapSet &maps_;
+    DirectMapIo mapio_;
+};
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_VM_HPP_

@@ -1,0 +1,18 @@
+#include "ebpf/xdp.hpp"
+
+namespace ehdl::ebpf {
+
+std::string
+xdpActionName(XdpAction action)
+{
+    switch (action) {
+      case XdpAction::Aborted: return "XDP_ABORTED";
+      case XdpAction::Drop: return "XDP_DROP";
+      case XdpAction::Pass: return "XDP_PASS";
+      case XdpAction::Tx: return "XDP_TX";
+      case XdpAction::Redirect: return "XDP_REDIRECT";
+    }
+    return "XDP_?";
+}
+
+}  // namespace ehdl::ebpf

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * XDP hook definitions: program return actions and the xdp_md context
+ * struct layout exposed to programs through R1.
+ */
+
+#ifndef EHDL_EBPF_XDP_HPP_
+#define EHDL_EBPF_XDP_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace ehdl::ebpf {
+
+/** XDP program verdicts (values match the Linux uapi). */
+enum class XdpAction : uint32_t {
+    Aborted = 0,
+    Drop = 1,
+    Pass = 2,
+    Tx = 3,
+    Redirect = 4,
+};
+
+/** Human-readable action name. */
+std::string xdpActionName(XdpAction action);
+
+/** Field offsets within struct xdp_md (all fields are u32). */
+enum XdpMdOffset : int32_t {
+    kXdpMdData = 0,
+    kXdpMdDataEnd = 4,
+    kXdpMdDataMeta = 8,
+    kXdpMdIngressIfindex = 12,
+    kXdpMdRxQueueIndex = 16,
+    kXdpMdEgressIfindex = 20,
+};
+
+/** Size of struct xdp_md in bytes. */
+constexpr int32_t kXdpMdSize = 24;
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_XDP_HPP_

@@ -1,0 +1,61 @@
+#include "hdl/bundle.hpp"
+
+#include "hdl/compiler.hpp"
+
+namespace ehdl::hdl {
+
+ResourceReport
+PipelineBundle::resources() const
+{
+    ResourceReport report;
+    for (const BundleMember &member : members) {
+        const ResourceReport one =
+            estimateResources(member.pipeline, false);
+        report.pipeline += one.pipeline;
+    }
+    // Ingress dispatcher: an N-way steering mux plus per-member FIFO.
+    report.pipeline.luts += 400.0 + 120.0 * members.size();
+    report.pipeline.ffs += 600.0 + 200.0 * members.size();
+    report.shell = {kShellLuts, kShellFfs, kShellBrams};
+    report.total = report.pipeline;
+    report.total += report.shell;
+    report.lutFrac = report.total.luts / kU50Luts;
+    report.ffFrac = report.total.ffs / kU50Ffs;
+    report.bramFrac = report.total.brams / kU50Brams;
+    return report;
+}
+
+bool
+PipelineBundle::fitsDevice() const
+{
+    const ResourceReport report = resources();
+    return report.lutFrac < 1.0 && report.ffFrac < 1.0 &&
+           report.bramFrac < 1.0;
+}
+
+size_t
+PipelineBundle::memberFor(uint32_t ifindex) const
+{
+    for (size_t i = 0; i < members.size(); ++i)
+        if (members[i].ingressIfindex == ifindex)
+            return i;
+    return SIZE_MAX;
+}
+
+PipelineBundle
+compileBundle(const std::vector<ebpf::Program> &programs,
+              const PipelineOptions &options)
+{
+    PipelineBundle bundle;
+    uint32_t ifindex = 1;
+    for (const ebpf::Program &prog : programs) {
+        BundleMember member;
+        member.name = prog.name;
+        member.pipeline = compile(prog, options);
+        member.ingressIfindex = ifindex++;
+        bundle.members.push_back(std::move(member));
+    }
+    return bundle;
+}
+
+}  // namespace ehdl::hdl

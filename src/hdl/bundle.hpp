@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-program bundles. Paper section 2.4 observes that "in real
+ * deployments, it is also possible that multiple XDP programs are loaded
+ * at the same time (e.g., to handle different types of protocols/
+ * traffic)" — which is exactly why per-stage state must be minimized.
+ * A bundle compiles several programs side by side behind one Corundum
+ * shell with an ingress dispatcher steering packets by interface, and
+ * prices the combined design so deployments can check device fit before
+ * synthesis (section 6 discusses partial reconfiguration for loading
+ * them independently).
+ */
+
+#ifndef EHDL_HDL_BUNDLE_HPP_
+#define EHDL_HDL_BUNDLE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "hdl/pipeline.hpp"
+#include "hdl/resources.hpp"
+
+namespace ehdl::hdl {
+
+/** One program slot within a bundle. */
+struct BundleMember
+{
+    std::string name;
+    Pipeline pipeline;
+    /** Ingress interface whose traffic this pipeline handles. */
+    uint32_t ingressIfindex = 0;
+};
+
+/** Several pipelines sharing one NIC shell. */
+struct PipelineBundle
+{
+    std::vector<BundleMember> members;
+
+    /** Combined utilization: all pipelines + dispatcher + one shell. */
+    ResourceReport resources() const;
+
+    /** True when the combined design fits the Alveo U50. */
+    bool fitsDevice() const;
+
+    /** Member index for an ingress interface; SIZE_MAX when unmatched. */
+    size_t memberFor(uint32_t ifindex) const;
+};
+
+/**
+ * Compile each program and assign ingress interfaces 1..N in order.
+ * @throw FatalError if any member fails to compile.
+ */
+PipelineBundle compileBundle(const std::vector<ebpf::Program> &programs,
+                             const PipelineOptions &options = {});
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_BUNDLE_HPP_

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The eHDL compiler driver: unmodified eBPF bytecode in, hardware pipeline
+ * out. Mirrors the paper's three-step synthesis process —
+ * (i) instruction parallelization, (ii) hardware-primitive mapping,
+ * (iii) consistency handling and optimization (sections 3 and 4).
+ */
+
+#ifndef EHDL_HDL_COMPILER_HPP_
+#define EHDL_HDL_COMPILER_HPP_
+
+#include "ebpf/program.hpp"
+#include "hdl/pipeline.hpp"
+
+namespace ehdl::hdl {
+
+/**
+ * Compile @p prog into a hardware pipeline.
+ *
+ * Bounded loops are unrolled automatically; the program must pass
+ * verification afterwards.
+ *
+ * @throw FatalError listing verifier errors or unsupported constructs.
+ */
+Pipeline compile(const ebpf::Program &prog, const PipelineOptions &options = {});
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_COMPILER_HPP_

@@ -1,0 +1,66 @@
+#include "hdl/flush_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ehdl::hdl {
+
+double
+flushProbabilityUniform(double window_l, double flows_n)
+{
+    if (flows_n <= 0 || window_l <= 1)
+        return 0.0;
+    return 1.0 - std::exp(-(window_l * window_l) / (2.0 * flows_n));
+}
+
+double
+flushProbabilityZipf(double window_l, uint64_t flows_n)
+{
+    if (flows_n == 0 || window_l <= 1)
+        return 0.0;
+    const double l = window_l;
+    const double ln_n = std::log(static_cast<double>(flows_n));
+    const double pairs = l * (l - 1.0) / 2.0;
+    double pf = 0.0;
+    for (uint64_t i = 1; i <= flows_n; ++i) {
+        const double pi = 1.0 / (static_cast<double>(i) * ln_n);
+        if (pi >= 1.0)
+            continue;  // degenerate tiny-N case
+        pf += pairs * pi * pi * std::pow(1.0 - pi, l - 2.0);
+    }
+    return std::min(pf, 1.0);
+}
+
+double
+pipelineThroughputMpps(double line_rate_mpps, double flush_prob,
+                       double flush_k)
+{
+    const double denom = (1.0 - flush_prob) + flush_k * flush_prob;
+    return line_rate_mpps / denom;
+}
+
+double
+maxFlushableStages(double line_rate_mpps, double target_mpps,
+                   double flush_prob)
+{
+    if (flush_prob <= 0.0)
+        return 1e9;
+    return (line_rate_mpps / target_mpps - (1.0 - flush_prob)) / flush_prob;
+}
+
+HazardGeometry
+hazardGeometry(const Pipeline &pipe)
+{
+    HazardGeometry geo;
+    for (const FlushBlockPlan &fb : pipe.flushBlocks) {
+        geo.hasFlush = true;
+        geo.k = std::max(geo.k,
+                         static_cast<double>(fb.writeStage - fb.restartStage) +
+                             kFlushReloadCycles);
+        geo.l = std::max(
+            geo.l, static_cast<double>(fb.writeStage - fb.firstReadStage));
+    }
+    return geo;
+}
+
+}  // namespace ehdl::hdl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Analytic model of throughput degradation due to pipeline flushing
+ * (paper appendix A.1, equations 1-3).
+ *
+ * Parameters: K = number of stages replayed on a flush (plus a 4-cycle
+ * reload overhead), L = distance between the protected read stage and the
+ * write stage (the hazard window), N = number of flows.
+ */
+
+#ifndef EHDL_HDL_FLUSH_MODEL_HPP_
+#define EHDL_HDL_FLUSH_MODEL_HPP_
+
+#include <cstdint>
+
+#include "hdl/pipeline.hpp"
+
+namespace ehdl::hdl {
+
+/** Reload overhead added to K on every flush (appendix A.1). */
+constexpr unsigned kFlushReloadCycles = 4;
+
+/** Flush probability under uniformly distributed flows (equation 1). */
+double flushProbabilityUniform(double window_l, double flows_n);
+
+/**
+ * Flush probability under a Zipfian flow distribution: P_i = 1/(i ln N),
+ * P_f(i) ~ C(L,2) P_i^2 (1-P_i)^(L-2), summed over flows.
+ */
+double flushProbabilityZipf(double window_l, uint64_t flows_n);
+
+/**
+ * Sustained pipeline throughput (equation 2).
+ *
+ * @param line_rate_mpps Hazard-free throughput T (250 Mpps at 250 MHz).
+ * @param flush_prob     P_f.
+ * @param flush_k        Stages replayed per flush (including reload).
+ */
+double pipelineThroughputMpps(double line_rate_mpps, double flush_prob,
+                              double flush_k);
+
+/** Largest K sustaining @p target_mpps (equation 3). */
+double maxFlushableStages(double line_rate_mpps, double target_mpps,
+                          double flush_prob);
+
+/** K and L extracted from a compiled pipeline's hazard plan. */
+struct HazardGeometry
+{
+    bool hasFlush = false;   ///< pipeline contains flush blocks
+    double k = 0;            ///< deepest flush depth incl. reload overhead
+    double l = 0;            ///< widest read->write window
+};
+
+/** Extract the (K, L) pair the appendix tabulates (table 3). */
+HazardGeometry hazardGeometry(const Pipeline &pipe);
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_FLUSH_MODEL_HPP_

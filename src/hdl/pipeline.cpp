@@ -1,0 +1,72 @@
+#include "hdl/pipeline.hpp"
+
+#include <sstream>
+
+#include "ebpf/disasm.hpp"
+
+namespace ehdl::hdl {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Alu: return "alu";
+      case OpKind::LoadConst: return "ldconst";
+      case OpKind::CtxLoad: return "ctxload";
+      case OpKind::LoadPacket: return "ldpkt";
+      case OpKind::StorePacket: return "stpkt";
+      case OpKind::LoadStack: return "ldstk";
+      case OpKind::StoreStack: return "ststk";
+      case OpKind::MapLoad: return "mapld";
+      case OpKind::MapStore: return "mapst";
+      case OpKind::MapAtomic: return "mapatomic";
+      case OpKind::MapLookup: return "maplookup";
+      case OpKind::MapUpdate: return "mapupdate";
+      case OpKind::MapDelete: return "mapdelete";
+      case OpKind::Helper: return "helper";
+      case OpKind::Branch: return "branch";
+      case OpKind::Jump: return "jump";
+      case OpKind::Exit: return "exit";
+    }
+    return "?";
+}
+
+size_t
+Pipeline::maxFlushDepth() const
+{
+    size_t depth = 0;
+    for (const FlushBlockPlan &fb : flushBlocks) {
+        const size_t k = fb.writeStage - fb.restartStage;
+        depth = std::max(depth, k);
+    }
+    return depth;
+}
+
+std::string
+Pipeline::describe() const
+{
+    std::ostringstream os;
+    os << "pipeline '" << prog.name << "': " << stages.size() << " stages ("
+       << padStages << " pad), " << mapPorts.size() << " map ports, "
+       << warBuffers.size() << " WAR buffers, " << flushBlocks.size()
+       << " flush blocks\n";
+    for (size_t s = 0; s < stages.size(); ++s) {
+        const Stage &stage = stages[s];
+        os << "  stage " << s << " [block "
+           << (stage.blockId == SIZE_MAX ? std::string("-")
+                                         : std::to_string(stage.blockId))
+           << (stage.isPad ? ", pad" : "") << ", regs "
+           << stage.numLiveRegs() << ", stack " << stage.liveStack.count()
+           << "B]";
+        for (const StageOp &op : stage.ops) {
+            os << " {" << opKindName(op.kind);
+            for (size_t pc : op.pcs)
+                os << " " << pc << ":" << ebpf::disasmInsn(prog.insns[pc]);
+            os << "}";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace ehdl::hdl

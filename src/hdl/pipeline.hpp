@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The hardware-pipeline intermediate representation produced by the eHDL
+ * compiler (paper sections 3-4). A Pipeline is the single source of truth
+ * consumed by three backends:
+ *
+ *  - the VHDL generator (hdl/vhdl.hpp), which renders it as RTL;
+ *  - the resource model (hdl/resources.hpp), which prices it in FPGA
+ *    LUT/FF/BRAM terms;
+ *  - the cycle-level simulator (sim/pipe_sim.hpp), which executes it and
+ *    measures throughput/latency/flush behaviour.
+ *
+ * One Stage corresponds to one clock cycle of the forward-feeding pipeline.
+ * Each stage holds a pruned replica of the program state (live registers,
+ * live stack bytes, one packet frame) and a set of operations predicated on
+ * their basic block's enable signal (section 3.5).
+ */
+
+#ifndef EHDL_HDL_PIPELINE_HPP_
+#define EHDL_HDL_PIPELINE_HPP_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/schedule.hpp"
+#include "ebpf/absint.hpp"
+#include "ebpf/program.hpp"
+
+namespace ehdl::hdl {
+
+/** Hardware primitive implementing one scheduled operation (section 3.4). */
+enum class OpKind : uint8_t {
+    Alu,          ///< register-to-register (possibly a fused pair)
+    LoadConst,    ///< lddw immediate / map handle materialization
+    CtxLoad,      ///< xdp_md field (pure wiring)
+    LoadPacket,
+    StorePacket,
+    LoadStack,
+    StoreStack,
+    MapLoad,      ///< load through a map-value pointer
+    MapStore,     ///< store through a map-value pointer
+    MapAtomic,    ///< atomic add on map memory (global-state primitive)
+    MapLookup,    ///< bpf_map_lookup_elem block
+    MapUpdate,    ///< bpf_map_update_elem block
+    MapDelete,    ///< bpf_map_delete_elem block
+    Helper,       ///< any other helper block
+    Branch,       ///< conditional jump: drives successor enables
+    Jump,         ///< unconditional/fallthrough enable propagation
+    Exit,         ///< latch the XDP action
+};
+
+/** Human-readable primitive name. */
+std::string opKindName(OpKind kind);
+
+/** One operation within a stage. */
+struct StageOp
+{
+    OpKind kind = OpKind::Alu;
+    /** Constituent instruction indices (two for a fused ALU pair). */
+    std::vector<size_t> pcs;
+    /** Basic block whose enable signal predicates this op. */
+    size_t blockId = 0;
+
+    /** Map ops: the map accessed. */
+    uint32_t mapId = UINT32_MAX;
+    /** Helper ops: the helper id. */
+    int32_t helperId = 0;
+    /** Map helper ops: key is compile-time constant (global state). */
+    bool keyConst = false;
+
+    /** Branch: block enabled when taken; Jump: unconditional target. */
+    size_t takenBlock = SIZE_MAX;
+    /** Branch: block enabled on fallthrough. */
+    size_t fallBlock = SIZE_MAX;
+
+    /** Packet frame range statically accessed (-1 = none / dynamic). */
+    int32_t minFrame = -1;
+    int32_t maxFrame = -1;
+};
+
+/** One pipeline stage (one clock cycle of processing). */
+struct Stage
+{
+    std::vector<StageOp> ops;
+    /** Block owning this stage (SIZE_MAX for pure padding stages). */
+    size_t blockId = SIZE_MAX;
+    /** True for NOP padding (framing alignment or helper latency). */
+    bool isPad = false;
+
+    /** Live state entering the stage after pruning (section 4.3). */
+    uint16_t liveRegs = 0;
+    std::bitset<ebpf::kStackSize> liveStack;
+
+    unsigned
+    numLiveRegs() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(liveRegs));
+    }
+};
+
+/**
+ * One connection between a stage and an eHDLmap block (section 4.1).
+ *
+ * Accesses are split into two independent levels, which determines hazard
+ * pairing: the key *index* (touched by lookup/update/delete) and the entry
+ * *value* bytes (touched by pointer loads/stores, atomics, and update).
+ */
+struct MapPort
+{
+    uint32_t mapId = 0;
+    size_t stage = 0;
+    size_t pc = 0;
+    bool keyConst = false;
+
+    bool readsIndex = false;
+    bool writesIndex = false;
+    bool readsValue = false;
+    bool writesValue = false;
+    /** Atomic RMW: hazard-free against other atomics at this entry. */
+    bool isAtomic = false;
+
+    bool
+    anyWrite() const
+    {
+        return writesIndex || writesValue;
+    }
+};
+
+/** WAR delay buffer (section 4.1.1). */
+struct WarBufferPlan
+{
+    uint32_t mapId = 0;
+    size_t writeStage = 0;
+    size_t lastReadStage = 0;  ///< deepest later read this buffer protects
+    unsigned depth = 0;        ///< lastReadStage - writeStage
+};
+
+/** RAW flush-evaluation block (section 4.1.2, appendix A.2). */
+struct FlushBlockPlan
+{
+    uint32_t mapId = 0;
+    size_t writeStage = 0;
+    /** Earliest protected read stage (start of the hazard window). */
+    size_t firstReadStage = 0;
+    /**
+     * Elastic-buffer restart stage: flushes replay packets from here
+     * instead of the pipeline head so earlier side effects are not
+     * repeated (appendix A.2). Zero means "flush to the pipeline input".
+     */
+    size_t restartStage = 0;
+};
+
+/** Compiler knobs (defaults reproduce the paper's configuration). */
+struct PipelineOptions
+{
+    unsigned frameBytes = 64;        ///< packet frame size (section 4.2)
+    bool enablePruning = true;       ///< state pruning (section 4.3)
+    bool enableIlp = true;           ///< parallel rows (section 3.3)
+    bool enableFusion = true;        ///< instruction fusion (section 3.2)
+    unsigned maxLoopTrips = 64;      ///< bounded-loop unroll factor
+    unsigned assumedParseDepthBytes = 128;  ///< for dynamic packet offsets
+    unsigned clockMhz = 250;         ///< pipeline clock
+};
+
+/** The compiled hardware pipeline. */
+struct Pipeline
+{
+    ebpf::Program prog;  ///< post-unroll program the stages reference
+    analysis::Cfg cfg;
+    ebpf::AbsIntResult analysis;
+    analysis::Schedule schedule;
+    PipelineOptions options;
+
+    std::vector<Stage> stages;
+    unsigned padStages = 0;  ///< framing NOPs at the pipeline head
+
+    std::vector<MapPort> mapPorts;
+    std::vector<WarBufferPlan> warBuffers;
+    std::vector<FlushBlockPlan> flushBlocks;
+    /** Sorted stages after which elastic buffers sit (checkpoint sites). */
+    std::vector<size_t> elasticBuffers;
+
+    size_t numStages() const { return stages.size(); }
+    size_t numBlocks() const { return cfg.blocks().size(); }
+
+    /** Deepest flush window (the paper's K, excluding reload overhead). */
+    size_t maxFlushDepth() const;
+
+    /** Stage summary for logs and tests. */
+    std::string describe() const;
+};
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_PIPELINE_HPP_

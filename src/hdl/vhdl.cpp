@@ -1,0 +1,413 @@
+#include "hdl/vhdl.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "ebpf/disasm.hpp"
+#include "ebpf/helpers.hpp"
+
+namespace ehdl::hdl {
+
+namespace {
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), 'p');
+    return out;
+}
+
+std::string
+regSignal(unsigned reg, size_t stage)
+{
+    return "r" + std::to_string(reg) + "_s" + std::to_string(stage);
+}
+
+/** VHDL expression for an ALU op over stage signals. */
+std::string
+aluExpr(const ebpf::Insn &insn, size_t stage)
+{
+    const std::string dst = regSignal(insn.dst, stage);
+    const std::string src =
+        insn.srcKind() == ebpf::SrcKind::X
+            ? regSignal(insn.src, stage)
+            : "to_unsigned(" + std::to_string(insn.imm) + ", 64)";
+    using ebpf::AluOp;
+    switch (insn.aluOp()) {
+      case AluOp::Add: return dst + " + " + src;
+      case AluOp::Sub: return dst + " - " + src;
+      case AluOp::Mul: return "resize(" + dst + " * " + src + ", 64)";
+      case AluOp::Div: return "ehdl_div(" + dst + ", " + src + ")";
+      case AluOp::Mod: return "ehdl_mod(" + dst + ", " + src + ")";
+      case AluOp::Or: return dst + " or " + src;
+      case AluOp::And: return dst + " and " + src;
+      case AluOp::Xor: return dst + " xor " + src;
+      case AluOp::Lsh: return "shift_left(" + dst + ", to_integer(" + src +
+                              "(5 downto 0)))";
+      case AluOp::Rsh: return "shift_right(" + dst + ", to_integer(" + src +
+                              "(5 downto 0)))";
+      case AluOp::Arsh: return "unsigned(shift_right(signed(" + dst +
+                               "), to_integer(" + src + "(5 downto 0))))";
+      case AluOp::Mov: return src;
+      case AluOp::Neg: return "(not " + dst + ") + 1";
+      case AluOp::End: return "ehdl_bswap(" + dst + ", " +
+                              std::to_string(insn.imm) + ")";
+    }
+    return dst;
+}
+
+std::string
+condExpr(const ebpf::Insn &insn, size_t stage)
+{
+    const std::string lhs = regSignal(insn.dst, stage);
+    const std::string rhs =
+        insn.srcKind() == ebpf::SrcKind::X
+            ? regSignal(insn.src, stage)
+            : "to_unsigned(" + std::to_string(insn.imm) + ", 64)";
+    using ebpf::JmpOp;
+    switch (insn.jmpOp()) {
+      case JmpOp::Jeq: return lhs + " = " + rhs;
+      case JmpOp::Jne: return lhs + " /= " + rhs;
+      case JmpOp::Jgt: return lhs + " > " + rhs;
+      case JmpOp::Jge: return lhs + " >= " + rhs;
+      case JmpOp::Jlt: return lhs + " < " + rhs;
+      case JmpOp::Jle: return lhs + " <= " + rhs;
+      case JmpOp::Jset: return "(" + lhs + " and " + rhs + ") /= 0";
+      case JmpOp::Jsgt: return "signed(" + lhs + ") > signed(" + rhs + ")";
+      case JmpOp::Jsge: return "signed(" + lhs + ") >= signed(" + rhs + ")";
+      case JmpOp::Jslt: return "signed(" + lhs + ") < signed(" + rhs + ")";
+      case JmpOp::Jsle: return "signed(" + lhs + ") <= signed(" + rhs + ")";
+      default: return "false";
+    }
+}
+
+void
+emitPackage(std::ostringstream &os)
+{
+    os << "library ieee;\n"
+          "use ieee.std_logic_1164.all;\n"
+          "use ieee.numeric_std.all;\n"
+          "\n"
+          "package ehdl_pkg is\n"
+          "  subtype ereg_t is unsigned(63 downto 0);\n"
+          "  function ehdl_div(a, b : ereg_t) return ereg_t;\n"
+          "  function ehdl_mod(a, b : ereg_t) return ereg_t;\n"
+          "  function ehdl_bswap(a : ereg_t; width : integer) return "
+          "ereg_t;\n"
+          "end package;\n"
+          "\n"
+          "package body ehdl_pkg is\n"
+          "  function ehdl_div(a, b : ereg_t) return ereg_t is\n"
+          "  begin\n"
+          "    if b = 0 then return (others => '0');\n"
+          "    else return a / b; end if;\n"
+          "  end function;\n"
+          "  function ehdl_mod(a, b : ereg_t) return ereg_t is\n"
+          "  begin\n"
+          "    if b = 0 then return a;\n"
+          "    else return a mod b; end if;\n"
+          "  end function;\n"
+          "  function ehdl_bswap(a : ereg_t; width : integer) return "
+          "ereg_t is\n"
+          "    variable r : ereg_t := (others => '0');\n"
+          "  begin\n"
+          "    for i in 0 to width/8 - 1 loop\n"
+          "      r(8*(width/8-i)-1 downto 8*(width/8-i-1)) :=\n"
+          "        a(8*(i+1)-1 downto 8*i);\n"
+          "    end loop;\n"
+          "    return r;\n"
+          "  end function;\n"
+          "end package body;\n\n";
+}
+
+void
+emitMapComponent(std::ostringstream &os, const ebpf::MapDef &def,
+                 unsigned num_channels)
+{
+    const std::string name = "ehdlmap_" + sanitize(def.name);
+    os << "-- eHDLmap block for map '" << def.name << "' ("
+       << ebpf::mapKindName(def.kind) << ", key " << def.keySize
+       << "B, value " << def.valueSize << "B, " << def.maxEntries
+       << " entries, " << num_channels << " channel(s))\n";
+    os << "library ieee;\nuse ieee.std_logic_1164.all;\n"
+          "use ieee.numeric_std.all;\n\n";
+    os << "entity " << name << " is\n  generic (\n"
+       << "    KEY_BYTES   : integer := " << def.keySize << ";\n"
+       << "    VALUE_BYTES : integer := " << def.valueSize << ";\n"
+       << "    ENTRIES     : integer := " << def.maxEntries << ";\n"
+       << "    CHANNELS    : integer := " << num_channels << ");\n"
+       << "  port (\n"
+          "    clk         : in std_logic;\n"
+          "    rst         : in std_logic;\n"
+          "    req_valid   : in std_logic_vector(CHANNELS-1 downto 0);\n"
+          "    req_write   : in std_logic_vector(CHANNELS-1 downto 0);\n"
+          "    req_atomic  : in std_logic_vector(CHANNELS-1 downto 0);\n"
+          "    req_key     : in std_logic_vector(CHANNELS*KEY_BYTES*8-1 "
+          "downto 0);\n"
+          "    req_wdata   : in std_logic_vector(CHANNELS*VALUE_BYTES*8-1 "
+          "downto 0);\n"
+          "    rsp_hit     : out std_logic_vector(CHANNELS-1 downto 0);\n"
+          "    rsp_rdata   : out std_logic_vector(CHANNELS*VALUE_BYTES*8-1 "
+          "downto 0);\n"
+          "    -- host (userspace bpf syscall) channel, PCIe-mastered\n"
+          "    host_valid  : in std_logic;\n"
+          "    host_write  : in std_logic;\n"
+          "    host_key    : in std_logic_vector(KEY_BYTES*8-1 downto 0);\n"
+          "    host_wdata  : in std_logic_vector(VALUE_BYTES*8-1 downto "
+          "0);\n"
+          "    host_rdata  : out std_logic_vector(VALUE_BYTES*8-1 downto "
+          "0));\n"
+       << "end entity;\n\n";
+}
+
+}  // namespace
+
+std::string
+generateVhdl(const Pipeline &pipe, const VhdlOptions &opts)
+{
+    std::ostringstream os;
+    const std::string entity = opts.entityName.empty()
+                                   ? sanitize(pipe.prog.name) + "_pipeline"
+                                   : sanitize(opts.entityName);
+
+    os << "-- Generated by eHDL from eBPF program '" << pipe.prog.name
+       << "'\n";
+    os << "-- " << pipe.stages.size() << " stages (" << pipe.padStages
+       << " framing pads), frame " << pipe.options.frameBytes
+       << "B, clock " << pipe.options.clockMhz << " MHz\n\n";
+
+    emitPackage(os);
+
+    // Map components (one eHDLmap per referenced map, shared channels).
+    std::set<uint32_t> used_maps;
+    for (const MapPort &port : pipe.mapPorts)
+        used_maps.insert(port.mapId);
+    for (uint32_t id : used_maps) {
+        unsigned channels = 0;
+        for (const MapPort &port : pipe.mapPorts)
+            channels += port.mapId == id ? 1 : 0;
+        emitMapComponent(os, pipe.prog.maps.at(id), channels);
+    }
+
+    // Top entity.
+    const unsigned fbits = pipe.options.frameBytes * 8;
+    os << "library ieee;\nuse ieee.std_logic_1164.all;\n"
+          "use ieee.numeric_std.all;\nuse work.ehdl_pkg.all;\n\n";
+    os << "entity " << entity << " is\n"
+       << "  generic (FRAME_BYTES : integer := " << pipe.options.frameBytes
+       << ");\n"
+       << "  port (\n"
+          "    clk        : in std_logic;\n"
+          "    rst        : in std_logic;\n"
+          "    -- frame stream from the NIC shell (async FIFO decoupled)\n"
+          "    rx_data    : in std_logic_vector("
+       << fbits - 1
+       << " downto 0);\n"
+          "    rx_valid   : in std_logic;\n"
+          "    rx_sof     : in std_logic;\n"
+          "    rx_eof     : in std_logic;\n"
+          "    rx_ready   : out std_logic;\n"
+          "    tx_data    : out std_logic_vector("
+       << fbits - 1
+       << " downto 0);\n"
+          "    tx_valid   : out std_logic;\n"
+          "    tx_action  : out std_logic_vector(2 downto 0);\n"
+          "    tx_ready   : in std_logic);\n"
+       << "end entity;\n\n";
+
+    os << "architecture pipeline of " << entity << " is\n";
+
+    // Per-stage pruned state signals.
+    for (size_t s = 0; s < pipe.stages.size(); ++s) {
+        const Stage &stage = pipe.stages[s];
+        os << "  -- stage " << s;
+        if (stage.isPad)
+            os << " (pad)";
+        if (stage.blockId != SIZE_MAX)
+            os << " block " << stage.blockId;
+        os << ": " << stage.numLiveRegs() << " regs, "
+           << stage.liveStack.count() << "B stack\n";
+        for (unsigned r = 0; r < ebpf::kNumRegs; ++r)
+            if ((stage.liveRegs >> r) & 1)
+                os << "  signal " << regSignal(r, s) << " : ereg_t;\n";
+        if (stage.liveStack.any())
+            os << "  signal stack_s" << s << " : std_logic_vector("
+               << stage.liveStack.count() * 8 - 1 << " downto 0);\n";
+        os << "  signal frame_s" << s << " : std_logic_vector(" << fbits - 1
+           << " downto 0);\n";
+        os << "  signal valid_s" << s << " : std_logic;\n";
+        if (stage.blockId != SIZE_MAX)
+            os << "  signal en_b" << stage.blockId << "_s" << s
+               << " : std_logic;\n";
+    }
+    os << "  signal action : std_logic_vector(2 downto 0);\n";
+    for (const WarBufferPlan &buf : pipe.warBuffers)
+        os << "  -- WAR delay buffer: map " << buf.mapId << ", write stage "
+           << buf.writeStage << " delayed " << buf.depth
+           << " cycles past read stage " << buf.lastReadStage << "\n"
+           << "  signal war_m" << buf.mapId << "_s" << buf.writeStage
+           << " : std_logic_vector(" << (buf.depth * 96 - 1)
+           << " downto 0);\n";
+    for (const FlushBlockPlan &fb : pipe.flushBlocks)
+        os << "  -- Flush evaluation block: map " << fb.mapId
+           << ", write stage " << fb.writeStage << ", window from stage "
+           << fb.firstReadStage << ", restart at stage " << fb.restartStage
+           << "\n"
+           << "  signal flush_m" << fb.mapId << "_s" << fb.writeStage
+           << " : std_logic;\n";
+    os << "begin\n";
+
+    // Stage processes.
+    for (size_t s = 0; s < pipe.stages.size(); ++s) {
+        const Stage &stage = pipe.stages[s];
+        os << "\n  stage_" << s << " : process(clk)\n  begin\n"
+           << "    if rising_edge(clk) then\n";
+        if (stage.isPad) {
+            os << "      -- pad stage: state moves forward unchanged\n";
+        }
+        for (const StageOp &op : stage.ops) {
+            os << "      -- [" << opKindName(op.kind) << "]";
+            for (size_t pc : op.pcs)
+                os << " " << pc << ": "
+                   << ebpf::disasmInsn(pipe.prog.insns[pc]);
+            os << "\n";
+            const std::string guard =
+                "en_b" + std::to_string(op.blockId) + "_s" +
+                std::to_string(s);
+            switch (op.kind) {
+              case OpKind::Alu: {
+                for (size_t pc : op.pcs) {
+                    const ebpf::Insn &insn = pipe.prog.insns[pc];
+                    os << "      if " << guard << " = '1' then "
+                       << regSignal(insn.dst, s + 1) << " <= "
+                       << aluExpr(insn, s) << "; end if;\n";
+                }
+                break;
+              }
+              case OpKind::Branch: {
+                const ebpf::Insn &insn = pipe.prog.insns[op.pcs.front()];
+                os << "      if " << guard << " = '1' then\n"
+                   << "        if " << condExpr(insn, s) << " then en_b"
+                   << op.takenBlock << "_s" << s + 1 << " <= '1';\n"
+                   << "        else en_b" << op.fallBlock << "_s" << s + 1
+                   << " <= '1'; end if;\n      end if;\n";
+                break;
+              }
+              case OpKind::Jump:
+                os << "      if " << guard << " = '1' then en_b"
+                   << op.takenBlock << "_s" << s + 1
+                   << " <= '1'; end if;\n";
+                break;
+              case OpKind::Exit:
+                os << "      if " << guard
+                   << " = '1' then action <= std_logic_vector("
+                   << regSignal(0, s) << "(2 downto 0)); end if;\n";
+                break;
+              case OpKind::MapLookup:
+              case OpKind::MapUpdate:
+              case OpKind::MapDelete:
+              case OpKind::MapLoad:
+              case OpKind::MapStore:
+              case OpKind::MapAtomic:
+                os << "      -- channel to ehdlmap_"
+                   << sanitize(pipe.prog.maps.at(op.mapId).name)
+                   << (op.keyConst ? " (constant key / global state)" : "")
+                   << "\n";
+                break;
+              default:
+                os << "      -- wired primitive\n";
+                break;
+            }
+        }
+        os << "    end if;\n  end process;\n";
+    }
+
+    if (opts.emitShellWrapper) {
+        os << "\n  -- Asynchronous FIFOs decouple the pipeline clock from\n"
+              "  -- the Corundum shell clock (section 4.5).\n";
+    }
+    os << "\nend architecture;\n";
+    return os.str();
+}
+
+std::string
+generateTestbench(const Pipeline &pipe, const std::vector<uint8_t> &packet,
+                  const VhdlOptions &opts)
+{
+    const std::string entity = opts.entityName.empty()
+                                   ? sanitize(pipe.prog.name) + "_pipeline"
+                                   : sanitize(opts.entityName);
+    const unsigned fbytes = pipe.options.frameBytes;
+    const unsigned fbits = fbytes * 8;
+    const size_t frames = std::max<size_t>(
+        1, (packet.size() + fbytes - 1) / fbytes);
+
+    std::ostringstream os;
+    os << "-- Self-checking testbench for " << entity << "\n";
+    os << "library ieee;\nuse ieee.std_logic_1164.all;\n"
+          "use ieee.numeric_std.all;\n\n";
+    os << "entity " << entity << "_tb is\nend entity;\n\n";
+    os << "architecture sim of " << entity << "_tb is\n"
+       << "  constant CLK_PERIOD : time := "
+       << 1000.0 / pipe.options.clockMhz << " ns;\n"
+       << "  signal clk, rst : std_logic := '0';\n"
+       << "  signal rx_data : std_logic_vector(" << fbits - 1
+       << " downto 0);\n"
+          "  signal rx_valid, rx_sof, rx_eof, rx_ready : std_logic := "
+          "'0';\n"
+       << "  signal tx_data : std_logic_vector(" << fbits - 1
+       << " downto 0);\n"
+          "  signal tx_valid : std_logic;\n"
+          "  signal tx_action : std_logic_vector(2 downto 0);\n"
+          "  signal tx_ready : std_logic := '1';\n"
+       << "begin\n"
+       << "  clk <= not clk after CLK_PERIOD / 2;\n\n"
+       << "  dut : entity work." << entity << "\n"
+       << "    port map (clk => clk, rst => rst, rx_data => rx_data,\n"
+          "              rx_valid => rx_valid, rx_sof => rx_sof,\n"
+          "              rx_eof => rx_eof, rx_ready => rx_ready,\n"
+          "              tx_data => tx_data, tx_valid => tx_valid,\n"
+          "              tx_action => tx_action, tx_ready => tx_ready);"
+          "\n\n"
+       << "  stimulus : process\n  begin\n"
+       << "    rst <= '1';\n    wait for 4 * CLK_PERIOD;\n"
+       << "    rst <= '0';\n    wait until rising_edge(clk);\n";
+    for (size_t f = 0; f < frames; ++f) {
+        os << "    -- frame " << f << "\n";
+        os << "    rx_data <= x\"";
+        // Most-significant byte first within the frame word.
+        for (size_t b = fbytes; b-- > 0;) {
+            const size_t idx = f * fbytes + b;
+            char hex[3];
+            std::snprintf(hex, sizeof(hex), "%02x",
+                          idx < packet.size() ? packet[idx] : 0);
+            os << hex;
+        }
+        os << "\";\n";
+        os << "    rx_valid <= '1';\n";
+        os << "    rx_sof <= '" << (f == 0 ? '1' : '0') << "';\n";
+        os << "    rx_eof <= '" << (f + 1 == frames ? '1' : '0') << "';\n";
+        os << "    wait until rising_edge(clk);\n";
+    }
+    os << "    rx_valid <= '0';\n\n"
+       << "    -- the verdict must appear within the pipeline depth\n"
+       << "    for i in 0 to " << pipe.numStages() + 8 << " loop\n"
+       << "      exit when tx_valid = '1';\n"
+       << "      wait until rising_edge(clk);\n"
+       << "    end loop;\n"
+       << "    assert tx_valid = '1'\n"
+       << "      report \"no verdict after " << pipe.numStages() + 8
+       << " cycles\" severity failure;\n"
+       << "    report \"action = \" & integer'image("
+          "to_integer(unsigned(tx_action)));\n"
+       << "    wait;\n  end process;\nend architecture;\n";
+    return os.str();
+}
+
+}  // namespace ehdl::hdl

@@ -1,0 +1,50 @@
+#include "net/checksum.hpp"
+
+namespace ehdl::net {
+
+uint16_t
+onesComplementSum(const uint8_t *data, size_t len, uint32_t seed)
+{
+    uint64_t sum = seed;
+    size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+    if (i < len)
+        sum += static_cast<uint32_t>(data[i]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<uint16_t>(sum);
+}
+
+uint16_t
+internetChecksum(const uint8_t *data, size_t len)
+{
+    return static_cast<uint16_t>(~onesComplementSum(data, len));
+}
+
+uint16_t
+checksumUpdate32(uint16_t old_sum, uint32_t old_val, uint32_t new_val)
+{
+    // HC' = ~(~HC + ~m + m') per RFC 1624, applied per 16-bit half.
+    uint32_t sum = static_cast<uint16_t>(~old_sum);
+    sum += static_cast<uint16_t>(~(old_val >> 16));
+    sum += static_cast<uint16_t>(~(old_val & 0xffff));
+    sum += new_val >> 16;
+    sum += new_val & 0xffff;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<uint16_t>(~sum);
+}
+
+uint16_t
+checksumUpdate16(uint16_t old_sum, uint16_t old_val, uint16_t new_val)
+{
+    uint32_t sum = static_cast<uint16_t>(~old_sum);
+    sum += static_cast<uint16_t>(~old_val);
+    sum += new_val;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<uint16_t>(~sum);
+}
+
+}  // namespace ehdl::net

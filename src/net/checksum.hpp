@@ -1,0 +1,34 @@
+/**
+ * @file
+ * RFC 1071 Internet checksum helpers, plus the incremental-update form
+ * (RFC 1624) that the DNAT application relies on when rewriting addresses.
+ */
+
+#ifndef EHDL_NET_CHECKSUM_HPP_
+#define EHDL_NET_CHECKSUM_HPP_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ehdl::net {
+
+/** One's-complement sum over @p len bytes, folded to 16 bits (not negated). */
+uint16_t onesComplementSum(const uint8_t *data, size_t len, uint32_t seed = 0);
+
+/** Full Internet checksum (negated one's-complement sum). */
+uint16_t internetChecksum(const uint8_t *data, size_t len);
+
+/**
+ * Incrementally update checksum @p old_sum when a 32-bit field changes from
+ * @p old_val to @p new_val (RFC 1624 eqn. 3). Values in host order.
+ */
+uint16_t checksumUpdate32(uint16_t old_sum, uint32_t old_val,
+                          uint32_t new_val);
+
+/** Incremental update for a 16-bit field change. */
+uint16_t checksumUpdate16(uint16_t old_sum, uint16_t old_val,
+                          uint16_t new_val);
+
+}  // namespace ehdl::net
+
+#endif  // EHDL_NET_CHECKSUM_HPP_

@@ -1,0 +1,67 @@
+#include "net/packet.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace ehdl::net {
+
+Packet::Packet(std::vector<uint8_t> bytes, uint32_t headroom)
+{
+    buf_.resize(headroom + bytes.size());
+    std::memcpy(buf_.data() + headroom, bytes.data(), bytes.size());
+    start_ = headroom;
+    end_ = headroom + static_cast<uint32_t>(bytes.size());
+}
+
+Packet::Packet(uint32_t len, uint32_t headroom)
+{
+    buf_.resize(headroom + len);
+    start_ = headroom;
+    end_ = headroom + len;
+}
+
+uint8_t
+Packet::at(uint32_t off) const
+{
+    if (off >= size())
+        panic("Packet::at out of bounds: ", off, " >= ", size());
+    return buf_[start_ + off];
+}
+
+void
+Packet::set(uint32_t off, uint8_t value)
+{
+    if (off >= size())
+        panic("Packet::set out of bounds: ", off, " >= ", size());
+    buf_[start_ + off] = value;
+}
+
+bool
+Packet::adjustHead(int32_t delta)
+{
+    const int64_t new_start = static_cast<int64_t>(start_) + delta;
+    if (new_start < 0 || new_start > static_cast<int64_t>(end_))
+        return false;
+    start_ = static_cast<uint32_t>(new_start);
+    return true;
+}
+
+bool
+Packet::adjustTail(int32_t delta)
+{
+    const int64_t new_end = static_cast<int64_t>(end_) + delta;
+    if (new_end < static_cast<int64_t>(start_) ||
+        new_end > static_cast<int64_t>(buf_.size()))
+        return false;
+    end_ = static_cast<uint32_t>(new_end);
+    return true;
+}
+
+std::vector<uint8_t>
+Packet::bytes() const
+{
+    return {buf_.begin() + start_, buf_.begin() + end_};
+}
+
+}  // namespace ehdl::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Packet buffer abstraction shared by the eBPF VM, the pipeline simulator
+ * and the traffic generators. A Packet owns its bytes and supports headroom
+ * so that bpf_xdp_adjust_head() can grow the packet in place, exactly like
+ * the XDP driver headroom in Linux.
+ */
+
+#ifndef EHDL_NET_PACKET_HPP_
+#define EHDL_NET_PACKET_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace ehdl::net {
+
+/** Default XDP headroom reserved in front of packet data (Linux uses 256). */
+constexpr uint32_t kXdpHeadroom = 256;
+
+/**
+ * A mutable network packet with XDP-style headroom.
+ *
+ * Offsets exposed to eBPF programs are relative to the current data start;
+ * adjustHead() moves the start within the reserved headroom.
+ */
+class Packet
+{
+  public:
+    Packet() = default;
+
+    /** Build a packet from raw bytes (copied), with standard headroom. */
+    explicit Packet(std::vector<uint8_t> bytes,
+                    uint32_t headroom = kXdpHeadroom);
+
+    /** Build a zero-filled packet of @p len bytes. */
+    explicit Packet(uint32_t len, uint32_t headroom = kXdpHeadroom);
+
+    /** Current payload length in bytes. */
+    uint32_t size() const { return end_ - start_; }
+
+    /** Mutable pointer to the first payload byte. */
+    uint8_t *data() { return buf_.data() + start_; }
+    /** Const pointer to the first payload byte. */
+    const uint8_t *data() const { return buf_.data() + start_; }
+
+    /** Byte access with bounds checking (panics on violation). */
+    uint8_t at(uint32_t off) const;
+    void set(uint32_t off, uint8_t value);
+
+    /**
+     * Move the packet start by @p delta bytes (negative grows the packet
+     * into the headroom, positive shrinks it), mirroring
+     * bpf_xdp_adjust_head() semantics.
+     *
+     * @return true on success, false if the adjustment does not fit.
+     */
+    bool adjustHead(int32_t delta);
+
+    /**
+     * Move the packet end by @p delta bytes (negative truncates the
+     * packet, positive grows it into reserved tailroom), mirroring
+     * bpf_xdp_adjust_tail() semantics.
+     *
+     * @return true on success, false if the adjustment does not fit.
+     */
+    bool adjustTail(int32_t delta);
+
+    /** Remaining headroom in front of the payload. */
+    uint32_t headroom() const { return start_; }
+
+    /** Remaining tailroom behind the payload. */
+    uint32_t tailroom() const
+    {
+        return static_cast<uint32_t>(buf_.size()) - end_;
+    }
+
+    /** The full payload as a vector copy (for test assertions). */
+    std::vector<uint8_t> bytes() const;
+
+    /** Identifier assigned by traffic generators (0 when unset). */
+    uint64_t id = 0;
+    /** Arrival timestamp in nanoseconds (simulated clock). */
+    uint64_t arrivalNs = 0;
+    /** Ingress interface index reported via xdp_md. */
+    uint32_t ingressIfindex = 0;
+    /** RX queue index reported via xdp_md. */
+    uint32_t rxQueueIndex = 0;
+
+  private:
+    std::vector<uint8_t> buf_;
+    uint32_t start_ = 0;
+    uint32_t end_ = 0;
+};
+
+}  // namespace ehdl::net
+
+#endif  // EHDL_NET_PACKET_HPP_

@@ -1,0 +1,107 @@
+#include "net/pcap.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/bitops.hpp"
+#include "common/logging.hpp"
+
+namespace ehdl::net {
+
+namespace {
+
+constexpr uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr uint32_t kMagicNano = 0xa1b23c4d;
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+}  // namespace
+
+void
+writePcap(const std::string &path, const std::vector<Packet> &packets)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write pcap file '", path, "'");
+
+    uint8_t header[24] = {};
+    storeLe<uint32_t>(header, kMagicNano);
+    storeLe<uint16_t>(header + 4, 2);   // version major
+    storeLe<uint16_t>(header + 6, 4);   // version minor
+    storeLe<uint32_t>(header + 16, 65535);  // snaplen
+    storeLe<uint32_t>(header + 20, kLinkTypeEthernet);
+    out.write(reinterpret_cast<const char *>(header), sizeof(header));
+
+    for (const Packet &pkt : packets) {
+        uint8_t record[16];
+        storeLe<uint32_t>(record,
+                          static_cast<uint32_t>(pkt.arrivalNs /
+                                                1000000000ULL));
+        storeLe<uint32_t>(record + 4,
+                          static_cast<uint32_t>(pkt.arrivalNs %
+                                                1000000000ULL));
+        storeLe<uint32_t>(record + 8, pkt.size());
+        storeLe<uint32_t>(record + 12, pkt.size());
+        out.write(reinterpret_cast<const char *>(record), sizeof(record));
+        out.write(reinterpret_cast<const char *>(pkt.data()), pkt.size());
+    }
+    if (!out)
+        fatal("short write to pcap file '", path, "'");
+}
+
+std::vector<Packet>
+readPcap(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open pcap file '", path, "'");
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    if (bytes.size() < 24)
+        fatal("pcap file '", path, "' is truncated");
+
+    const uint32_t raw_magic = loadLe<uint32_t>(bytes.data());
+    bool swapped = false;
+    bool nano = false;
+    if (raw_magic == kMagicMicro) {
+        nano = false;
+    } else if (raw_magic == kMagicNano) {
+        nano = true;
+    } else if (bswap32(raw_magic) == kMagicMicro) {
+        swapped = true;
+    } else if (bswap32(raw_magic) == kMagicNano) {
+        swapped = true;
+        nano = true;
+    } else {
+        fatal("pcap file '", path, "' has an unknown magic");
+    }
+    auto read32 = [&bytes, swapped](size_t off) {
+        const uint32_t v = loadLe<uint32_t>(bytes.data() + off);
+        return swapped ? bswap32(v) : v;
+    };
+    if (read32(20) != kLinkTypeEthernet)
+        fatal("pcap file '", path, "' is not an Ethernet capture");
+
+    std::vector<Packet> packets;
+    size_t off = 24;
+    uint64_t id = 0;
+    while (off + 16 <= bytes.size()) {
+        const uint64_t ts_sec = read32(off);
+        const uint64_t ts_frac = read32(off + 4);
+        const uint32_t incl_len = read32(off + 8);
+        off += 16;
+        if (off + incl_len > bytes.size())
+            fatal("pcap record in '", path, "' is truncated");
+        Packet pkt(std::vector<uint8_t>(bytes.begin() + off,
+                                        bytes.begin() + off + incl_len));
+        pkt.id = ++id;
+        pkt.arrivalNs =
+            ts_sec * 1000000000ULL + (nano ? ts_frac : ts_frac * 1000ULL);
+        packets.push_back(std::move(pkt));
+        off += incl_len;
+    }
+    if (off != bytes.size())
+        fatal("trailing bytes in pcap file '", path, "'");
+    return packets;
+}
+
+}  // namespace ehdl::net

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal libpcap-format reader/writer so simulation inputs and outputs
+ * interoperate with standard tooling (tcpdump/wireshark): examples dump
+ * the packets a pipeline emitted, and traces captured elsewhere can be
+ * replayed through the simulator.
+ */
+
+#ifndef EHDL_NET_PCAP_HPP_
+#define EHDL_NET_PCAP_HPP_
+
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace ehdl::net {
+
+/**
+ * Write packets as a classic pcap file (linktype Ethernet); each packet's
+ * arrivalNs becomes its timestamp.
+ * @throw FatalError when the file cannot be written.
+ */
+void writePcap(const std::string &path, const std::vector<Packet> &packets);
+
+/**
+ * Read a classic pcap file (either endianness, micro- or nanosecond
+ * timestamps). Packet ids are assigned 1..N in file order.
+ * @throw FatalError on malformed files.
+ */
+std::vector<Packet> readPcap(const std::string &path);
+
+}  // namespace ehdl::net
+
+#endif  // EHDL_NET_PCAP_HPP_

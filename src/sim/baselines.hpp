@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Performance and resource models for the paper's comparison systems
+ * (section 5): hXDP (an FPGA VLIW eBPF processor), the NVIDIA BlueField-2
+ * DPU (eBPF on its Arm cores), and Xilinx SDNet (a P4 HLS compiler).
+ * See DESIGN.md for the substitution rationale — none of the real systems
+ * is available, so each is modeled by the structural quantity that
+ * determines its published performance.
+ */
+
+#ifndef EHDL_SIM_BASELINES_HPP_
+#define EHDL_SIM_BASELINES_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/maps.hpp"
+#include "ebpf/program.hpp"
+#include "hdl/resources.hpp"
+#include "net/packet.hpp"
+
+namespace ehdl::sim {
+
+/** Throughput/latency estimate of one baseline on one workload. */
+struct BaselinePerf
+{
+    double mpps = 0;
+    double latencyNs = 0;
+};
+
+/**
+ * hXDP model: a single-core, 2-lane VLIW eBPF processor at 250 MHz that
+ * handles one packet at a time. Throughput is therefore
+ * 250 MHz / (VLIW bundles on the taken path + fixed I/O overhead); the
+ * same ILP eHDL exploits spatially, hXDP exploits temporally (paper 5.1:
+ * "the latency of eHDL and hXDP is in fact comparable since they both
+ * leverage instruction-level parallelism in the same way").
+ */
+class HxdpModel
+{
+  public:
+    explicit HxdpModel(const ebpf::Program &prog);
+
+    /** Static VLIW program length (figure 9c's "hXDP Instr."). */
+    size_t vliwInstructionCount() const { return vliwCount_; }
+
+    /**
+     * Run the workload on the sequential VM and convert dynamic
+     * instruction counts into packet rate and latency.
+     */
+    BaselinePerf measure(const std::vector<net::Packet> &packets,
+                         ebpf::MapSet &maps) const;
+
+    static constexpr double kClockMhz = 250.0;
+    /** Lanes of the VLIW (hXDP implements 2). */
+    static constexpr unsigned kLanes = 2;
+    /** Fixed per-packet frontend/DMA cycles. */
+    static constexpr double kOverheadCycles = 22.0;
+
+    /** FPGA resources (fixed: hXDP is a processor, not program-specific). */
+    static hdl::ResourceReport resources();
+
+  private:
+    const ebpf::Program &prog_;
+    size_t vliwCount_ = 0;
+};
+
+/**
+ * BlueField-2 model: eBPF executed on up to 8 Arm A72 cores at 2.75 GHz
+ * behind the ConnectX-6 data plane. Per-packet cost is dominated by the
+ * driver/DMA path plus instruction execution; cores scale linearly
+ * (figure 9a shows "growing linearly to over 10 Mpps when using multiple
+ * cores").
+ */
+class Bf2Model
+{
+  public:
+    explicit Bf2Model(const ebpf::Program &prog, unsigned cores = 1);
+
+    BaselinePerf measure(const std::vector<net::Packet> &packets,
+                         ebpf::MapSet &maps) const;
+
+    static constexpr double kClockGhz = 2.75;
+    /** Driver + descriptor handling per packet, in nanoseconds. */
+    static constexpr double kPerPacketOverheadNs = 260.0;
+    /** Average cycles per eBPF instruction on the A72. */
+    static constexpr double kCyclesPerInsn = 2.1;
+    /** Base NIC-internal forwarding latency (10x the FPGA designs). */
+    static constexpr double kBaseLatencyNs = 9000.0;
+
+  private:
+    const ebpf::Program &prog_;
+    unsigned cores_;
+};
+
+/**
+ * Xilinx SDNet model. P4/PISA pipelines run at line rate but can express
+ * only match-action programs whose tables are written by the control
+ * plane; a program needing data-plane inserts of computed values (the
+ * DNAT) is not implementable (section 5: "we could not implement the
+ * DNAT in P4").
+ */
+class SdnetModel
+{
+  public:
+    explicit SdnetModel(const ebpf::Program &prog);
+
+    /** Whether SDNet can express the program at all. */
+    bool supported() const { return supported_; }
+    /** Reason a program is rejected (empty when supported). */
+    const std::string &rejection() const { return rejection_; }
+
+    /** Line rate when supported (64B packets at 100 Gbps). */
+    double mpps() const { return supported_ ? 148.8 : 0.0; }
+
+    /** Generic PISA-style pipeline resources (2-4x an eHDL design). */
+    hdl::ResourceReport resources() const;
+
+  private:
+    const ebpf::Program &prog_;
+    bool supported_ = true;
+    std::string rejection_;
+};
+
+}  // namespace ehdl::sim
+
+#endif  // EHDL_SIM_BASELINES_HPP_

@@ -1,0 +1,23 @@
+#include "sim/nic_shell.hpp"
+
+#include <algorithm>
+
+namespace ehdl::sim {
+
+EndToEndResult
+summarizeEndToEnd(const PipeSim &sim, uint32_t frame_len,
+                  const NicShellConfig &shell)
+{
+    EndToEndResult result;
+    result.pipelineMpps =
+        sim.stats().throughputMpps(sim.config().clockHz);
+    result.lineRateMpps = shell.lineRateMpps(frame_len);
+    result.throughputMpps =
+        std::min(result.pipelineMpps, result.lineRateMpps);
+    result.avgLatencyNs = shell.shellLatencyNs + sim.avgLatencyNs();
+    result.flushEvents = sim.stats().flushEvents;
+    result.lostPackets = sim.stats().lost;
+    return result;
+}
+
+}  // namespace ehdl::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Corundum-style NIC shell model (paper section 4.5). The shell provides
+ * the MAC, the PCIe/host interface and the asynchronous FIFOs that
+ * decouple the eHDL pipeline clock from the shell clock; for the
+ * experiments it contributes a fixed crossing latency on top of the
+ * pipeline's stage latency, which together land at the ~1 microsecond
+ * end-to-end forwarding latency of figure 9b.
+ */
+
+#ifndef EHDL_SIM_NIC_SHELL_HPP_
+#define EHDL_SIM_NIC_SHELL_HPP_
+
+#include <cstdint>
+
+#include "sim/pipe_sim.hpp"
+
+namespace ehdl::sim {
+
+/** Shell timing/throughput parameters. */
+struct NicShellConfig
+{
+    /** MAC + async FIFO + arbitration crossing, both directions. */
+    double shellLatencyNs = 620.0;
+    /** Shell clock (Corundum's 100G datapath runs at 250 MHz too). */
+    uint64_t shellClockHz = 250'000'000;
+    /** 100 Gbps port: line rate for 64B frames is 148.8 Mpps. */
+    double portGbps = 100.0;
+
+    /** Maximum packets/s the port can deliver at @p frame_len bytes. */
+    double
+    lineRateMpps(uint32_t frame_len) const
+    {
+        return portGbps * 1000.0 / ((frame_len + 20.0) * 8.0);
+    }
+};
+
+/** End-to-end performance summary of a pipeline behind the shell. */
+struct EndToEndResult
+{
+    double throughputMpps = 0;  ///< min(pipeline, port line rate)
+    double pipelineMpps = 0;    ///< pipeline capability alone
+    double lineRateMpps = 0;
+    double avgLatencyNs = 0;    ///< shell + pipeline traversal
+    uint64_t flushEvents = 0;
+    uint64_t lostPackets = 0;
+};
+
+/** Combine a drained PipeSim run with the shell model. */
+EndToEndResult summarizeEndToEnd(const PipeSim &sim,
+                                 uint32_t frame_len = 64,
+                                 const NicShellConfig &shell = {});
+
+/** Modeled wall power of the machine under test (section 5.2). */
+struct PowerModel
+{
+    double hostIdleW = 69.0;
+    double alveoU50W = 13.5;   ///< flashed with any of the designs
+    double bluefield2W = 33.0;
+
+    double u50SystemW() const { return hostIdleW + alveoU50W; }
+    double bf2SystemW() const { return hostIdleW + bluefield2W; }
+};
+
+}  // namespace ehdl::sim
+
+#endif  // EHDL_SIM_NIC_SHELL_HPP_

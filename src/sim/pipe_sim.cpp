@@ -1,0 +1,640 @@
+#include "sim/pipe_sim.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+
+#include "common/logging.hpp"
+#include "ebpf/exec.hpp"
+
+namespace ehdl::sim {
+
+using ebpf::ExecState;
+using ebpf::MapSet;
+using ebpf::VmTrap;
+using ebpf::XdpAction;
+using hdl::FlushBlockPlan;
+using hdl::OpKind;
+using hdl::Pipeline;
+using hdl::StageOp;
+using hdl::WarBufferPlan;
+
+namespace {
+
+uint64_t
+hashKeyBytes(uint32_t map_id, const uint8_t *key, unsigned len)
+{
+    uint64_t h = 0xcbf29ce484222325ULL ^ (map_id * 0x9e3779b97f4a7c15ULL);
+    for (unsigned i = 0; i < len; ++i) {
+        h ^= key[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+struct PipeSim::Impl
+{
+    /** Address read by an in-flight packet (for flush evaluation). */
+    struct ReadRec
+    {
+        uint32_t mapId;
+        bool indexLevel;
+        uint64_t addr;
+    };
+
+    /** One in-flight packet. */
+    struct Flight
+    {
+        uint64_t id = 0;
+        uint64_t seq = 0;
+        net::Packet pkt;
+        std::vector<uint8_t> pristineBytes;
+        uint64_t arrivalNs = 0;
+
+        std::unique_ptr<ExecState> state;
+        std::vector<bool> blockEnabled;
+        bool exited = false;
+        bool trapped = false;
+        std::string trapReason;
+        /** Deepest stage already executed (-1 = none); elastic-buffer
+         *  stalls must not re-execute a stage's side effects. */
+        int64_t lastExecuted = -1;
+        XdpAction action = XdpAction::Aborted;
+        uint32_t redirectIfindex = 0;
+        uint64_t entryCycle = 0;
+
+        std::vector<ReadRec> reads;
+
+        struct Checkpoint
+        {
+            ExecState::Checkpoint state;
+            std::vector<uint8_t> pktBytes;
+            std::vector<bool> blockEnabled;
+            bool exited;
+            bool trapped;
+            XdpAction action;
+            uint32_t redirectIfindex;
+            std::vector<ReadRec> reads;
+        };
+        std::map<size_t, Checkpoint> checkpoints;
+    };
+
+    /** A write parked in a WAR delay buffer (section 4.1.1). */
+    struct PendingWrite
+    {
+        uint32_t mapId;
+        uint64_t entry;
+        uint32_t off;
+        unsigned size;
+        uint64_t value;
+        Flight *writer;
+        size_t issueStage;
+        size_t commitStage;
+    };
+
+    /** MapIo interposing the hazard machinery on every map access. */
+    class HazardMapIo : public ebpf::MapIo
+    {
+      public:
+        explicit HazardMapIo(Impl &impl) : impl_(impl) {}
+
+        int64_t
+        lookup(uint32_t map_id, const uint8_t *key, unsigned port) override
+        {
+            (void)port;
+            const unsigned klen = impl_.maps.at(map_id).def().keySize;
+            impl_.cur->reads.push_back(
+                {map_id, true, hashKeyBytes(map_id, key, klen)});
+            return impl_.maps.at(map_id).lookup(key);
+        }
+
+        int
+        update(uint32_t map_id, const uint8_t *key, const uint8_t *value,
+               uint64_t flags, unsigned port) override
+        {
+            const unsigned klen = impl_.maps.at(map_id).def().keySize;
+            const uint64_t khash = hashKeyBytes(map_id, key, klen);
+            const int rc = impl_.maps.at(map_id).update(key, value, flags);
+            std::vector<std::pair<bool, uint64_t>> addrs;
+            addrs.emplace_back(true, khash);
+            if (rc == 0) {
+                const int64_t entry = impl_.maps.at(map_id).lookup(key);
+                if (entry >= 0)
+                    addrs.emplace_back(false,
+                                       static_cast<uint64_t>(entry));
+            }
+            impl_.evaluateFlush(map_id, port, addrs);
+            return rc;
+        }
+
+        int
+        erase(uint32_t map_id, const uint8_t *key, unsigned port) override
+        {
+            const unsigned klen = impl_.maps.at(map_id).def().keySize;
+            const uint64_t khash = hashKeyBytes(map_id, key, klen);
+            const int rc = impl_.maps.at(map_id).erase(key);
+            impl_.evaluateFlush(map_id, port, {{true, khash}});
+            return rc;
+        }
+
+        uint64_t
+        readValue(uint32_t map_id, uint64_t entry, uint32_t off,
+                  unsigned size, unsigned port) override
+        {
+            (void)port;
+            impl_.cur->reads.push_back({map_id, false, entry});
+            uint8_t buf[8];
+            const uint8_t *base =
+                impl_.maps.at(map_id).valueAt(entry) + off;
+            std::memcpy(buf, base, size);
+            // Store-to-load forwarding from the speculation/WAR buffer:
+            // a packet sees its own parked writes and those of *older*
+            // packets (which are sequentially ordered before it). Older
+            // packets never see younger parked writes - that is the WAR
+            // protection of figure 6.
+            for (const PendingWrite &pw : impl_.pendingWrites) {
+                if (pw.mapId != map_id || pw.entry != entry)
+                    continue;
+                if (pw.writer != impl_.cur &&
+                    pw.writer->seq > impl_.cur->seq)
+                    continue;
+                const int64_t lo = std::max<int64_t>(pw.off, off);
+                const int64_t hi = std::min<int64_t>(pw.off + pw.size,
+                                                     off + size);
+                for (int64_t b = lo; b < hi; ++b)
+                    buf[b - off] = static_cast<uint8_t>(
+                        pw.value >> (8 * (b - pw.off)));
+            }
+            uint64_t out = 0;
+            std::memcpy(&out, buf, size);
+            return out;
+        }
+
+        void
+        writeValue(uint32_t map_id, uint64_t entry, uint32_t off,
+                   unsigned size, uint64_t value, unsigned port) override
+        {
+            // Park the write if this port is covered by a WAR/speculation
+            // buffer; flush evaluation then happens at commit time, when
+            // the value actually becomes visible.
+            for (const WarBufferPlan &buf : impl_.pipe.warBuffers) {
+                if (buf.mapId == map_id && buf.writeStage == port) {
+                    impl_.pendingWrites.push_back(
+                        {map_id, entry, off, size, value, impl_.cur, port,
+                         buf.lastReadStage});
+                    // Issue-time evaluation catches readers already in the
+                    // window; readers arriving while the write is parked
+                    // are caught again at commit time.
+                    impl_.evaluateFlush(map_id, port, {{false, entry}});
+                    return;
+                }
+            }
+            impl_.directWrite(map_id, entry, off, size, value);
+            impl_.evaluateFlush(map_id, port, {{false, entry}});
+        }
+
+        uint64_t
+        atomicAdd(uint32_t map_id, uint64_t entry, uint32_t off,
+                  unsigned size, uint64_t value, unsigned port) override
+        {
+            // The atomic-update primitive performs the read-modify-write
+            // in place within the map memory (section 4.1.2 "global
+            // state"): no hazard machinery engages.
+            (void)port;
+            uint8_t *base = impl_.maps.at(map_id).valueAt(entry) + off;
+            uint64_t old = 0;
+            std::memcpy(&old, base, size);
+            const uint64_t updated = old + value;
+            std::memcpy(base, &updated, size);
+            return old;
+        }
+
+      private:
+        Impl &impl_;
+    };
+
+    Impl(const Pipeline &pipeline, MapSet &map_set, PipeSim &owner)
+        : pipe(pipeline), maps(map_set), sim(owner), io(*this),
+          slots(pipeline.numStages())
+    {
+        cycleNs = 1e9 / static_cast<double>(owner.config().clockHz);
+        entryBlock = pipe.cfg.blockOf(0);
+    }
+
+    // --- map plumbing ---------------------------------------------------
+
+    void
+    directWrite(uint32_t map_id, uint64_t entry, uint32_t off,
+                unsigned size, uint64_t value)
+    {
+        uint8_t *base = maps.at(map_id).valueAt(entry) + off;
+        std::memcpy(base, &value, size);
+    }
+
+    void
+    commitPendingWrites()
+    {
+        for (size_t i = 0; i < pendingWrites.size();) {
+            const PendingWrite pw = pendingWrites[i];
+            const size_t wstage = stageOf(pw.writer);
+            if (wstage != SIZE_MAX && wstage < pw.commitStage) {
+                ++i;
+                continue;
+            }
+            // Younger readers saw this value already via forwarding, so
+            // the commit itself raises no hazard.
+            pendingWrites.erase(pendingWrites.begin() + i);
+            directWrite(pw.mapId, pw.entry, pw.off, pw.size, pw.value);
+        }
+    }
+
+    size_t
+    stageOf(const Flight *flight) const
+    {
+        for (size_t s = 0; s < slots.size(); ++s)
+            if (slots[s].get() == flight)
+                return s;
+        return SIZE_MAX;  // already exited
+    }
+
+    /**
+     * Flush-evaluation block: called when the packet currently executing
+     * stage @p stage writes the given addresses on @p map_id.
+     */
+    void
+    evaluateFlush(uint32_t map_id, size_t stage,
+                  const std::vector<std::pair<bool, uint64_t>> &addrs)
+    {
+        const FlushBlockPlan *plan = nullptr;
+        for (const FlushBlockPlan &fb : pipe.flushBlocks)
+            if (fb.mapId == map_id && fb.writeStage == stage)
+                plan = &fb;
+        if (plan == nullptr)
+            return;
+
+        // Any younger packet inside the hazard window holding a matching
+        // unconfirmed read triggers a flush of the whole window. A
+        // restart-0 window includes stage 0: its occupant has no reads
+        // yet, but it must re-queue behind the replayed older packets or
+        // packet order (and with it sequential map semantics) inverts.
+        const size_t window_first =
+            plan->restartStage == 0 ? 0 : plan->restartStage + 1;
+        bool hazard = false;
+        for (size_t s = window_first; s < plan->writeStage && !hazard; ++s) {
+            const Flight *f = slots[s].get();
+            if (f == nullptr || f == cur)
+                continue;
+            for (const ReadRec &rec : f->reads) {
+                if (rec.mapId != map_id)
+                    continue;
+                for (const auto &[index_level, addr] : addrs) {
+                    if (rec.indexLevel == index_level && rec.addr == addr) {
+                        hazard = true;
+                        break;
+                    }
+                }
+                if (hazard)
+                    break;
+            }
+        }
+        if (!hazard)
+            return;
+
+        // Flush: every packet between the elastic buffer (restart stage)
+        // and the write stage replays from its checkpoint.
+        sim.stats_.flushEvents++;
+        for (size_t s = window_first; s < plan->writeStage; ++s) {
+            std::unique_ptr<Flight> f = std::move(slots[s]);
+            if (!f || f.get() == cur) {
+                slots[s] = std::move(f);
+                continue;
+            }
+            sim.stats_.flushedPackets++;
+            sim.stats_.replayedStages += s - plan->restartStage;
+            // Un-commit the flushed packet's parked WAR writes: the
+            // replay re-executes the store instructions themselves.
+            pendingWrites.erase(
+                std::remove_if(pendingWrites.begin(), pendingWrites.end(),
+                               [&f](const PendingWrite &pw) {
+                                   return pw.writer == f.get();
+                               }),
+                pendingWrites.end());
+            restoreFlight(*f, plan->restartStage);
+            replayQueues[plan->restartStage].push_back(std::move(f));
+        }
+        // Keep replay order deterministic: oldest first.
+        auto &queue = replayQueues[plan->restartStage];
+        std::sort(queue.begin(), queue.end(),
+                  [](const auto &a, const auto &b) {
+                      return a->seq < b->seq;
+                  });
+        reloadStall = sim.config_.flushReloadCycles;
+    }
+
+    void
+    restoreFlight(Flight &flight, size_t restart_stage)
+    {
+        if (restart_stage == 0) {
+            // Full replay from the pipeline input.
+            flight.pkt = net::Packet(flight.pristineBytes);
+            flight.pkt.id = flight.id;
+            flight.pkt.arrivalNs = flight.arrivalNs;
+            flight.pkt.ingressIfindex = 1;
+            flight.state = std::make_unique<ExecState>(pipe.prog,
+                                                       &flight.pkt, &io);
+            flight.state->nowNs = flight.arrivalNs;
+            flight.blockEnabled.assign(pipe.numBlocks(), false);
+            flight.blockEnabled[entryBlock] = true;
+            flight.exited = false;
+            flight.trapped = false;
+            flight.trapReason.clear();
+            flight.lastExecuted = -1;
+            flight.reads.clear();
+            flight.checkpoints.clear();
+            return;
+        }
+        auto it = flight.checkpoints.find(restart_stage);
+        if (it == flight.checkpoints.end())
+            panic("flush restart without checkpoint at stage ",
+                  restart_stage);
+        const Flight::Checkpoint &cp = it->second;
+        flight.pkt = net::Packet(cp.pktBytes);
+        flight.pkt.id = flight.id;
+        flight.pkt.arrivalNs = flight.arrivalNs;
+        flight.pkt.ingressIfindex = 1;
+        flight.state = std::make_unique<ExecState>(pipe.prog, &flight.pkt,
+                                                   &io);
+        flight.state->nowNs = flight.arrivalNs;
+        flight.state->restore(cp.state);
+        flight.blockEnabled = cp.blockEnabled;
+        flight.exited = cp.exited;
+        flight.trapped = cp.trapped;
+        flight.action = cp.action;
+        flight.redirectIfindex = cp.redirectIfindex;
+        flight.reads = cp.reads;
+        flight.lastExecuted = static_cast<int64_t>(restart_stage);
+        // Checkpoints deeper than the restart point are stale.
+        flight.checkpoints.erase(
+            flight.checkpoints.upper_bound(restart_stage),
+            flight.checkpoints.end());
+    }
+
+    // --- stage execution -------------------------------------------------
+
+    void
+    executeStage(Flight &flight, size_t stage_idx)
+    {
+        const hdl::Stage &stage = pipe.stages[stage_idx];
+        cur = &flight;
+        if (!flight.exited && !stage.ops.empty()) {
+            flight.state->setPort(static_cast<unsigned>(stage_idx));
+            try {
+                for (const StageOp &op : stage.ops) {
+                    if (!flight.blockEnabled[op.blockId])
+                        continue;
+                    if (executeOp(flight, op))
+                        break;  // exit latched
+                }
+            } catch (const VmTrap &trap) {
+                flight.trapped = true;
+                flight.exited = true;
+                flight.action = XdpAction::Aborted;
+                flight.trapReason = trap.reason;
+            }
+        }
+        // Elastic buffers checkpoint the pipeline registers (appendix A.2).
+        if (std::binary_search(pipe.elasticBuffers.begin(),
+                               pipe.elasticBuffers.end(), stage_idx)) {
+            Flight::Checkpoint cp;
+            cp.state = flight.state->checkpoint();
+            cp.pktBytes = flight.pkt.bytes();
+            cp.blockEnabled = flight.blockEnabled;
+            cp.exited = flight.exited;
+            cp.trapped = flight.trapped;
+            cp.action = flight.action;
+            cp.redirectIfindex = flight.redirectIfindex;
+            cp.reads = flight.reads;
+            flight.checkpoints[stage_idx] = std::move(cp);
+        }
+        flight.lastExecuted = static_cast<int64_t>(stage_idx);
+        cur = nullptr;
+    }
+
+    /** Execute one op; returns true when the packet exits. */
+    bool
+    executeOp(Flight &flight, const StageOp &op)
+    {
+        switch (op.kind) {
+          case OpKind::Branch: {
+            const ebpf::Insn &insn = pipe.prog.insns[op.pcs.front()];
+            const bool taken = flight.state->evalCond(insn);
+            flight.blockEnabled[taken ? op.takenBlock : op.fallBlock] =
+                true;
+            return false;
+          }
+          case OpKind::Jump:
+            flight.blockEnabled[op.takenBlock] = true;
+            return false;
+          case OpKind::Exit: {
+            const uint32_t code = flight.state->exitCode();
+            flight.action =
+                static_cast<XdpAction>(code <= 4 ? code : 0);
+            flight.redirectIfindex = flight.state->redirectIfindex;
+            flight.exited = true;
+            return true;
+          }
+          default:
+            for (size_t pc : op.pcs)
+                flight.state->execute(pipe.prog.insns[pc]);
+            return false;
+        }
+    }
+
+    // --- cycle loop --------------------------------------------------------
+
+    bool
+    stalled(size_t stage_idx) const
+    {
+        // A pending replay at elastic buffer r holds stages <= r so the
+        // buffer can re-feed stage r+1. Restart 0 re-enters through the
+        // pipeline input instead, so it stalls nothing.
+        for (const auto &[restart, queue] : replayQueues)
+            if (!queue.empty() && restart > 0 && stage_idx <= restart)
+                return true;
+        return false;
+    }
+
+    void
+    stepOnce()
+    {
+        ++sim.stats_.cycles;
+        const uint64_t now_ns =
+            static_cast<uint64_t>(sim.stats_.cycles * cycleNs);
+
+        // 1. Execute, deepest stage first (older packets act earlier).
+        // A flight held in place by an elastic-buffer stall has already
+        // executed its stage and must not repeat its side effects.
+        for (size_t s = slots.size(); s-- > 0;) {
+            if (slots[s] &&
+                slots[s]->lastExecuted < static_cast<int64_t>(s))
+                executeStage(*slots[s], s);
+        }
+
+        // 2. Commit WAR-delayed writes whose writer cleared the window.
+        commitPendingWrites();
+
+        // 3. Retire from the last stage.
+        if (!slots.empty() && slots.back()) {
+            Flight &f = *slots.back();
+            // A packet that never reached an exit op aborts.
+            PacketOutcome out;
+            out.id = f.id;
+            out.action = f.exited ? f.action : XdpAction::Aborted;
+            out.redirectIfindex = f.redirectIfindex;
+            out.trapped = f.trapped || !f.exited;
+            out.trapReason = f.exited ? f.trapReason : "no exit reached";
+            out.entryCycle = f.entryCycle;
+            out.exitCycle = sim.stats_.cycles;
+            out.bytes = f.pkt.bytes();
+            sim.outcomes_.push_back(std::move(out));
+            sim.stats_.completed++;
+            // Orphan any pending writes (should have committed already).
+            for (auto &pw : pendingWrites)
+                if (pw.writer == slots.back().get())
+                    panic("pending WAR write outlived its writer");
+            slots.back().reset();
+        }
+
+        // 4. Advance the pipeline (respecting elastic-buffer stalls).
+        for (size_t s = slots.size(); s-- > 1;) {
+            if (!slots[s] && slots[s - 1] && !stalled(s - 1))
+                slots[s] = std::move(slots[s - 1]);
+        }
+        if (!slots.empty() && stalled(0))
+            sim.stats_.stallCycles++;
+
+        // 5. Re-inject flushed packets at their elastic buffers.
+        for (auto &[restart, queue] : replayQueues) {
+            if (queue.empty())
+                continue;
+            const size_t target = restart == 0 ? 0 : restart + 1;
+            if (target < slots.size() && !slots[target]) {
+                slots[target] = std::move(queue.front());
+                queue.pop_front();
+            }
+        }
+
+        // 6. Inject a fresh packet.
+        if (reloadStall > 0) {
+            --reloadStall;
+            sim.stats_.stallCycles++;
+        } else if (!slots.empty() && !slots[0] && !stalled(0) &&
+                   !inputQueue.empty() &&
+                   inputQueue.front()->arrivalNs <= now_ns) {
+            std::unique_ptr<Flight> f = std::move(inputQueue.front());
+            inputQueue.pop_front();
+            f->entryCycle = sim.stats_.cycles;
+            slots[0] = std::move(f);
+        }
+    }
+
+    bool
+    idle() const
+    {
+        if (!inputQueue.empty() || !pendingWrites.empty())
+            return false;
+        for (const auto &slot : slots)
+            if (slot)
+                return false;
+        for (const auto &[restart, queue] : replayQueues)
+            if (!queue.empty())
+                return false;
+        return true;
+    }
+
+    const Pipeline &pipe;
+    MapSet &maps;
+    PipeSim &sim;
+    HazardMapIo io;
+
+    std::vector<std::unique_ptr<Flight>> slots;
+    std::deque<std::unique_ptr<Flight>> inputQueue;
+    std::map<size_t, std::deque<std::unique_ptr<Flight>>> replayQueues;
+    std::vector<PendingWrite> pendingWrites;
+
+    Flight *cur = nullptr;
+    unsigned reloadStall = 0;
+    double cycleNs = 4.0;
+    size_t entryBlock = 0;
+    uint64_t nextSeq = 0;
+};
+
+PipeSim::PipeSim(const Pipeline &pipe, MapSet &maps, PipeSimConfig config)
+    : config_(config)
+{
+    if (pipe.numStages() == 0)
+        fatal("cannot simulate an empty pipeline");
+    impl_ = std::make_unique<Impl>(pipe, maps, *this);
+}
+
+PipeSim::~PipeSim() = default;
+
+bool
+PipeSim::offer(net::Packet pkt)
+{
+    stats_.offered++;
+    if (impl_->inputQueue.size() >= config_.inputQueueCapacity) {
+        stats_.lost++;
+        return false;
+    }
+    auto flight = std::make_unique<Impl::Flight>();
+    flight->id = pkt.id;
+    flight->seq = impl_->nextSeq++;
+    flight->arrivalNs = pkt.arrivalNs;
+    flight->pristineBytes = pkt.bytes();
+    flight->pkt = std::move(pkt);
+    flight->state = std::make_unique<ExecState>(impl_->pipe.prog,
+                                                &flight->pkt, &impl_->io);
+    flight->state->nowNs = flight->arrivalNs;
+    flight->blockEnabled.assign(impl_->pipe.numBlocks(), false);
+    flight->blockEnabled[impl_->entryBlock] = true;
+    impl_->inputQueue.push_back(std::move(flight));
+    stats_.accepted++;
+    return true;
+}
+
+void
+PipeSim::drain()
+{
+    const uint64_t budget =
+        stats_.cycles + 1000000ULL +
+        2000ULL * (stats_.accepted + impl_->pipe.numStages());
+    while (!impl_->idle()) {
+        impl_->stepOnce();
+        if (stats_.cycles > budget)
+            panic("pipeline simulation did not drain (livelock?)");
+    }
+}
+
+void
+PipeSim::step()
+{
+    impl_->stepOnce();
+}
+
+double
+PipeSim::avgLatencyNs() const
+{
+    if (outcomes_.empty())
+        return 0.0;
+    double total = 0;
+    for (const PacketOutcome &out : outcomes_)
+        total += static_cast<double>(out.exitCycle - out.entryCycle + 1) *
+                 impl_->cycleNs;
+    return total / static_cast<double>(outcomes_.size());
+}
+
+}  // namespace ehdl::sim

@@ -1,0 +1,118 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace ehdl::sim {
+
+using net::FlowKey;
+using net::Packet;
+using net::PacketFactory;
+using net::PacketSpec;
+
+TrafficGen::TrafficGen(TrafficConfig config)
+    : config_(config), rng_(config.seed),
+      zipf_(std::max<uint64_t>(1, config.numFlows),
+            config.zipfS > 0 ? config.zipfS : 1.0)
+{
+    if (config_.numFlows == 0)
+        fatal("traffic generator needs at least one flow");
+    if (config_.lineRateGbps <= 0)
+        fatal("line rate must be positive");
+}
+
+FlowKey
+TrafficGen::flowOf(uint64_t rank) const
+{
+    // Deterministic flow -> 5-tuple mapping spread over two /16 networks.
+    FlowKey key;
+    key.srcIp = 0x0a000000u + static_cast<uint32_t>(rank % 65521) +
+                static_cast<uint32_t>((rank / 65521) << 16 & 0x00ff0000);
+    key.dstIp = 0xc0a80000u + static_cast<uint32_t>((rank * 2654435761u) %
+                                                    65000);
+    key.srcPort = static_cast<uint16_t>(1024 + rank % 50000);
+    key.dstPort = static_cast<uint16_t>(53 + (rank % 7) * 1000);
+    key.proto = config_.ipProto;
+    return key;
+}
+
+uint32_t
+TrafficGen::sampleLen()
+{
+    if (config_.packetLen != 0)
+        return config_.packetLen;
+    // Bimodal internet mix: a spike at 64B, a spike at 1500B, and an
+    // exponential body; mixture weight solves for the requested mean.
+    const double mean = config_.meanPacketLen;
+    const double p_small = 0.40;
+    const double body_mean = 420.0;
+    // mean = p_small*64 + p_big*1500 + (1-p_small-p_big)*body_mean
+    double p_big = (mean - p_small * 64.0 -
+                    (1.0 - p_small) * body_mean) /
+                   (1500.0 - body_mean);
+    p_big = std::clamp(p_big, 0.0, 1.0 - p_small);
+    const double u = rng_.uniform();
+    if (u < p_small)
+        return 64;
+    if (u < p_small + p_big)
+        return 1500;
+    const double body =
+        64.0 - body_mean * std::log(1.0 - rng_.uniform());
+    return static_cast<uint32_t>(std::clamp(body, 64.0, 1500.0));
+}
+
+Packet
+TrafficGen::next()
+{
+    const uint64_t rank = config_.zipfS > 0
+                              ? zipf_.sample(rng_)
+                              : rng_.below(config_.numFlows);
+    FlowKey flow = flowOf(rank);
+    const bool reverse = config_.reverseFraction > 0 &&
+                         rng_.chance(config_.reverseFraction);
+    if (reverse)
+        flow = flow.reversed();
+
+    PacketSpec spec;
+    spec.flow = flow;
+    spec.totalLen = sampleLen();
+    Packet pkt = PacketFactory::build(spec);
+    pkt.id = ++count_;
+    pkt.ingressIfindex = 1;
+
+    // Wire time: frame + 20B preamble/IFG at the configured rate.
+    const double wire_ns =
+        (spec.totalLen + 20.0) * 8.0 / config_.lineRateGbps;
+    timeNs_ += wire_ns;
+    pkt.arrivalNs = static_cast<uint64_t>(timeNs_);
+    return pkt;
+}
+
+TraceProfile
+caidaProfile()
+{
+    return {"caida_20190117-134900", 184305, 411.0, 1.0, 20190117};
+}
+
+TraceProfile
+mawiProfile()
+{
+    return {"mawi_202103221400", 163697, 573.0, 1.0, 20210322};
+}
+
+TrafficGen
+makeTraceReplay(const TraceProfile &profile, double gbps)
+{
+    TrafficConfig config;
+    config.numFlows = profile.flows;
+    config.zipfS = profile.zipfS;
+    config.packetLen = 0;
+    config.meanPacketLen = profile.meanPacketLen;
+    config.lineRateGbps = gbps;
+    config.seed = profile.seed;
+    return TrafficGen(config);
+}
+
+}  // namespace ehdl::sim

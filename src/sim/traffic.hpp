@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Workload generation: line-rate flow traffic (the DPDK generator of the
+ * paper's testbed) and synthetic CAIDA/MAWI-style traces matched to the
+ * published statistics of the real captures used in section 5.3, which are
+ * not redistributable (see DESIGN.md substitution table).
+ */
+
+#ifndef EHDL_SIM_TRAFFIC_HPP_
+#define EHDL_SIM_TRAFFIC_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace ehdl::sim {
+
+/** Configuration of the synthetic traffic source. */
+struct TrafficConfig
+{
+    uint64_t numFlows = 10000;
+    /** Zipf skew; 0 selects flows uniformly. */
+    double zipfS = 0.0;
+    /** Fixed frame length (bytes); 0 enables the size distribution. */
+    uint32_t packetLen = 64;
+    /** Mean frame length when packetLen == 0. */
+    double meanPacketLen = 411.0;
+    double lineRateGbps = 100.0;
+    uint8_t ipProto = net::kIpProtoUdp;
+    /** Fraction of packets sent in the reverse flow direction. */
+    double reverseFraction = 0.0;
+    uint64_t seed = 1;
+};
+
+/**
+ * Deterministic packet source. Packets carry monotonically increasing ids
+ * and arrival timestamps consistent with the configured line rate
+ * (Ethernet preamble + IFG overhead of 20B per frame included).
+ */
+class TrafficGen
+{
+  public:
+    explicit TrafficGen(TrafficConfig config);
+
+    /** The 5-tuple of flow @p rank. */
+    net::FlowKey flowOf(uint64_t rank) const;
+
+    /** Generate the next packet. */
+    net::Packet next();
+
+    /** Number of packets generated so far. */
+    uint64_t generated() const { return count_; }
+
+    /** Simulated time of the last generated packet. */
+    uint64_t nowNs() const { return static_cast<uint64_t>(timeNs_); }
+
+  private:
+    uint32_t sampleLen();
+
+    TrafficConfig config_;
+    Rng rng_;
+    ZipfSampler zipf_;
+    double timeNs_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/** Statistical profile of a real-world trace (paper table 2). */
+struct TraceProfile
+{
+    std::string name;
+    uint64_t flows = 0;
+    double meanPacketLen = 0;
+    double zipfS = 1.0;
+    uint64_t seed = 0;
+};
+
+/** caida_20190117-134900: mean 411B, 184'305 five-tuple flows. */
+TraceProfile caidaProfile();
+/** mawi_202103221400: mean 573B, 163'697 five-tuple flows. */
+TraceProfile mawiProfile();
+
+/** Build a TrafficGen replaying @p profile at @p gbps. */
+TrafficGen makeTraceReplay(const TraceProfile &profile, double gbps = 100.0);
+
+}  // namespace ehdl::sim
+
+#endif  // EHDL_SIM_TRAFFIC_HPP_

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Abstract-interpretation edge cases beyond what the verifier tests
+ * cover: lattice joins across paths, constant folding, stack-slot merges
+ * and convergence on branch-heavy programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ebpf/absint.hpp"
+#include "ebpf/asm.hpp"
+
+namespace ehdl::ebpf {
+namespace {
+
+AbsIntResult
+analyze(const std::string &text)
+{
+    return analyzeProgram(assemble(text));
+}
+
+TEST(AbsInt, JoinOfDifferentMapsIsTop)
+{
+    // R6 holds a value pointer from map a on one path and map b on the
+    // other; dereferencing the join must be flagged (region unknown).
+    const AbsIntResult result = analyze(R"(
+        .map a hash 4 8 4
+        .map b hash 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r7 = *(u32 *)(r1 + 12)
+        r2 = r10
+        r2 += -4
+        if r7 == 1 goto useb
+        r1 = map[a]
+        call 1
+        goto merged
+        useb:
+        r1 = map[b]
+        call 1
+        merged:
+        if r0 == 0 goto out
+        r4 = *(u64 *)(r0 + 0)
+        out:
+        r0 = 0
+        exit
+    )");
+    // The join of value pointers into two different maps is Top: eHDL
+    // cannot assign the access to one eHDLmap block, so the program is
+    // rejected (fail closed) rather than mislabeled.
+    EXPECT_FALSE(result.ok);
+    bool flagged = false;
+    for (const std::string &error : result.errors)
+        flagged |= error.find("non-pointer") != std::string::npos;
+    EXPECT_TRUE(flagged);
+}
+
+TEST(AbsInt, JoinOfSameMapKeepsLabel)
+{
+    const AbsIntResult result = analyze(R"(
+        .map a hash 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r7 = *(u32 *)(r1 + 12)
+        r2 = r10
+        r2 += -4
+        r1 = map[a]
+        if r7 == 1 goto second
+        call 1
+        goto merged
+        second:
+        call 1
+        merged:
+        if r0 == 0 goto out
+        r4 = *(u64 *)(r0 + 0)
+        out:
+        r0 = 0
+        exit
+    )");
+    ASSERT_TRUE(result.ok);
+    bool map_load = false;
+    for (const InsnLabel &label : result.labels)
+        map_load |= label.region == MemRegion::Map && label.mapId == 0;
+    EXPECT_TRUE(map_load);
+}
+
+TEST(AbsInt, ConstantFoldingThroughAlu)
+{
+    // key = ((2 << 3) | 1) & 0xf = 9: still a constant -> global state.
+    const AbsIntResult result = analyze(R"(
+        .map stats array 4 8 16
+        r3 = 2
+        r3 <<= 3
+        r3 |= 1
+        r3 &= 15
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[stats]
+        r2 = r10
+        r2 += -4
+        call 1
+        r0 = 0
+        exit
+    )");
+    ASSERT_TRUE(result.ok);
+    bool found = false;
+    for (const CallSite &site : result.calls) {
+        if (site.reachable) {
+            EXPECT_TRUE(site.keyConst);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AbsInt, DivergentConstantsJoinToUnknownScalar)
+{
+    const AbsIntResult result = analyze(R"(
+        .map stats array 4 8 16
+        r7 = *(u32 *)(r1 + 12)
+        r3 = 1
+        if r7 == 0 goto store
+        r3 = 2
+        store:
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[stats]
+        r2 = r10
+        r2 += -4
+        call 1
+        r0 = 0
+        exit
+    )");
+    ASSERT_TRUE(result.ok);
+    for (const CallSite &site : result.calls)
+        if (site.reachable)
+            EXPECT_FALSE(site.keyConst);  // 1-or-2 is not a constant
+}
+
+TEST(AbsInt, DivergentPacketOffsetsStayPacket)
+{
+    const AbsIntResult result = analyze(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r7 = *(u32 *)(r1 + 12)
+        if r7 == 0 goto deep
+        r6 += 14
+        goto load
+        deep:
+        r6 += 34
+        load:
+        r3 = *(u8 *)(r6 + 0)
+        r0 = 0
+        exit
+    )");
+    ASSERT_TRUE(result.ok);
+    const InsnLabel &label = result.labels[6];
+    EXPECT_EQ(label.region, MemRegion::Packet);
+    EXPECT_FALSE(label.offKnown);  // 14 vs 34 joined
+}
+
+TEST(AbsInt, StackSlotJoinLosesPointerWhenPathsDiffer)
+{
+    // One path spills a packet pointer, the other a scalar: the reload
+    // must not be treated as a pointer.
+    const AbsIntResult result = analyze(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r7 = *(u32 *)(r1 + 12)
+        if r7 == 0 goto scalar
+        *(u64 *)(r10 - 8) = r6
+        goto reload
+        scalar:
+        r3 = 5
+        *(u64 *)(r10 - 8) = r3
+        reload:
+        r4 = *(u64 *)(r10 - 8)
+        r5 = *(u8 *)(r4 + 0)
+        r0 = 0
+        exit
+    )");
+    EXPECT_FALSE(result.ok);  // deref of a maybe-scalar must be rejected
+}
+
+TEST(AbsInt, DeepBranchLadderConverges)
+{
+    // 24 chained diamonds: the worklist must converge quickly.
+    std::string text = "r6 = *(u32 *)(r1 + 12)\nr3 = 0\n";
+    for (int i = 0; i < 24; ++i) {
+        text += "if r6 == " + std::to_string(i) + " goto l" +
+                std::to_string(i) + "\n";
+        text += "r3 += 1\n";
+        text += "l" + std::to_string(i) + ":\n";
+    }
+    text += "r0 = 0\nexit\n";
+    const AbsIntResult result = analyze(text);
+    EXPECT_TRUE(result.ok) << (result.errors.empty() ? ""
+                                                     : result.errors[0]);
+    for (size_t pc = 0; pc < result.reachable.size(); ++pc)
+        EXPECT_TRUE(result.reachable[pc]) << pc;
+}
+
+TEST(AbsInt, PacketEndMinusPacketIsScalar)
+{
+    const AbsIntResult result = analyze(R"(
+        r2 = *(u32 *)(r1 + 4)
+        r3 = *(u32 *)(r1 + 0)
+        r2 -= r3
+        r0 = r2
+        exit
+    )");
+    EXPECT_TRUE(result.ok) << (result.errors.empty() ? ""
+                                                     : result.errors[0]);
+}
+
+TEST(AbsInt, RefinementOnlyAppliesToCheckedRegister)
+{
+    // Null check on r6 must not un-null r7 (a second lookup result).
+    const AbsIntResult result = analyze(R"(
+        .map a hash 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[a]
+        r2 = r10
+        r2 += -4
+        call 1
+        r6 = r0
+        r1 = map[a]
+        r2 = r10
+        r2 += -4
+        call 1
+        r7 = r0
+        if r6 == 0 goto out
+        r4 = *(u64 *)(r7 + 0)
+        out:
+        r0 = 0
+        exit
+    )");
+    EXPECT_FALSE(result.ok);
+    bool null_error = false;
+    for (const std::string &error : result.errors)
+        null_error |= error.find("null check") != std::string::npos;
+    EXPECT_TRUE(null_error);
+}
+
+}  // namespace
+}  // namespace ehdl::ebpf

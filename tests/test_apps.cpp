@@ -1,0 +1,619 @@
+/**
+ * @file
+ * Functional tests of the evaluation applications on the reference VM:
+ * each program's actual network behaviour (filtering, routing, rewriting,
+ * translation, policing), not just that it runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/apps.hpp"
+#include "common/bitops.hpp"
+#include "ebpf/vm.hpp"
+#include "net/checksum.hpp"
+#include "net/headers.hpp"
+
+namespace ehdl::apps {
+namespace {
+
+using ebpf::ExecResult;
+using ebpf::MapSet;
+using ebpf::Vm;
+using ebpf::XdpAction;
+using net::FlowKey;
+using net::Packet;
+using net::PacketFactory;
+using net::PacketSpec;
+
+Packet
+udpPacket(const FlowKey &flow, uint64_t id = 1)
+{
+    PacketSpec spec;
+    spec.flow = flow;
+    Packet pkt = PacketFactory::build(spec);
+    pkt.id = id;
+    return pkt;
+}
+
+struct AppFixture
+{
+    explicit AppFixture(AppSpec s) : spec(std::move(s)), maps(spec.prog.maps)
+    {
+        spec.seedMaps(maps);
+    }
+
+    ExecResult
+    run(Packet &pkt)
+    {
+        Vm vm(spec.prog, maps);
+        return vm.run(pkt);
+    }
+
+    AppSpec spec;
+    MapSet maps;
+};
+
+// --- toy counter ------------------------------------------------------
+
+TEST(ToyCounter, CountsByEtherType)
+{
+    AppFixture app(makeToyCounter());
+    PacketSpec ip_spec;
+    Packet ip = PacketFactory::build(ip_spec);
+    PacketSpec arp_spec;
+    arp_spec.etherType = net::kEthPArp;
+    Packet arp = PacketFactory::build(arp_spec);
+    PacketSpec v6_spec;
+    v6_spec.etherType = net::kEthPIpv6;
+    Packet v6 = PacketFactory::build(v6_spec);
+
+    EXPECT_EQ(app.run(ip).action, XdpAction::Tx);
+    app.run(ip);
+    app.run(arp);
+    app.run(v6);
+
+    auto counter = [&app](uint32_t key) {
+        std::vector<uint8_t> k(4);
+        storeLe<uint32_t>(k.data(), key);
+        return loadLe<uint64_t>(app.maps.at(0).hostLookup(k)->data());
+    };
+    EXPECT_EQ(counter(1), 2u);  // IPv4 twice
+    EXPECT_EQ(counter(2), 1u);  // IPv6
+    EXPECT_EQ(counter(3), 1u);  // ARP
+    EXPECT_EQ(counter(0), 0u);
+}
+
+TEST(ToyCounter, DropsRunts)
+{
+    AppFixture app(makeToyCounter());
+    Packet runt(std::vector<uint8_t>(10, 0));
+    EXPECT_EQ(app.run(runt).action, XdpAction::Drop);
+}
+
+// --- simple firewall ---------------------------------------------------
+
+TEST(Firewall, TrustedSideOpensSession)
+{
+    AppFixture app(makeSimpleFirewall());
+    const FlowKey out_flow{0x0a000001, 0xc0a80001, 4000, 53,
+                           net::kIpProtoUdp};
+    Packet out_pkt = udpPacket(out_flow);
+    EXPECT_EQ(app.run(out_pkt).action, XdpAction::Tx);
+    EXPECT_EQ(app.maps.byName("sessions")->count(), 1u);
+
+    // The reply (reversed 5-tuple) is now admitted.
+    Packet reply = udpPacket(out_flow.reversed());
+    EXPECT_EQ(app.run(reply).action, XdpAction::Tx);
+    // No extra session was created for the reply.
+    EXPECT_EQ(app.maps.byName("sessions")->count(), 1u);
+}
+
+TEST(Firewall, UntrustedSideIsDropped)
+{
+    AppFixture app(makeSimpleFirewall());
+    const FlowKey in_flow{0xc0a80001, 0x0a000001, 53, 4000,
+                          net::kIpProtoUdp};
+    Packet pkt = udpPacket(in_flow);
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Drop);
+    EXPECT_EQ(app.maps.byName("sessions")->count(), 0u);
+}
+
+TEST(Firewall, NonUdpPasses)
+{
+    AppFixture app(makeSimpleFirewall());
+    Packet tcp = udpPacket({0xc0a80001, 0x0a000001, 53, 4000,
+                            net::kIpProtoTcp});
+    EXPECT_EQ(app.run(tcp).action, XdpAction::Pass);
+}
+
+TEST(Firewall, RepeatTrafficUsesForwardSession)
+{
+    AppFixture app(makeSimpleFirewall());
+    const FlowKey flow{0x0a000002, 0xc0a80002, 1111, 2222,
+                       net::kIpProtoUdp};
+    Packet first = udpPacket(flow);
+    app.run(first);
+    Packet again = udpPacket(flow);
+    EXPECT_EQ(app.run(again).action, XdpAction::Tx);
+    EXPECT_EQ(app.maps.byName("sessions")->count(), 1u);
+}
+
+// --- router ------------------------------------------------------------
+
+TEST(Router, RedirectsWithRewrite)
+{
+    AppFixture app(makeRouterIpv4());
+    const FlowKey flow{0x0a000001, 0xc0a85a07, 999, 53, net::kIpProtoUdp};
+    Packet pkt = udpPacket(flow);
+    const uint8_t ttl_before = pkt.at(22);
+    const ExecResult result = app.run(pkt);
+    EXPECT_EQ(result.action, XdpAction::Redirect);
+    EXPECT_EQ(result.redirectIfindex, 4u);       // the /24 route
+    EXPECT_EQ(pkt.at(22), ttl_before - 1);       // TTL decremented
+    EXPECT_EQ(pkt.at(0), 0x60);                  // rewritten dst MAC
+    EXPECT_EQ(pkt.at(6), 0x20);                  // rewritten src MAC
+    // Header checksum still validates.
+    EXPECT_EQ(net::onesComplementSum(pkt.data() + 14, 20), 0xffff);
+}
+
+TEST(Router, LongestPrefixSelectsInterface)
+{
+    AppFixture app(makeRouterIpv4());
+    Packet p16 = udpPacket({0x0a000001, 0xc0a80101, 999, 53,
+                            net::kIpProtoUdp});
+    EXPECT_EQ(app.run(p16).redirectIfindex, 3u);
+    Packet def = udpPacket({0x0a000001, 0x08080808, 999, 53,
+                            net::kIpProtoUdp});
+    EXPECT_EQ(app.run(def).redirectIfindex, 2u);
+}
+
+TEST(Router, TtlExpiryDrops)
+{
+    AppFixture app(makeRouterIpv4());
+    PacketSpec spec;
+    spec.flow = {0x0a000001, 0xc0a80101, 999, 53, net::kIpProtoUdp};
+    spec.ttl = 1;
+    Packet pkt = PacketFactory::build(spec);
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Drop);
+}
+
+TEST(Router, CountsForwardedPackets)
+{
+    AppFixture app(makeRouterIpv4());
+    for (int i = 0; i < 3; ++i) {
+        Packet pkt = udpPacket({0x0a000001, 0x01010101, 999, 53,
+                                net::kIpProtoUdp});
+        app.run(pkt);
+    }
+    std::vector<uint8_t> key(4, 0);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  app.maps.byName("rtstats")->hostLookup(key)->data()),
+              3u);
+}
+
+// --- tunnel -------------------------------------------------------------
+
+TEST(Tunnel, EncapsulatesMatchedService)
+{
+    AppFixture app(makeTxIpTunnel());
+    const FlowKey flow{0x0a000001, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+    Packet pkt = udpPacket(flow);
+    const uint32_t len_before = pkt.size();
+    const ExecResult result = app.run(pkt);
+    ASSERT_FALSE(result.trapped) << result.trapReason;
+    EXPECT_EQ(result.action, XdpAction::Tx);
+    ASSERT_EQ(pkt.size(), len_before + 20);
+
+    // Outer Ethernet: dst MAC from the tunnel entry.
+    EXPECT_EQ(pkt.at(0), 0x70);
+    EXPECT_EQ(PacketFactory::etherType(pkt), net::kEthPIp);
+    // Outer IP header.
+    const uint8_t *ip = pkt.data() + 14;
+    EXPECT_EQ(ip[0], 0x45);
+    EXPECT_EQ(ip[9], net::kIpProtoIpIp);
+    EXPECT_EQ(loadBe<uint16_t>(ip + 2), len_before - 14 + 20);
+    EXPECT_EQ(loadBe<uint32_t>(ip + 12), 0x0a636363u);  // tunnel source
+    // Valid outer checksum.
+    EXPECT_EQ(net::onesComplementSum(ip, 20), 0xffff);
+    // Inner IP header intact behind the outer one.
+    const uint8_t *inner = pkt.data() + 34;
+    EXPECT_EQ(inner[0], 0x45);
+    EXPECT_EQ(loadBe<uint32_t>(inner + 12), flow.srcIp);
+}
+
+TEST(Tunnel, UnmatchedServicePasses)
+{
+    AppFixture app(makeTxIpTunnel());
+    Packet pkt = udpPacket({0x0a000001, 0xc0a80001, 4000, 9999,
+                            net::kIpProtoUdp});
+    const uint32_t len_before = pkt.size();
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Pass);
+    EXPECT_EQ(pkt.size(), len_before);
+}
+
+TEST(Tunnel, CountsEncapsulations)
+{
+    AppFixture app(makeTxIpTunnel());
+    for (int i = 0; i < 4; ++i) {
+        Packet pkt = udpPacket({0x0a000001, 0xc0a80001, 4000, 1053,
+                                net::kIpProtoUdp});
+        app.run(pkt);
+    }
+    std::vector<uint8_t> key(4, 0);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  app.maps.byName("tnstats")->hostLookup(key)->data()),
+              4u);
+}
+
+// --- DNAT ----------------------------------------------------------------
+
+TEST(Dnat, OutboundTranslatesSourceAndChecksumHolds)
+{
+    AppFixture app(makeDnat());
+    const FlowKey flow{0x0a000005, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+    Packet pkt = udpPacket(flow);
+    const ExecResult result = app.run(pkt);
+    ASSERT_FALSE(result.trapped) << result.trapReason;
+    EXPECT_EQ(result.action, XdpAction::Tx);
+    FlowKey after;
+    ASSERT_TRUE(PacketFactory::parseFlow(pkt, after));
+    EXPECT_EQ(after.srcIp, 0xc0000201u);  // 192.0.2.1
+    EXPECT_GE(after.srcPort, 20000);
+    EXPECT_LT(after.srcPort, 20000 + 0x4000);
+    EXPECT_EQ(after.dstIp, flow.dstIp);
+    EXPECT_EQ(net::onesComplementSum(pkt.data() + 14, 20), 0xffff);
+    EXPECT_EQ(app.maps.byName("nat")->count(), 1u);
+    EXPECT_EQ(app.maps.byName("rnat")->count(), 1u);
+}
+
+TEST(Dnat, RoundTripRestoresOriginal)
+{
+    AppFixture app(makeDnat());
+    const FlowKey flow{0x0a000005, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+    Packet out_pkt = udpPacket(flow);
+    app.run(out_pkt);
+    FlowKey translated;
+    ASSERT_TRUE(PacketFactory::parseFlow(out_pkt, translated));
+
+    // Craft the return packet toward the NAT address/port.
+    const FlowKey back{flow.dstIp, 0xc0000201u, flow.dstPort,
+                       translated.srcPort, net::kIpProtoUdp};
+    Packet in_pkt = udpPacket(back);
+    const ExecResult result = app.run(in_pkt);
+    EXPECT_EQ(result.action, XdpAction::Tx);
+    FlowKey restored;
+    ASSERT_TRUE(PacketFactory::parseFlow(in_pkt, restored));
+    EXPECT_EQ(restored.dstIp, flow.srcIp);
+    EXPECT_EQ(restored.dstPort, flow.srcPort);
+    EXPECT_EQ(net::onesComplementSum(in_pkt.data() + 14, 20), 0xffff);
+}
+
+TEST(Dnat, SecondPacketReusesBinding)
+{
+    AppFixture app(makeDnat());
+    const FlowKey flow{0x0a000009, 0xc0a80001, 5555, 53, net::kIpProtoUdp};
+    Packet first = udpPacket(flow, 1);
+    Packet second = udpPacket(flow, 2);
+    app.run(first);
+    app.run(second);
+    FlowKey t1, t2;
+    ASSERT_TRUE(PacketFactory::parseFlow(first, t1));
+    ASSERT_TRUE(PacketFactory::parseFlow(second, t2));
+    EXPECT_EQ(t1.srcPort, t2.srcPort);
+    EXPECT_EQ(app.maps.byName("nat")->count(), 1u);
+}
+
+TEST(Dnat, UnknownInboundDropped)
+{
+    AppFixture app(makeDnat());
+    Packet pkt = udpPacket({0xc0a80001, 0xc0000201u, 53, 31337,
+                            net::kIpProtoUdp});
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Drop);
+}
+
+TEST(Dnat, UntrustedOutboundPasses)
+{
+    AppFixture app(makeDnat());
+    Packet pkt = udpPacket({0xc0a80009, 0x08080808, 53, 53,
+                            net::kIpProtoUdp});
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Pass);
+}
+
+// --- suricata filter ------------------------------------------------------
+
+TEST(Suricata, BypassedFlowDroppedAndCounted)
+{
+    AppFixture app(makeSuricataFilter());
+    const FlowKey flow{0x0a000001, 0xc0a80001, 4000, 80, net::kIpProtoTcp};
+    seedSuricataBypass(app.maps, {flow});
+
+    PacketSpec spec;
+    spec.flow = flow;
+    spec.totalLen = 200;
+    Packet pkt = PacketFactory::build(spec);
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Drop);
+
+    // Per-flow byte counter accumulated the IP total length.
+    Packet pkt2 = PacketFactory::build(spec);
+    app.run(pkt2);
+    bool found = false;
+    for (const auto &[key, value] :
+         app.maps.byName("bypass")->snapshot()) {
+        const uint64_t bytes = loadLe<uint64_t>(value.data());
+        if (bytes != 0) {
+            EXPECT_EQ(bytes, 2u * (200 - 14));
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Suricata, UnlistedFlowPassesToIds)
+{
+    AppFixture app(makeSuricataFilter());
+    Packet pkt = udpPacket({0x0a000001, 0xc0a80001, 4000, 80,
+                            net::kIpProtoUdp});
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Pass);
+    std::vector<uint8_t> key(4, 0);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  app.maps.byName("sstats")->hostLookup(key)->data()),
+              1u);
+}
+
+TEST(Suricata, VlanTaggedTrafficHandled)
+{
+    AppFixture app(makeSuricataFilter());
+    // Build a VLAN frame by hand: eth header with 802.1Q tag, then IPv4.
+    PacketSpec spec;
+    spec.flow = {0x0a000001, 0xc0a80001, 4000, 80, net::kIpProtoUdp};
+    spec.totalLen = 96;
+    Packet base = PacketFactory::build(spec);
+    std::vector<uint8_t> bytes = base.bytes();
+    std::vector<uint8_t> tagged(bytes.begin(), bytes.begin() + 12);
+    tagged.push_back(0x81);  // TPID 0x8100
+    tagged.push_back(0x00);
+    tagged.push_back(0x00);  // VLAN 5
+    tagged.push_back(0x05);
+    tagged.insert(tagged.end(), bytes.begin() + 12, bytes.end());
+    Packet vlan(tagged);
+    const ExecResult result = app.run(vlan);
+    EXPECT_FALSE(result.trapped) << result.trapReason;
+    EXPECT_EQ(result.action, XdpAction::Pass);
+}
+
+// --- leaky bucket ----------------------------------------------------------
+
+TEST(LeakyBucket, PassesUnderRateDropsOver)
+{
+    AppFixture app(makeLeakyBucket());
+    const FlowKey flow{0x0a000001, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+    // Burst of back-to-back packets (same arrival time): the bucket fills
+    // at 1000 per packet and trips past 100000.
+    int passed = 0, dropped = 0;
+    for (int i = 0; i < 150; ++i) {
+        Packet pkt = udpPacket(flow, i + 1);
+        pkt.arrivalNs = 1000;  // no leak between packets
+        const XdpAction action = app.run(pkt).action;
+        passed += action == XdpAction::Pass ? 1 : 0;
+        dropped += action == XdpAction::Drop ? 1 : 0;
+    }
+    EXPECT_EQ(passed, 100);
+    EXPECT_EQ(dropped, 50);
+}
+
+TEST(LeakyBucket, LeaksOverTime)
+{
+    AppFixture app(makeLeakyBucket());
+    const FlowKey flow{0x0a000001, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+    // Fill to the brim...
+    for (int i = 0; i < 100; ++i) {
+        Packet pkt = udpPacket(flow, i + 1);
+        pkt.arrivalNs = 1000;
+        app.run(pkt);
+    }
+    Packet over = udpPacket(flow, 1000);
+    over.arrivalNs = 1000;
+    EXPECT_EQ(app.run(over).action, XdpAction::Drop);
+    // ...then wait: 50M ns leaks 50M/1024 ~ 48k of level.
+    Packet later = udpPacket(flow, 1001);
+    later.arrivalNs = 50'000'000;
+    EXPECT_EQ(app.run(later).action, XdpAction::Pass);
+}
+
+TEST(LeakyBucket, FlowsAreIndependent)
+{
+    AppFixture app(makeLeakyBucket());
+    const FlowKey noisy{0x0a000001, 0xc0a80001, 1, 1, net::kIpProtoUdp};
+    for (int i = 0; i < 150; ++i) {
+        Packet pkt = udpPacket(noisy, i + 1);
+        pkt.arrivalNs = 1000;
+        app.run(pkt);
+    }
+    const FlowKey quiet{0x0a000002, 0xc0a80002, 2, 2, net::kIpProtoUdp};
+    Packet pkt = udpPacket(quiet, 999);
+    pkt.arrivalNs = 1000;
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Pass);
+}
+
+// --- L4 load balancer -----------------------------------------------------
+
+Packet
+vipPacket(uint32_t src_ip, uint16_t sport, uint64_t id)
+{
+    PacketSpec spec;
+    spec.flow = {src_ip, 0xc0a8000a, sport, 53, net::kIpProtoUdp};
+    Packet pkt = PacketFactory::build(spec);
+    pkt.id = id;
+    return pkt;
+}
+
+TEST(LoadBalancer, EncapsulatesTowardAChosenBackend)
+{
+    AppFixture app(makeL4LoadBalancer());
+    Packet pkt = vipPacket(0x0a000001, 4000, 1);
+    const uint32_t len_before = pkt.size();
+    const ExecResult result = app.run(pkt);
+    ASSERT_FALSE(result.trapped) << result.trapReason;
+    EXPECT_EQ(result.action, XdpAction::Tx);
+    ASSERT_EQ(pkt.size(), len_before + 20);
+    const uint8_t *ip = pkt.data() + 14;
+    EXPECT_EQ(ip[9], net::kIpProtoIpIp);
+    EXPECT_EQ(loadBe<uint32_t>(ip + 12), 0x0ac80001u);  // LB source
+    const uint32_t backend = loadBe<uint32_t>(ip + 16);
+    EXPECT_GE(backend, 0x0ac80102u);
+    EXPECT_LE(backend, 0x0ac80105u);
+    EXPECT_EQ(net::onesComplementSum(ip, 20), 0xffff);
+    // Inner packet intact.
+    EXPECT_EQ(loadBe<uint32_t>(pkt.data() + 34 + 12), 0x0a000001u);
+}
+
+TEST(LoadBalancer, FlowsStickToTheirBackend)
+{
+    AppFixture app(makeL4LoadBalancer());
+    Packet first = vipPacket(0x0a000001, 4000, 1);
+    Packet again = vipPacket(0x0a000001, 4000, 2);
+    app.run(first);
+    app.run(again);
+    const std::vector<uint8_t> b1 = first.bytes();
+    const std::vector<uint8_t> b2 = again.bytes();
+    EXPECT_EQ(std::vector<uint8_t>(b1.begin() + 30, b1.begin() + 34),
+              std::vector<uint8_t>(b2.begin() + 30, b2.begin() + 34));
+}
+
+TEST(LoadBalancer, SpreadsFlowsAcrossBackends)
+{
+    AppFixture app(makeL4LoadBalancer());
+    std::map<uint32_t, int> hits;
+    for (uint32_t i = 0; i < 200; ++i) {
+        Packet pkt = vipPacket(0x0a000000 + i, 4000 + i % 97, i + 1);
+        if (app.run(pkt).action == XdpAction::Tx)
+            hits[loadBe<uint32_t>(pkt.data() + 30)]++;
+    }
+    EXPECT_EQ(hits.size(), 4u);  // all four backends used
+    for (const auto &[backend, count] : hits)
+        EXPECT_GT(count, 20);  // roughly even
+    // Per-VIP counter matches.
+    std::vector<uint8_t> key(4, 0);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  app.maps.byName("lbstats")->hostLookup(key)->data()),
+              200u);
+}
+
+TEST(LoadBalancer, NonVipTrafficPasses)
+{
+    AppFixture app(makeL4LoadBalancer());
+    Packet pkt = udpPacket({0x0a000001, 0xc0a80001, 4000, 53,
+                            net::kIpProtoUdp});
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Pass);
+}
+
+// --- IPIP decapsulation ---------------------------------------------------
+
+TEST(Decap, ReversesTheTunnel)
+{
+    // Encapsulate with the tunnel app, then strip with the decapsulator.
+    AppFixture tunnel(makeTxIpTunnel());
+    const FlowKey flow{0x0a000001, 0xc0a80001, 4000, 53,
+                       net::kIpProtoUdp};
+    Packet pkt = udpPacket(flow);
+    const std::vector<uint8_t> original = pkt.bytes();
+    ASSERT_EQ(tunnel.run(pkt).action, XdpAction::Tx);
+    ASSERT_EQ(pkt.size(), original.size() + 20);
+
+    AppFixture decap(makeIpipDecap());
+    const ExecResult result = decap.run(pkt);
+    ASSERT_FALSE(result.trapped) << result.trapReason;
+    EXPECT_EQ(result.action, XdpAction::Tx);
+    ASSERT_EQ(pkt.size(), original.size());
+    // Everything from the IP header on is the original packet; the
+    // Ethernet header carries the tunnel's MAC rewrite.
+    const std::vector<uint8_t> stripped = pkt.bytes();
+    EXPECT_EQ(std::vector<uint8_t>(stripped.begin() + 14, stripped.end()),
+              std::vector<uint8_t>(original.begin() + 14, original.end()));
+    std::vector<uint8_t> key(4, 0);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  decap.maps.byName("dstats")->hostLookup(key)->data()),
+              1u);
+}
+
+TEST(Decap, PlainTrafficPasses)
+{
+    AppFixture app(makeIpipDecap());
+    Packet pkt = udpPacket({0x0a000001, 0xc0a80001, 4000, 53,
+                            net::kIpProtoUdp});
+    const uint32_t len = pkt.size();
+    EXPECT_EQ(app.run(pkt).action, XdpAction::Pass);
+    EXPECT_EQ(pkt.size(), len);
+}
+
+// --- monitoring sampler -----------------------------------------------
+
+TEST(Sampler, SamplesRoughlyAQuarterAndTruncates)
+{
+    AppFixture app(makeMonitorSampler());
+    int passed = 0, dropped = 0;
+    uint32_t max_passed_len = 0;
+    for (uint64_t id = 1; id <= 800; ++id) {
+        PacketSpec spec;
+        spec.flow = {0x0a000001, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+        spec.totalLen = 512;
+        Packet pkt = PacketFactory::build(spec);
+        pkt.id = id;
+        const ExecResult result = app.run(pkt);
+        ASSERT_FALSE(result.trapped) << result.trapReason;
+        if (result.action == XdpAction::Pass) {
+            ++passed;
+            max_passed_len = std::max(max_passed_len, pkt.size());
+        } else {
+            ++dropped;
+        }
+    }
+    // ~25% sampling probability.
+    EXPECT_GT(passed, 800 / 4 - 70);
+    EXPECT_LT(passed, 800 / 4 + 70);
+    EXPECT_EQ(max_passed_len, 64u);  // truncated to the headers
+
+    // Counters: seen == all, sampled == passed.
+    std::vector<uint8_t> key0(4, 0), key1(4, 0);
+    storeLe<uint32_t>(key1.data(), 1);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  app.maps.byName("mstats")->hostLookup(key0)->data()),
+              800u);
+    EXPECT_EQ(loadLe<uint64_t>(
+                  app.maps.byName("mstats")->hostLookup(key1)->data()),
+              static_cast<uint64_t>(passed));
+}
+
+TEST(Sampler, ShortPacketsPassUntruncated)
+{
+    AppFixture app(makeMonitorSampler());
+    for (uint64_t id = 1; id <= 50; ++id) {
+        PacketSpec spec;
+        spec.flow = {0x0a000001, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+        spec.totalLen = 60;
+        Packet pkt = PacketFactory::build(spec);
+        pkt.id = id;
+        const ExecResult result = app.run(pkt);
+        if (result.action == XdpAction::Pass) {
+            EXPECT_EQ(pkt.size(), 60u);  // below the cap: untouched
+        }
+    }
+}
+
+TEST(Sampler, SamplingIsReplayDeterministic)
+{
+    AppFixture a(makeMonitorSampler()), b(makeMonitorSampler());
+    for (uint64_t id = 1; id <= 100; ++id) {
+        PacketSpec spec;
+        spec.flow = {0x0a000001, 0xc0a80001, 4000, 53, net::kIpProtoUdp};
+        Packet p1 = PacketFactory::build(spec);
+        Packet p2 = PacketFactory::build(spec);
+        p1.id = p2.id = id;
+        EXPECT_EQ(a.run(p1).action, b.run(p2).action);
+    }
+}
+
+}  // namespace
+}  // namespace ehdl::apps

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Assembler tests: every supported syntax form, label resolution, map
+ * directives, error reporting, and an assemble -> disassemble ->
+ * re-assemble fixed point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/disasm.hpp"
+#include "ebpf/vm.hpp"
+#include "net/headers.hpp"
+
+namespace ehdl::ebpf {
+namespace {
+
+TEST(Asm, ListingTwoProgram)
+{
+    // The paper's Listing 2 body (with explicit labels).
+    const char *text = R"(
+        .map stats array 4 8 16
+        r2 = *(u32 *)(r1 + 4)
+        r1 = *(u32 *)(r1 + 0)
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r2 = *(u8 *)(r1 + 12)
+        r1 = *(u8 *)(r1 + 13)
+        r1 <<= 8
+        r1 |= r2
+        if r1 == 34525 goto lookup
+        lookup:
+        r1 = map[stats]
+        r2 = r10
+        r2 += -4
+        call 1
+        r1 = r0
+        r0 = 3
+        if r1 == 0 goto out
+        r2 = 1
+        lock *(u64 *)(r1 + 0) += r2
+        out:
+        exit
+    )";
+    Program prog = assemble(text, "listing2");
+    EXPECT_EQ(prog.maps.size(), 1u);
+    EXPECT_EQ(prog.maps[0].name, "stats");
+    EXPECT_EQ(prog.insns.size(), 19u);
+    EXPECT_TRUE(prog.insns[17].isAtomic());
+}
+
+TEST(Asm, AllAluForms)
+{
+    Program prog = assemble(R"(
+        r1 = 5
+        r2 = r1
+        r1 += 3
+        r1 -= r2
+        r1 *= 2
+        r1 /= r2
+        r1 |= 0xf0
+        r1 &= 255
+        r1 <<= 4
+        r1 >>= 2
+        r1 s>>= 1
+        r1 %= 7
+        r1 ^= r2
+        w3 = 9
+        w3 += w3
+        r1 = -r1
+        r1 = be16 r1
+        r1 = le32 r1
+        r0 = r1
+        exit
+    )");
+    EXPECT_EQ(prog.insns.size(), 20u);
+    EXPECT_EQ(prog.insns[0].aluOp(), AluOp::Mov);
+    EXPECT_EQ(prog.insns[13].cls(), InsnClass::Alu);  // w registers -> ALU32
+    EXPECT_EQ(prog.insns[15].aluOp(), AluOp::Neg);
+    EXPECT_EQ(prog.insns[16].aluOp(), AluOp::End);
+    EXPECT_EQ(prog.insns[16].srcKind(), SrcKind::X);  // be
+    EXPECT_EQ(prog.insns[17].srcKind(), SrcKind::K);  // le
+}
+
+TEST(Asm, MemoryForms)
+{
+    Program prog = assemble(R"(
+        r2 = *(u8 *)(r1 + 12)
+        r3 = *(u16 *)(r1 + 0)
+        r4 = *(u64 *)(r10 - 8)
+        *(u8 *)(r1 + 1) = r2
+        *(u32 *)(r10 - 4) = 7
+        lock *(u32 *)(r1 + 8) += r3
+        r0 = 0
+        exit
+    )");
+    EXPECT_EQ(prog.insns[0].memSize(), MemSize::B);
+    EXPECT_EQ(prog.insns[1].memSize(), MemSize::H);
+    EXPECT_EQ(prog.insns[2].off, -8);
+    EXPECT_EQ(prog.insns[4].cls(), InsnClass::St);
+    EXPECT_EQ(prog.insns[4].imm, 7);
+    EXPECT_TRUE(prog.insns[5].isAtomic());
+    EXPECT_EQ(prog.insns[5].memSize(), MemSize::W);
+}
+
+TEST(Asm, JumpsAndLabels)
+{
+    Program prog = assemble(R"(
+        r1 = 1
+        if r1 != 0 goto fwd
+        r1 = 2
+        fwd:
+        if r1 s> -3 goto +1
+        r1 = 3
+        goto done
+        r1 = 4
+        done:
+        r0 = r1
+        exit
+    )");
+    EXPECT_EQ(prog.insns[1].jmpOp(), JmpOp::Jne);
+    EXPECT_EQ(prog.insns[1].off, 1);
+    EXPECT_EQ(prog.insns[3].jmpOp(), JmpOp::Jsgt);
+    EXPECT_EQ(prog.insns[3].imm, -3);
+    EXPECT_TRUE(prog.insns[5].isUncondJmp());
+}
+
+TEST(Asm, RegisterComparison)
+{
+    Program prog = assemble(R"(
+        r1 = 1
+        r2 = 2
+        if r1 < r2 goto +0
+        r0 = 0
+        exit
+    )");
+    EXPECT_EQ(prog.insns[2].srcKind(), SrcKind::X);
+    EXPECT_EQ(prog.insns[2].src, 2);
+}
+
+TEST(Asm, CommentsAndBlankLines)
+{
+    Program prog = assemble(R"(
+        ; full line comment
+        r0 = 0   ; trailing comment
+        # hash comment
+
+        exit     // slashes too
+    )");
+    EXPECT_EQ(prog.insns.size(), 2u);
+}
+
+TEST(Asm, LddwForms)
+{
+    Program prog = assemble(R"(
+        .map big hash 8 8 64
+        r1 = 1311768467463790320 ll
+        r2 = map[big]
+        r0 = 0
+        exit
+    )");
+    EXPECT_EQ(prog.insns[0].imm, 0x123456789abcdef0LL);
+    EXPECT_TRUE(prog.insns[1].isMapLoad);
+}
+
+TEST(Asm, Errors)
+{
+    EXPECT_THROW(assemble("bogus instruction\nexit\n"), FatalError);
+    EXPECT_THROW(assemble("goto nowhere\nexit\n"), FatalError);
+    EXPECT_THROW(assemble("r1 = map[nope]\nexit\n"), FatalError);
+    EXPECT_THROW(assemble("dup:\ndup:\nexit\n"), FatalError);
+    EXPECT_THROW(assemble(".map a array 4 8 2\n.map a array 4 8 2\nexit\n"),
+                 FatalError);
+}
+
+TEST(Asm, DisasmFixedPoint)
+{
+    const char *text = R"(
+        .map stats array 4 8 16
+        r2 = *(u32 *)(r1 + 4)
+        r1 = *(u32 *)(r1 + 0)
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[stats]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto +2
+        r2 = 1
+        lock *(u64 *)(r0 + 0) += r2
+        r0 = 2
+        exit
+    )";
+    Program p1 = assemble(text);
+    // Disassemble, then re-assemble with the map directive re-attached.
+    std::string round = ".map stats array 4 8 16\n";
+    for (size_t i = 0; i < p1.insns.size(); ++i) {
+        std::string line = disasmInsn(p1.insns[i]);
+        // Translate "map[0] ll" back to the named form.
+        const size_t pos = line.find("map[0] ll");
+        if (pos != std::string::npos)
+            line = line.substr(0, pos) + "map[stats]";
+        round += line + "\n";
+    }
+    Program p2 = assemble(round);
+    ASSERT_EQ(p1.insns.size(), p2.insns.size());
+    for (size_t i = 0; i < p1.insns.size(); ++i) {
+        EXPECT_EQ(p1.insns[i].opcode, p2.insns[i].opcode) << i;
+        EXPECT_EQ(p1.insns[i].off, p2.insns[i].off) << i;
+        EXPECT_EQ(p1.insns[i].imm, p2.insns[i].imm) << i;
+    }
+}
+
+TEST(Asm, AssembledProgramRunsOnVm)
+{
+    Program prog = assemble(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r0 = *(u8 *)(r6 + 12)
+        if r0 == 8 goto tx
+        r0 = 1
+        exit
+        tx:
+        r0 = 3
+        exit
+    )");
+    MapSet maps(prog.maps);
+    Vm vm(prog, maps);
+    net::PacketSpec spec;
+    net::Packet pkt = net::PacketFactory::build(spec);
+    const ExecResult result = vm.run(pkt);
+    EXPECT_FALSE(result.trapped);
+    EXPECT_EQ(result.action, XdpAction::Tx);  // IPv4 ethertype hi byte == 8
+}
+
+}  // namespace
+}  // namespace ehdl::ebpf

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Baseline-model tests: hXDP VLIW compression (figure 9c), throughput
+ * bands of figure 9a, BlueField-2 core scaling, and the SDNet capability
+ * model (DNAT inexpressibility) and resource multiple (figure 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "hdl/compiler.hpp"
+#include "hdl/resources.hpp"
+#include "sim/baselines.hpp"
+#include "sim/traffic.hpp"
+
+namespace ehdl::sim {
+namespace {
+
+std::vector<net::Packet>
+workload(const apps::AppSpec &spec, int n = 300)
+{
+    TrafficConfig config;
+    config.numFlows = 100;
+    config.reverseFraction = spec.reverseFraction;
+    TrafficGen gen(config);
+    std::vector<net::Packet> packets;
+    for (int i = 0; i < n; ++i)
+        packets.push_back(gen.next());
+    return packets;
+}
+
+TEST(Hxdp, VliwShorterThanProgram)
+{
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        HxdpModel model(spec.prog);
+        EXPECT_LT(model.vliwInstructionCount(), spec.prog.size())
+            << spec.prog.name;
+        EXPECT_GT(model.vliwInstructionCount(), spec.prog.size() / 3)
+            << spec.prog.name;
+    }
+}
+
+TEST(Hxdp, ThroughputInPaperBand)
+{
+    // Figure 9a: hXDP forwards 0.9-5.4 Mpps depending on the program.
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        apps::AppSpec app = spec;
+        ebpf::MapSet maps(app.prog.maps);
+        app.seedMaps(maps);
+        HxdpModel model(app.prog);
+        const BaselinePerf perf = model.measure(workload(app), maps);
+        EXPECT_GT(perf.mpps, 0.8) << spec.prog.name;
+        EXPECT_LT(perf.mpps, 12.0) << spec.prog.name;
+        // Latency stays around a microsecond (figure 9b).
+        EXPECT_GT(perf.latencyNs, 400.0) << spec.prog.name;
+        EXPECT_LT(perf.latencyNs, 1600.0) << spec.prog.name;
+    }
+}
+
+TEST(Hxdp, FixedResourceFootprint)
+{
+    const hdl::ResourceReport report = HxdpModel::resources();
+    EXPECT_NEAR(report.lutFrac, 0.083, 0.02);
+    // hXDP costs the same regardless of the program; compare with the
+    // largest eHDL design which must not exceed it dramatically.
+    const hdl::ResourceReport dnat = hdl::estimateResources(
+        hdl::compile(apps::makeDnat().prog));
+    EXPECT_LT(report.lutFrac, dnat.lutFrac * 1.5);
+}
+
+TEST(Bf2, CoreScalingIsLinear)
+{
+    const apps::AppSpec app = apps::makeRouterIpv4();
+    ebpf::MapSet maps(app.prog.maps);
+    app.seedMaps(maps);
+    const auto packets = workload(app);
+    const double one = Bf2Model(app.prog, 1).measure(packets, maps).mpps;
+    const double four = Bf2Model(app.prog, 4).measure(packets, maps).mpps;
+    EXPECT_NEAR(four / one, 4.0, 0.01);
+    // Figure 9a: 1 core comparable to hXDP, 4 cores past 10 Mpps.
+    EXPECT_GT(one, 1.0);
+    EXPECT_LT(one, 6.0);
+    EXPECT_GT(four, 7.0);
+}
+
+TEST(Bf2, LatencyTenTimesFpga)
+{
+    const apps::AppSpec app = apps::makeSimpleFirewall();
+    ebpf::MapSet maps(app.prog.maps);
+    const BaselinePerf perf =
+        Bf2Model(app.prog, 1).measure(workload(app), maps);
+    // Figure 9b discussion: Bf2 latency ~10x the FPGA designs (~1 us).
+    EXPECT_GT(perf.latencyNs, 6000.0);
+    EXPECT_LT(perf.latencyNs, 20000.0);
+}
+
+TEST(Sdnet, SupportsStatelessAndCounterApps)
+{
+    EXPECT_TRUE(SdnetModel(apps::makeRouterIpv4().prog).supported());
+    EXPECT_TRUE(SdnetModel(apps::makeTxIpTunnel().prog).supported());
+    EXPECT_TRUE(SdnetModel(apps::makeSuricataFilter().prog).supported());
+    EXPECT_TRUE(SdnetModel(apps::makeSimpleFirewall().prog).supported());
+    EXPECT_TRUE(SdnetModel(apps::makeToyCounter().prog).supported());
+}
+
+TEST(Sdnet, CannotExpressDnat)
+{
+    // Section 5: "we could not implement the DNAT in P4, since there is
+    // no obvious way to define the dynamic port selection within the
+    // data plane with SDNet P4".
+    SdnetModel model(apps::makeDnat().prog);
+    EXPECT_FALSE(model.supported());
+    EXPECT_NE(model.rejection().find("dynamically computed"),
+              std::string::npos);
+    EXPECT_EQ(model.mpps(), 0.0);
+}
+
+TEST(Sdnet, LineRateWhenSupported)
+{
+    SdnetModel model(apps::makeRouterIpv4().prog);
+    EXPECT_NEAR(model.mpps(), 148.8, 0.1);
+}
+
+TEST(Sdnet, ResourcesTwoToFourTimesEhdl)
+{
+    // Figure 10: SDNet designs use 2-4x the resources of eHDL pipelines.
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        SdnetModel model(spec.prog);
+        if (!model.supported())
+            continue;
+        const hdl::ResourceReport sdnet = model.resources();
+        const hdl::ResourceReport ehdl =
+            hdl::estimateResources(hdl::compile(spec.prog));
+        const double ratio = sdnet.pipeline.luts / ehdl.pipeline.luts;
+        EXPECT_GT(ratio, 1.5) << spec.prog.name;
+        EXPECT_LT(ratio, 6.0) << spec.prog.name;
+        EXPECT_GT(sdnet.pipeline.ffs, ehdl.pipeline.ffs) << spec.prog.name;
+        EXPECT_GT(sdnet.pipeline.brams, ehdl.pipeline.brams)
+            << spec.prog.name;
+    }
+}
+
+TEST(Baselines, EhdlBeatsProcessorsByTenToHundred)
+{
+    // The paper's headline: 10-100x higher throughput than hXDP/Bf2.
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        apps::AppSpec app = spec;
+        ebpf::MapSet maps(app.prog.maps);
+        app.seedMaps(maps);
+        const auto packets = workload(app);
+        const double hxdp =
+            HxdpModel(app.prog).measure(packets, maps).mpps;
+        const double ehdl_line_rate = 148.8;
+        const double factor = ehdl_line_rate / hxdp;
+        EXPECT_GE(factor, 10.0) << spec.prog.name;
+        EXPECT_LE(factor, 200.0) << spec.prog.name;
+    }
+}
+
+}  // namespace
+}  // namespace ehdl::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multi-program bundle tests (paper section 2.4): compiling several
+ * programs behind one shell, combined resource accounting, interface
+ * dispatch, and the headline deployment check — all five evaluation
+ * programs fit one Alveo U50 together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "common/logging.hpp"
+#include "ebpf/builder.hpp"
+#include "hdl/bundle.hpp"
+
+namespace ehdl::hdl {
+namespace {
+
+TEST(Bundle, CompilesAllMembers)
+{
+    std::vector<ebpf::Program> programs;
+    for (const apps::AppSpec &spec : apps::paperApps())
+        programs.push_back(spec.prog);
+    const PipelineBundle bundle = compileBundle(programs);
+    ASSERT_EQ(bundle.members.size(), 5u);
+    for (size_t i = 0; i < bundle.members.size(); ++i) {
+        EXPECT_GT(bundle.members[i].pipeline.numStages(), 0u);
+        EXPECT_EQ(bundle.members[i].ingressIfindex, i + 1);
+    }
+}
+
+TEST(Bundle, AllFiveAppsFitTheU50Together)
+{
+    std::vector<ebpf::Program> programs;
+    for (const apps::AppSpec &spec : apps::paperApps())
+        programs.push_back(spec.prog);
+    const PipelineBundle bundle = compileBundle(programs);
+    const ResourceReport report = bundle.resources();
+    EXPECT_TRUE(bundle.fitsDevice());
+    // Sharing the shell: the total is far below five standalone designs.
+    double standalone = 0;
+    for (const BundleMember &member : bundle.members)
+        standalone += estimateResources(member.pipeline, true).lutFrac;
+    EXPECT_LT(report.lutFrac, standalone - 3 * kShellLuts / kU50Luts);
+    EXPECT_GT(report.lutFrac, 0.15);
+    EXPECT_LT(report.lutFrac, 0.60);
+}
+
+TEST(Bundle, DispatchByIfindex)
+{
+    std::vector<ebpf::Program> programs = {
+        apps::makeToyCounter().prog,
+        apps::makeSimpleFirewall().prog,
+    };
+    const PipelineBundle bundle = compileBundle(programs);
+    EXPECT_EQ(bundle.memberFor(1), 0u);
+    EXPECT_EQ(bundle.memberFor(2), 1u);
+    EXPECT_EQ(bundle.memberFor(9), SIZE_MAX);
+}
+
+TEST(Bundle, PropagatesCompileErrors)
+{
+    ebpf::ProgramBuilder bad("bad");
+    bad.movReg(0, 5);  // uninitialized
+    bad.exit();
+    std::vector<ebpf::Program> programs = {apps::makeToyCounter().prog,
+                                           bad.build()};
+    EXPECT_THROW(compileBundle(programs), FatalError);
+}
+
+TEST(Bundle, OptionsApplyToEveryMember)
+{
+    std::vector<ebpf::Program> programs = {apps::makeToyCounter().prog};
+    PipelineOptions options;
+    options.enableIlp = false;
+    const PipelineBundle a = compileBundle(programs);
+    const PipelineBundle b = compileBundle(programs, options);
+    EXPECT_GT(b.members[0].pipeline.numStages(),
+              a.members[0].pipeline.numStages());
+}
+
+TEST(Bundle, EmptyBundleIsEmpty)
+{
+    const PipelineBundle bundle = compileBundle({});
+    EXPECT_TRUE(bundle.members.empty());
+    EXPECT_TRUE(bundle.fitsDevice());
+}
+
+}  // namespace
+}  // namespace ehdl::hdl

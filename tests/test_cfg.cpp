@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Control-flow graph tests: block splitting, edges, topological layout
+ * order (fallthrough-first, which the hazard planner relies on), and
+ * cycle detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "apps/apps.hpp"
+#include "common/logging.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/builder.hpp"
+
+namespace ehdl::analysis {
+namespace {
+
+using ebpf::assemble;
+using ebpf::Program;
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Program prog = assemble("r1 = 1\nr2 = 2\nr0 = 0\nexit\n");
+    Cfg cfg = Cfg::build(prog);
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].first, 0u);
+    EXPECT_EQ(cfg.blocks()[0].last, 3u);
+    EXPECT_TRUE(cfg.isDag());
+    EXPECT_EQ(cfg.topoOrder(), std::vector<size_t>{0});
+}
+
+TEST(Cfg, DiamondShape)
+{
+    Program prog = assemble(R"(
+        r1 = 1
+        if r1 == 0 goto left
+        r2 = 2
+        goto join
+        left:
+        r2 = 3
+        join:
+        r0 = r2
+        exit
+    )");
+    Cfg cfg = Cfg::build(prog);
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    // Entry block has two successors: fallthrough first.
+    const BasicBlock &entry = cfg.blocks()[cfg.blockOf(0)];
+    ASSERT_EQ(entry.succs.size(), 2u);
+    EXPECT_EQ(entry.succs[0], cfg.blockOf(2));  // fallthrough
+    EXPECT_EQ(entry.succs[1], cfg.blockOf(4));  // taken
+    // Join block has two predecessors.
+    EXPECT_EQ(cfg.blocks()[cfg.blockOf(5)].preds.size(), 2u);
+    EXPECT_TRUE(cfg.isDag());
+}
+
+TEST(Cfg, FallthroughPrecedesTakenInTopoOrder)
+{
+    Program prog = assemble(R"(
+        r1 = 1
+        if r1 == 0 goto other
+        r2 = 2
+        r0 = r2
+        exit
+        other:
+        r0 = 0
+        exit
+    )");
+    Cfg cfg = Cfg::build(prog);
+    const auto &topo = cfg.topoOrder();
+    size_t pos_fall = 0, pos_taken = 0;
+    for (size_t i = 0; i < topo.size(); ++i) {
+        if (topo[i] == cfg.blockOf(2))
+            pos_fall = i;
+        if (topo[i] == cfg.blockOf(5))
+            pos_taken = i;
+    }
+    EXPECT_LT(pos_fall, pos_taken);
+}
+
+TEST(Cfg, CallDoesNotSplitBlocks)
+{
+    Program prog = assemble(R"(
+        r1 = 1
+        call 5
+        r0 = 0
+        exit
+    )");
+    Cfg cfg = Cfg::build(prog);
+    EXPECT_EQ(cfg.blocks().size(), 1u);
+}
+
+TEST(Cfg, LoopDetected)
+{
+    Program prog = assemble(R"(
+        r1 = 3
+        top:
+        r1 -= 1
+        if r1 != 0 goto top
+        r0 = 0
+        exit
+    )");
+    Cfg cfg = Cfg::build(prog);
+    EXPECT_FALSE(cfg.isDag());
+}
+
+TEST(Cfg, UnreachableBlockExcludedFromTopo)
+{
+    Program prog = assemble(R"(
+        r0 = 0
+        goto out
+        r0 = 1
+        out:
+        exit
+    )");
+    Cfg cfg = Cfg::build(prog);
+    const auto &topo = cfg.topoOrder();
+    for (size_t block : topo)
+        EXPECT_NE(block, cfg.blockOf(2));
+}
+
+TEST(Cfg, BlockOfCoversEveryInsn)
+{
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        Cfg cfg = Cfg::build(spec.prog);
+        for (size_t pc = 0; pc < spec.prog.size(); ++pc) {
+            const size_t block = cfg.blockOf(pc);
+            ASSERT_LT(block, cfg.blocks().size());
+            EXPECT_GE(pc, cfg.blocks()[block].first);
+            EXPECT_LE(pc, cfg.blocks()[block].last);
+        }
+        EXPECT_TRUE(cfg.isDag()) << spec.prog.name;
+    }
+}
+
+TEST(Cfg, TopoOrderRespectsEdges)
+{
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        Cfg cfg = Cfg::build(spec.prog);
+        std::vector<size_t> position(cfg.blocks().size(), SIZE_MAX);
+        for (size_t i = 0; i < cfg.topoOrder().size(); ++i)
+            position[cfg.topoOrder()[i]] = i;
+        for (const BasicBlock &bb : cfg.blocks()) {
+            if (position[bb.id] == SIZE_MAX)
+                continue;  // unreachable
+            for (size_t succ : bb.succs)
+                EXPECT_LT(position[bb.id], position[succ])
+                    << spec.prog.name << " B" << bb.id << "->B" << succ;
+        }
+    }
+}
+
+TEST(Cfg, DotOutputMentionsBlocks)
+{
+    Program prog = assemble("r0 = 0\nexit\n");
+    Cfg cfg = Cfg::build(prog);
+    const std::string dot = cfg.toDot(prog);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("B0"), std::string::npos);
+    EXPECT_NE(dot.find("exit"), std::string::npos);
+}
+
+TEST(Cfg, JumpOffProgramIsFatal)
+{
+    ebpf::ProgramBuilder b("bad");
+    b.mov(0, 0);
+    b.exit();
+    Program prog = b.build();
+    prog.insns[0].opcode =
+        ebpf::makeJmpOpcode(ebpf::InsnClass::Jmp, ebpf::JmpOp::Ja,
+                            ebpf::SrcKind::K);
+    prog.insns[0].off = 100;
+    EXPECT_THROW(Cfg::build(prog), FatalError);
+}
+
+}  // namespace
+}  // namespace ehdl::analysis

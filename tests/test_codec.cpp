@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Wire-format codec tests: encode/decode round trips across instruction
+ * shapes, the two-slot lddw form, and slot/index jump-offset conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/codec.hpp"
+#include "ebpf/disasm.hpp"
+
+namespace ehdl::ebpf {
+namespace {
+
+/** Structural equality ignoring origPc. */
+void
+expectSameInsns(const std::vector<Insn> &a, const std::vector<Insn> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].opcode, b[i].opcode) << "insn " << i;
+        EXPECT_EQ(a[i].dst, b[i].dst) << "insn " << i;
+        EXPECT_EQ(a[i].src, b[i].src) << "insn " << i;
+        EXPECT_EQ(a[i].off, b[i].off) << "insn " << i;
+        EXPECT_EQ(a[i].imm, b[i].imm) << "insn " << i;
+        EXPECT_EQ(a[i].isMapLoad, b[i].isMapLoad) << "insn " << i;
+    }
+}
+
+TEST(Codec, SimpleRoundTrip)
+{
+    ProgramBuilder b("rt");
+    b.mov(0, 42);
+    b.alu(AluOp::Add, 0, -1);
+    b.exit();
+    Program prog = b.build();
+    const std::vector<uint8_t> wire = encode(prog.insns);
+    EXPECT_EQ(wire.size(), 3 * 8u);
+    expectSameInsns(decode(wire), prog.insns);
+}
+
+TEST(Codec, LddwTakesTwoSlots)
+{
+    ProgramBuilder b("lddw");
+    b.lddw(1, 0x1122334455667788LL);
+    b.mov(0, 0);
+    b.exit();
+    Program prog = b.build();
+    const std::vector<uint8_t> wire = encode(prog.insns);
+    EXPECT_EQ(wire.size(), 4 * 8u);  // lddw occupies two slots
+    const std::vector<Insn> back = decode(wire);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].imm, 0x1122334455667788LL);
+}
+
+TEST(Codec, NegativeLddw)
+{
+    ProgramBuilder b("neg");
+    b.lddw(1, -5);
+    b.mov(0, 0);
+    b.exit();
+    const std::vector<Insn> back = decode(encode(b.build().insns));
+    EXPECT_EQ(back[0].imm, -5);
+}
+
+TEST(Codec, MapLddwKeepsId)
+{
+    ProgramBuilder b("map");
+    b.addMap({"m", MapKind::Array, 4, 8, 1});
+    b.ldMap(1, 0);
+    b.mov(0, 0);
+    b.exit();
+    const std::vector<Insn> back = decode(encode(b.build().insns));
+    EXPECT_TRUE(back[0].isMapLoad);
+    EXPECT_EQ(back[0].imm, 0);
+}
+
+TEST(Codec, JumpOffsetsCrossLddw)
+{
+    // A forward jump over an lddw: index offset 2, slot offset 3.
+    ProgramBuilder b("jmp");
+    b.mov(1, 0);
+    b.jcond(JmpOp::Jeq, 1, 0, "target");
+    b.lddw(2, 123456789012345LL);
+    b.mov(3, 1);
+    b.label("target");
+    b.mov(0, 0);
+    b.exit();
+    Program prog = b.build();
+    EXPECT_EQ(prog.insns[1].off, 2);
+
+    const std::vector<uint8_t> wire = encode(prog.insns);
+    // Slot offset must account for the extra lddw slot.
+    const int16_t slot_off =
+        static_cast<int16_t>(wire[2 * 8 + 2] | (wire[2 * 8 + 3] << 8));
+    // Wire slot 1 holds the jump (slot 0 = mov).
+    const int16_t jmp_off =
+        static_cast<int16_t>(wire[1 * 8 + 2] | (wire[1 * 8 + 3] << 8));
+    (void)slot_off;
+    EXPECT_EQ(jmp_off, 3);
+
+    expectSameInsns(decode(wire), prog.insns);
+}
+
+TEST(Codec, BackwardJumpRoundTrip)
+{
+    ProgramBuilder b("loop");
+    b.mov(1, 3);
+    b.label("top");
+    b.alu(AluOp::Add, 1, -1);
+    b.jcond(JmpOp::Jne, 1, 0, "top");
+    b.mov(0, 0);
+    b.exit();
+    Program prog = b.build();
+    EXPECT_EQ(prog.insns[2].off, -2);
+    expectSameInsns(decode(encode(prog.insns)), prog.insns);
+}
+
+TEST(Codec, RejectsMisalignedInput)
+{
+    EXPECT_THROW(decode(std::vector<uint8_t>(7, 0)), FatalError);
+}
+
+TEST(Codec, RejectsTruncatedLddw)
+{
+    // Single-slot lddw opcode with no continuation slot.
+    std::vector<uint8_t> wire(8, 0);
+    wire[0] = 0x18;
+    EXPECT_THROW(decode(wire), FatalError);
+}
+
+TEST(Codec, RejectsJumpIntoLddwSecondSlot)
+{
+    // Jump targeting the middle of an lddw must be rejected.
+    std::vector<uint8_t> wire;
+    auto slot = [&wire](uint8_t op, uint8_t regs, int16_t off, int32_t imm) {
+        wire.push_back(op);
+        wire.push_back(regs);
+        wire.push_back(static_cast<uint8_t>(off & 0xff));
+        wire.push_back(static_cast<uint8_t>(off >> 8));
+        for (int i = 0; i < 4; ++i)
+            wire.push_back(static_cast<uint8_t>(imm >> (8 * i)));
+    };
+    slot(0x05, 0, 1, 0);   // ja +1 -> second slot of the lddw
+    slot(0x18, 1, 0, 5);   // lddw r1, ...
+    slot(0x00, 0, 0, 0);   // continuation
+    slot(0x95, 0, 0, 0);   // exit
+    EXPECT_THROW(decode(wire), FatalError);
+}
+
+/** Random ALU/JMP programs survive an encode/decode round trip. */
+class CodecFuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CodecFuzzTest, RoundTrip)
+{
+    Rng rng(GetParam());
+    ProgramBuilder b("fuzz");
+    const int n = 5 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < n; ++i) {
+        switch (rng.below(5)) {
+          case 0: b.mov(rng.below(10), static_cast<int32_t>(rng.next()));
+            break;
+          case 1: b.aluReg(AluOp::Add, rng.below(10), rng.below(10)); break;
+          case 2: b.alu32(AluOp::Xor, rng.below(10),
+                          static_cast<int32_t>(rng.next()));
+            break;
+          case 3: b.lddw(rng.below(10),
+                         static_cast<int64_t>(rng.next()));
+            break;
+          case 4: b.stx(MemSize::W, 10, -8 - 8 * rng.below(4),
+                        rng.below(10));
+            break;
+        }
+    }
+    b.mov(0, 0);
+    b.exit();
+    Program prog = b.build();
+    expectSameInsns(decode(encode(prog.insns)), prog.insns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
+                         ::testing::Range<uint64_t>(0, 32));
+
+TEST(Disasm, ListingTwoStyle)
+{
+    ProgramBuilder b("dis");
+    b.addMap({"stats", MapKind::Array, 4, 8, 16});
+    b.ldx(MemSize::W, 2, 1, 4);
+    b.stx(MemSize::W, 10, -4, 3);
+    b.atomicAdd(MemSize::DW, 1, 0, 2);
+    b.ldMap(1, 0);
+    b.call(1);
+    b.jcond(JmpOp::Jeq, 1, 0, "out");
+    b.label("out");
+    b.mov(0, 3);
+    b.exit();
+    const std::string text = disasm(b.build());
+    EXPECT_NE(text.find("r2 = *(u32 *)(r1 + 4)"), std::string::npos);
+    EXPECT_NE(text.find("*(u32 *)(r10 - 4) = r3"), std::string::npos);
+    EXPECT_NE(text.find("lock *(u64 *)(r1 + 0) += r2"), std::string::npos);
+    EXPECT_NE(text.find("r1 = map[0] ll"), std::string::npos);
+    EXPECT_NE(text.find("call 1"), std::string::npos);
+    EXPECT_NE(text.find("if r1 == 0 goto +0"), std::string::npos);
+    EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehdl::ebpf

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * eHDL compiler tests: pipeline structure for the evaluation programs
+ * (stage counts, figure 9c's reduction), hardware-primitive mapping,
+ * predication wiring, packet framing pads (section 4.2), state pruning
+ * (section 4.3), and the hazard plan (section 4.1 / appendix A.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/apps.hpp"
+#include "common/logging.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/verifier.hpp"
+#include "hdl/compiler.hpp"
+
+namespace ehdl::hdl {
+namespace {
+
+using apps::AppSpec;
+using ebpf::assemble;
+
+TEST(Compiler, ToyCounterStructure)
+{
+    const AppSpec toy = apps::makeToyCounter();
+    const Pipeline pipe = compile(toy.prog);
+    // Figure 9c: the pipeline is shorter than the instruction count.
+    EXPECT_LT(pipe.numStages(), toy.prog.size());
+    EXPECT_GT(pipe.numStages(), 10u);
+    // Listing 1 uses one array map through lookup + atomic.
+    ASSERT_EQ(pipe.mapPorts.size(), 2u);
+    EXPECT_TRUE(pipe.mapPorts[0].readsIndex);
+    EXPECT_TRUE(pipe.mapPorts[1].isAtomic);
+    // Global-state counters need no flush machinery (section 4.1.2).
+    EXPECT_TRUE(pipe.flushBlocks.empty());
+    EXPECT_TRUE(pipe.warBuffers.empty());
+}
+
+TEST(Compiler, EveryInsnMappedExactlyOnce)
+{
+    for (const AppSpec &spec : apps::paperApps()) {
+        const Pipeline pipe = compile(spec.prog);
+        std::vector<int> seen(pipe.prog.size(), 0);
+        for (const Stage &stage : pipe.stages)
+            for (const StageOp &op : stage.ops)
+                for (size_t pc : op.pcs)
+                    seen[pc]++;
+        const ebpf::VerifyResult vr = ebpf::verify(pipe.prog);
+        ASSERT_TRUE(vr.ok);
+        for (size_t pc = 0; pc < pipe.prog.size(); ++pc) {
+            if (vr.analysis.reachable[pc])
+                EXPECT_EQ(seen[pc], 1) << spec.prog.name << " insn " << pc;
+            else
+                EXPECT_EQ(seen[pc], 0) << spec.prog.name << " insn " << pc;
+        }
+    }
+}
+
+TEST(Compiler, StagesShorterThanInstructions)
+{
+    for (const AppSpec &spec : apps::paperApps()) {
+        const Pipeline pipe = compile(spec.prog);
+        EXPECT_LT(pipe.numStages(), spec.prog.size()) << spec.prog.name;
+    }
+}
+
+TEST(Compiler, BlockStagesAreContiguousAndOrdered)
+{
+    for (const AppSpec &spec : apps::paperApps()) {
+        const Pipeline pipe = compile(spec.prog);
+        // Ops of one block occupy contiguous stages; a branch's successor
+        // blocks start strictly after the branch's own block finishes.
+        std::map<size_t, std::pair<size_t, size_t>> range;
+        for (size_t s = 0; s < pipe.numStages(); ++s) {
+            const Stage &stage = pipe.stages[s];
+            if (stage.blockId == SIZE_MAX)
+                continue;
+            auto it = range.find(stage.blockId);
+            if (it == range.end())
+                range[stage.blockId] = {s, s};
+            else
+                it->second.second = s;
+        }
+        for (const auto &[block, span] : range) {
+            for (size_t succ : pipe.cfg.blocks()[block].succs) {
+                auto it = range.find(succ);
+                if (it == range.end())
+                    continue;
+                EXPECT_GT(it->second.first, span.second)
+                    << spec.prog.name << ": B" << block << "->B" << succ;
+            }
+        }
+    }
+}
+
+TEST(Compiler, StatePruningShrinksStages)
+{
+    const AppSpec toy = apps::makeToyCounter();
+    PipelineOptions pruned;
+    PipelineOptions unpruned;
+    unpruned.enablePruning = false;
+    const Pipeline with = compile(toy.prog, pruned);
+    const Pipeline without = compile(toy.prog, unpruned);
+
+    size_t live_with = 0, live_without = 0;
+    size_t stack_with = 0, stack_without = 0;
+    for (const Stage &stage : with.stages) {
+        live_with += stage.numLiveRegs();
+        stack_with += stage.liveStack.count();
+    }
+    for (const Stage &stage : without.stages) {
+        live_without += stage.numLiveRegs();
+        stack_without += stage.liveStack.count();
+    }
+    // Paper section 4.4: without pruning every stage carries 11 registers
+    // and the full 512B stack.
+    EXPECT_EQ(live_without, 11 * without.numStages());
+    EXPECT_EQ(stack_without, 512 * without.numStages());
+    EXPECT_LT(live_with, live_without / 2);
+    EXPECT_LT(stack_with, stack_without / 20);
+}
+
+TEST(Compiler, ToyPruningMatchesPaperShape)
+{
+    // Paper 4.4: most stages hold 1-3 registers, stack lives in only a
+    // few stages around the lookup.
+    const Pipeline pipe = compile(apps::makeToyCounter().prog);
+    unsigned stages_with_stack = 0;
+    for (const Stage &stage : pipe.stages) {
+        EXPECT_LE(stage.numLiveRegs(), 5u);
+        stages_with_stack += stage.liveStack.any() ? 1 : 0;
+    }
+    EXPECT_LE(stages_with_stack, pipe.numStages() / 2);
+    // The stack that survives is just the 4B lookup key.
+    for (const Stage &stage : pipe.stages)
+        EXPECT_LE(stage.liveStack.count(), 8u);
+}
+
+TEST(Compiler, FramingPadsForDeepAccess)
+{
+    // A program reading byte 500 at the very first stage needs NOP pads
+    // so frame 500/64 = 7 is inside the pipeline (section 4.2).
+    ebpf::Program prog = assemble(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r0 = *(u8 *)(r6 + 500)
+        exit
+    )");
+    PipelineOptions opts;
+    opts.frameBytes = 64;
+    const Pipeline pipe = compile(prog, opts);
+    EXPECT_GE(pipe.padStages, 5u);
+    unsigned pads = 0;
+    for (const Stage &stage : pipe.stages)
+        pads += stage.isPad ? 1 : 0;
+    EXPECT_GE(pads, pipe.padStages);
+    // With 32B frames the same access sits at frame 15: more pads.
+    PipelineOptions small;
+    small.frameBytes = 32;
+    EXPECT_GT(compile(prog, small).padStages, pipe.padStages);
+}
+
+TEST(Compiler, NoPadsForHeaderOnlyPrograms)
+{
+    const Pipeline pipe = compile(apps::makeSimpleFirewall().prog);
+    EXPECT_EQ(pipe.padStages, 0u);
+}
+
+TEST(Compiler, FlushBlocksForFlowState)
+{
+    const Pipeline pipe = compile(apps::makeSimpleFirewall().prog);
+    // lookup/lookup/update on the session table -> one flush block for
+    // the update, protecting the earlier index reads, restart at 0.
+    ASSERT_EQ(pipe.flushBlocks.size(), 1u);
+    EXPECT_EQ(pipe.flushBlocks[0].restartStage, 0u);
+    EXPECT_LT(pipe.flushBlocks[0].firstReadStage,
+              pipe.flushBlocks[0].writeStage);
+}
+
+TEST(Compiler, LeakyBucketHazardGeometry)
+{
+    const Pipeline pipe = compile(apps::makeLeakyBucket().prog);
+    // Value loads before stores -> flush blocks; the earlier store parks
+    // until the later store stage (speculation buffer).
+    EXPECT_GE(pipe.flushBlocks.size(), 2u);
+    EXPECT_GE(pipe.warBuffers.size(), 1u);
+    for (const FlushBlockPlan &fb : pipe.flushBlocks)
+        EXPECT_EQ(fb.restartStage, 0u);
+}
+
+TEST(Compiler, ElasticBufferAfterAtomic)
+{
+    const Pipeline pipe = compile(apps::makeElasticDemo().prog);
+    ASSERT_EQ(pipe.elasticBuffers.size(), 1u);
+    for (const FlushBlockPlan &fb : pipe.flushBlocks) {
+        EXPECT_EQ(fb.restartStage, pipe.elasticBuffers[0]);
+        EXPECT_LT(fb.restartStage, fb.firstReadStage);
+    }
+}
+
+TEST(Compiler, WarBufferForWriteThenRead)
+{
+    // Classic figure-6 WAR: store a field, read another field later.
+    ebpf::Program prog = assemble(R"(
+        .map m hash 4 16 16
+        r6 = *(u32 *)(r1 + 0)
+        r3 = *(u32 *)(r6 + 26)
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto out
+        r3 = 1
+        *(u64 *)(r0 + 0) = r3
+        r4 = *(u64 *)(r0 + 0)
+        r0 = r4
+        out:
+        r0 = 2
+        exit
+    )");
+    const Pipeline pipe = compile(prog);
+    ASSERT_GE(pipe.warBuffers.size(), 1u);
+    const WarBufferPlan &buf = pipe.warBuffers[0];
+    EXPECT_GT(buf.depth, 0u);
+    EXPECT_EQ(buf.lastReadStage, buf.writeStage + buf.depth);
+}
+
+TEST(Compiler, RejectsAtomicBetweenReadAndWrite)
+{
+    // atomic on the SAME map between its read and its write: the flush
+    // could not avoid replaying the atomic.
+    ebpf::Program prog = assemble(R"(
+        .map m hash 4 16 16
+        r6 = *(u32 *)(r1 + 0)
+        r3 = *(u32 *)(r6 + 26)
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto out
+        r4 = *(u64 *)(r0 + 0)
+        r2 = 1
+        lock *(u64 *)(r0 + 8) += r2
+        r4 += 1
+        *(u64 *)(r0 + 0) = r4
+        out:
+        r0 = 2
+        exit
+    )");
+    EXPECT_THROW(compile(prog), FatalError);
+}
+
+TEST(Compiler, RejectsIndexWriteBeforeRead)
+{
+    // update, then a later lookup of the same map: would need speculative
+    // index versioning.
+    ebpf::Program prog = assemble(R"(
+        .map m hash 4 8 16
+        r6 = *(u32 *)(r1 + 0)
+        r3 = *(u32 *)(r6 + 26)
+        *(u32 *)(r10 - 4) = r3
+        r4 = 1
+        *(u64 *)(r10 - 16) = r4
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        r3 = r10
+        r3 += -16
+        r4 = 0
+        call 2
+        r3 = *(u32 *)(r6 + 30)
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        r0 = 2
+        exit
+    )");
+    EXPECT_THROW(compile(prog), FatalError);
+}
+
+TEST(Compiler, RejectsUnverifiableProgram)
+{
+    ebpf::ProgramBuilder b("bad");
+    b.movReg(0, 5);  // r5 uninitialized
+    b.exit();
+    EXPECT_THROW(compile(b.build()), FatalError);
+}
+
+TEST(Compiler, UnrollsLoopsAutomatically)
+{
+    ebpf::Program prog = assemble(R"(
+        r1 = 3
+        r2 = 0
+        top:
+        r2 += 1
+        r1 -= 1
+        if r1 != 0 goto top
+        r0 = 2
+        exit
+    )");
+    const Pipeline pipe = compile(prog);
+    EXPECT_TRUE(pipe.cfg.isDag());
+    EXPECT_GT(pipe.prog.size(), prog.size());  // unrolled copies
+}
+
+TEST(Compiler, HelperBlocksAddInlineStages)
+{
+    // bpf_map_update_elem occupies 2 stages (helpers.cpp): the row after
+    // an update is a pad stage.
+    const Pipeline pipe = compile(apps::makeSimpleFirewall().prog);
+    bool found_update_pad = false;
+    for (size_t s = 0; s + 1 < pipe.numStages(); ++s) {
+        for (const StageOp &op : pipe.stages[s].ops) {
+            if (op.kind == OpKind::MapUpdate)
+                found_update_pad = pipe.stages[s + 1].isPad;
+        }
+    }
+    EXPECT_TRUE(found_update_pad);
+}
+
+TEST(Compiler, BranchOpsCarrySuccessorBlocks)
+{
+    const Pipeline pipe = compile(apps::makeToyCounter().prog);
+    unsigned branches = 0;
+    for (const Stage &stage : pipe.stages) {
+        for (const StageOp &op : stage.ops) {
+            if (op.kind == OpKind::Branch) {
+                ++branches;
+                EXPECT_NE(op.takenBlock, SIZE_MAX);
+                EXPECT_NE(op.fallBlock, SIZE_MAX);
+                EXPECT_LT(op.takenBlock, pipe.numBlocks());
+            }
+            if (op.kind == OpKind::Jump) {
+                EXPECT_NE(op.takenBlock, SIZE_MAX);
+            }
+        }
+    }
+    EXPECT_GE(branches, 4u);  // toy has >= 4 conditional branches
+}
+
+TEST(Compiler, DescribeListsStages)
+{
+    const Pipeline pipe = compile(apps::makeToyCounter().prog);
+    const std::string text = pipe.describe();
+    EXPECT_NE(text.find("stage 0"), std::string::npos);
+    EXPECT_NE(text.find("maplookup"), std::string::npos);
+    EXPECT_NE(text.find("mapatomic"), std::string::npos);
+}
+
+TEST(Compiler, MaxFlushDepthReflectsPlan)
+{
+    const Pipeline leaky = compile(apps::makeLeakyBucket().prog);
+    EXPECT_GT(leaky.maxFlushDepth(), 0u);
+    const Pipeline router = compile(apps::makeRouterIpv4().prog);
+    EXPECT_EQ(router.maxFlushDepth(), 0u);
+}
+
+}  // namespace
+}  // namespace ehdl::hdl

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests of the shared execution core (ebpf::ExecState): tagged-value
+ * semantics, stack pointer-spill shadowing, checkpoint/restore (the
+ * machinery behind flush replay), and the DirectMapIo plumbing — below
+ * the level the VM/differential suites exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/exec.hpp"
+#include "net/headers.hpp"
+
+namespace ehdl::ebpf {
+namespace {
+
+struct ExecFixture
+{
+    ExecFixture()
+        : prog(makeProg()), maps(prog.maps), mapio(maps),
+          pkt(net::PacketFactory::build(net::PacketSpec{})),
+          state(prog, &pkt, &mapio)
+    {
+    }
+
+    static Program
+    makeProg()
+    {
+        ProgramBuilder b("exec");
+        b.addMap({"m", MapKind::Hash, 4, 16, 8});
+        b.mov(0, 0);
+        b.exit();
+        return b.build();
+    }
+
+    Insn
+    aluImm(AluOp op, unsigned dst, int32_t imm,
+           InsnClass cls = InsnClass::Alu64)
+    {
+        Insn insn;
+        insn.opcode = makeAluOpcode(cls, op, SrcKind::K);
+        insn.dst = dst;
+        insn.imm = imm;
+        return insn;
+    }
+
+    Program prog;
+    MapSet maps;
+    DirectMapIo mapio;
+    net::Packet pkt;
+    ExecState state;
+};
+
+TEST(ExecState, InitialRegisters)
+{
+    ExecFixture f;
+    EXPECT_EQ(f.state.regs[1].tag, PtrTag::Ctx);
+    EXPECT_EQ(f.state.regs[10].tag, PtrTag::Stack);
+    EXPECT_EQ(f.state.regs[10].bits, kStackSize);
+    for (unsigned r : {0u, 2u, 3u, 9u})
+        EXPECT_EQ(f.state.regs[r].tag, PtrTag::Scalar);
+}
+
+TEST(ExecState, CtxLoadsProducePointers)
+{
+    ExecFixture f;
+    const VmValue data = f.state.load(f.state.regs[1], kXdpMdData, 4);
+    EXPECT_EQ(data.tag, PtrTag::Packet);
+    EXPECT_EQ(data.bits, 0u);
+    const VmValue end = f.state.load(f.state.regs[1], kXdpMdDataEnd, 4);
+    EXPECT_EQ(end.tag, PtrTag::PacketEnd);
+    EXPECT_EQ(end.bits, f.pkt.size());
+    EXPECT_THROW(f.state.load(f.state.regs[1], 2, 4), VmTrap);  // misaligned
+}
+
+TEST(ExecState, PointerArithmeticRules)
+{
+    ExecFixture f;
+    // ptr += imm adjusts the offset.
+    f.state.regs[2] = f.state.load(f.state.regs[1], kXdpMdData, 4);
+    f.state.execute(f.aluImm(AluOp::Add, 2, 14));
+    EXPECT_EQ(f.state.regs[2].tag, PtrTag::Packet);
+    EXPECT_EQ(f.state.regs[2].bits, 14u);
+    // ptr * imm traps.
+    EXPECT_THROW(f.state.execute(f.aluImm(AluOp::Mul, 2, 2)), VmTrap);
+    // 32-bit ALU on a pointer traps.
+    EXPECT_THROW(
+        f.state.execute(f.aluImm(AluOp::Add, 2, 1, InsnClass::Alu)),
+        VmTrap);
+}
+
+TEST(ExecState, StackShadowPreservesSpilledPointers)
+{
+    ExecFixture f;
+    VmValue pkt_ptr = f.state.load(f.state.regs[1], kXdpMdData, 4);
+    pkt_ptr.bits = 12;
+    // Spill at an aligned slot and reload: the tag survives.
+    f.state.store(f.state.regs[10], -8, 8, pkt_ptr);
+    const VmValue back = f.state.load(f.state.regs[10], -8, 8);
+    EXPECT_EQ(back.tag, PtrTag::Packet);
+    EXPECT_EQ(back.bits, 12u);
+    // A byte store into the slot invalidates the shadow.
+    f.state.store(f.state.regs[10], -5, 1, VmValue::scalar(0xff));
+    const VmValue after = f.state.load(f.state.regs[10], -8, 8);
+    EXPECT_EQ(after.tag, PtrTag::Scalar);
+}
+
+TEST(ExecState, UnalignedSpillHasNoShadow)
+{
+    ExecFixture f;
+    VmValue pkt_ptr = f.state.load(f.state.regs[1], kXdpMdData, 4);
+    f.state.store(f.state.regs[10], -12, 8, pkt_ptr);  // not 8-aligned
+    EXPECT_EQ(f.state.load(f.state.regs[10], -12, 8).tag, PtrTag::Scalar);
+}
+
+TEST(ExecState, CheckpointRestoreRoundTrip)
+{
+    ExecFixture f;
+    f.state.regs[3] = VmValue::scalar(77);
+    f.state.store(f.state.regs[10], -16, 8, VmValue::scalar(0xabcd));
+    const ExecState::Checkpoint cp = f.state.checkpoint();
+
+    f.state.regs[3] = VmValue::scalar(1);
+    f.state.store(f.state.regs[10], -16, 8, VmValue::scalar(0));
+    f.state.restore(cp);
+    EXPECT_EQ(f.state.regs[3].bits, 77u);
+    EXPECT_EQ(f.state.load(f.state.regs[10], -16, 8).bits, 0xabcdu);
+}
+
+TEST(ExecState, MapValueBoundsEnforced)
+{
+    ExecFixture f;
+    std::vector<uint8_t> key(4, 9), value(16, 0);
+    f.maps.at(0).hostUpdate(key, value);
+    const int64_t entry = f.maps.at(0).lookup(key.data());
+    ASSERT_GE(entry, 0);
+    VmValue ptr;
+    ptr.tag = PtrTag::MapValue;
+    ptr.mapId = 0;
+    ptr.entry = static_cast<uint64_t>(entry);
+    f.state.store(ptr, 8, 8, VmValue::scalar(42));
+    EXPECT_EQ(f.state.load(ptr, 8, 8).bits, 42u);
+    EXPECT_THROW(f.state.load(ptr, 12, 8), VmTrap);   // spans the end
+    EXPECT_THROW(f.state.store(ptr, -1, 1, VmValue::scalar(0)), VmTrap);
+}
+
+TEST(ExecState, CrossSpaceComparisonTraps)
+{
+    ExecFixture f;
+    f.state.regs[2] = f.state.load(f.state.regs[1], kXdpMdData, 4);
+    f.state.regs[3] = f.state.regs[10];  // stack pointer
+    Insn cmp;
+    cmp.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Jgt, SrcKind::X);
+    cmp.dst = 2;
+    cmp.src = 3;
+    EXPECT_THROW(f.state.evalCond(cmp), VmTrap);
+}
+
+TEST(ExecState, PacketVsPacketEndComparison)
+{
+    ExecFixture f;
+    f.state.regs[2] = f.state.load(f.state.regs[1], kXdpMdData, 4);
+    f.state.regs[2].bits = 40;
+    f.state.regs[3] = f.state.load(f.state.regs[1], kXdpMdDataEnd, 4);
+    Insn cmp;
+    cmp.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Jgt, SrcKind::X);
+    cmp.dst = 2;
+    cmp.src = 3;
+    EXPECT_FALSE(f.state.evalCond(cmp));  // 40 <= packet size (>= 42)
+    f.state.regs[2].bits = f.pkt.size() + 1;
+    EXPECT_TRUE(f.state.evalCond(cmp));
+}
+
+TEST(ExecState, NullCheckOnPointer)
+{
+    ExecFixture f;
+    VmValue ptr;
+    ptr.tag = PtrTag::MapValue;
+    Insn jeq;
+    jeq.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Jeq, SrcKind::K);
+    jeq.dst = 4;
+    jeq.imm = 0;
+    f.state.regs[4] = ptr;
+    EXPECT_FALSE(f.state.evalCond(jeq));  // pointers are never null
+    Insn jne = jeq;
+    jne.opcode = makeJmpOpcode(InsnClass::Jmp, JmpOp::Jne, SrcKind::K);
+    EXPECT_TRUE(f.state.evalCond(jne));
+}
+
+TEST(ExecState, ResetClearsEverything)
+{
+    ExecFixture f;
+    f.state.regs[5] = VmValue::scalar(5);
+    f.state.store(f.state.regs[10], -8, 8, VmValue::scalar(1));
+    f.state.reset();
+    EXPECT_EQ(f.state.regs[5].bits, 0u);
+    EXPECT_EQ(f.state.load(f.state.regs[10], -8, 8).bits, 0u);
+    EXPECT_EQ(f.state.regs[1].tag, PtrTag::Ctx);
+}
+
+TEST(DirectMapIo, ReadWriteAtomic)
+{
+    ExecFixture f;
+    std::vector<uint8_t> key(4, 1), value(16, 0);
+    f.maps.at(0).hostUpdate(key, value);
+    const int64_t entry = f.mapio.lookup(0, key.data(), 0);
+    ASSERT_GE(entry, 0);
+    f.mapio.writeValue(0, entry, 0, 8, 100, 0);
+    EXPECT_EQ(f.mapio.readValue(0, entry, 0, 8, 0), 100u);
+    EXPECT_EQ(f.mapio.atomicAdd(0, entry, 0, 8, 5, 0), 100u);
+    EXPECT_EQ(f.mapio.readValue(0, entry, 0, 8, 0), 105u);
+    // Sub-word access.
+    f.mapio.writeValue(0, entry, 4, 2, 0xbeef, 0);
+    EXPECT_EQ(f.mapio.readValue(0, entry, 4, 2, 0), 0xbeefu);
+}
+
+}  // namespace
+}  // namespace ehdl::ebpf

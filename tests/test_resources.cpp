@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Resource-model tests: the paper's published envelope (6.5%-13.3% of the
+ * Alveo U50 for the five applications, figure 10), monotonicity
+ * properties, and the pruning study of section 5.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "hdl/compiler.hpp"
+#include "hdl/resources.hpp"
+
+namespace ehdl::hdl {
+namespace {
+
+TEST(Resources, PaperAppsLandInPublishedRange)
+{
+    // Section 5: "the generated pipelines use only 6.5%-13.3% of the FPGA
+    // hardware resources". Allow a little slack around the band.
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        const Pipeline pipe = compile(spec.prog);
+        const ResourceReport report = estimateResources(pipe);
+        EXPECT_GE(report.lutFrac, 0.055) << spec.prog.name;
+        EXPECT_LE(report.lutFrac, 0.14) << spec.prog.name;
+        EXPECT_GT(report.ffFrac, 0.02) << spec.prog.name;
+        EXPECT_LT(report.ffFrac, 0.12) << spec.prog.name;
+        EXPECT_GT(report.bramFrac, 0.05) << spec.prog.name;
+        EXPECT_LT(report.bramFrac, 0.25) << spec.prog.name;
+    }
+}
+
+TEST(Resources, ShellIncludedByDefault)
+{
+    const Pipeline pipe = compile(apps::makeToyCounter().prog);
+    const ResourceReport with = estimateResources(pipe, true);
+    const ResourceReport without = estimateResources(pipe, false);
+    EXPECT_EQ(without.shell.luts, 0);
+    EXPECT_NEAR(with.total.luts - without.total.luts, kShellLuts, 1e-6);
+    EXPECT_GT(with.lutFrac, without.lutFrac);
+}
+
+TEST(Resources, PruningSavesSubstantialArea)
+{
+    // Section 5.4: disabling pruning costs +46% LUT, +66% FF, +123% BRAM
+    // on the toy pipeline (shell excluded). Check direction + magnitude.
+    const apps::AppSpec toy = apps::makeToyCounter();
+    PipelineOptions off;
+    off.enablePruning = false;
+    const ResourceReport pruned =
+        estimateResources(compile(toy.prog), false);
+    const ResourceReport unpruned =
+        estimateResources(compile(toy.prog, off), false);
+    // Our model charges all pipeline state to per-stage registers and
+    // muxes, so the pruning benefit is larger than the paper's reported
+    // ratios (see EXPERIMENTS.md); assert direction and sanity here.
+    const double lut_over = unpruned.pipeline.luts / pruned.pipeline.luts;
+    const double ff_over = unpruned.pipeline.ffs / pruned.pipeline.ffs;
+    EXPECT_GT(lut_over, 1.25);
+    EXPECT_LT(lut_over, 10.0);
+    EXPECT_GT(ff_over, 1.4);
+    EXPECT_LT(ff_over, 10.0);
+}
+
+TEST(Resources, MoreStagesCostMore)
+{
+    const ResourceReport small =
+        estimateResources(compile(apps::makeToyCounter().prog), false);
+    const ResourceReport big =
+        estimateResources(compile(apps::makeDnat().prog), false);
+    EXPECT_GT(big.pipeline.luts, small.pipeline.luts);
+    EXPECT_GT(big.pipeline.ffs, small.pipeline.ffs);
+}
+
+TEST(Resources, BiggerMapsCostMoreBram)
+{
+    auto make = [](uint32_t entries) {
+        apps::AppSpec spec = apps::makeSimpleFirewall();
+        spec.prog.maps[0].maxEntries = entries;
+        return estimateResources(compile(spec.prog), false).pipeline.brams;
+    };
+    EXPECT_GT(make(16384), make(1024));
+}
+
+TEST(Resources, WiderFramesCostMoreFfs)
+{
+    const apps::AppSpec toy = apps::makeToyCounter();
+    PipelineOptions narrow, wide;
+    narrow.frameBytes = 32;
+    wide.frameBytes = 64;
+    const double ff32 =
+        estimateResources(compile(toy.prog, narrow), false).pipeline.ffs;
+    const double ff64 =
+        estimateResources(compile(toy.prog, wide), false).pipeline.ffs;
+    EXPECT_GT(ff64, ff32);
+}
+
+TEST(Resources, HazardMachineryHasACost)
+{
+    // leaky_bucket (flush blocks + WAR buffer) vs a similar-sized program
+    // without hazards would differ; simply check the components add in.
+    const Pipeline pipe = compile(apps::makeLeakyBucket().prog);
+    ASSERT_FALSE(pipe.flushBlocks.empty());
+    const ResourceReport report = estimateResources(pipe, false);
+    EXPECT_GT(report.pipeline.luts, 0);
+    // Remove hazard plans and re-price: must be cheaper.
+    Pipeline stripped = compile(apps::makeLeakyBucket().prog);
+    stripped.flushBlocks.clear();
+    stripped.warBuffers.clear();
+    const ResourceReport lean = estimateResources(stripped, false);
+    EXPECT_LT(lean.pipeline.luts, report.pipeline.luts);
+    EXPECT_LT(lean.pipeline.ffs, report.pipeline.ffs);
+}
+
+TEST(Resources, FractionsConsistent)
+{
+    const Pipeline pipe = compile(apps::makeRouterIpv4().prog);
+    const ResourceReport report = estimateResources(pipe);
+    EXPECT_NEAR(report.lutFrac, report.total.luts / kU50Luts, 1e-12);
+    EXPECT_NEAR(report.ffFrac, report.total.ffs / kU50Ffs, 1e-12);
+    EXPECT_NEAR(report.bramFrac, report.total.brams / kU50Brams, 1e-12);
+    EXPECT_NEAR(report.total.luts,
+                report.pipeline.luts + report.shell.luts, 1e-9);
+}
+
+}  // namespace
+}  // namespace ehdl::hdl

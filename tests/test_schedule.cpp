@@ -1,0 +1,305 @@
+/**
+ * @file
+ * ILP scheduler tests: dependency preservation (property-tested over
+ * random programs), fusion pairing, lane caps for the hXDP model, map
+ * port budgets, and the ILP statistics of paper table 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/effects.hpp"
+#include "analysis/schedule.hpp"
+#include "apps/apps.hpp"
+#include "common/rng.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/verifier.hpp"
+
+namespace ehdl::analysis {
+namespace {
+
+using ebpf::assemble;
+using ebpf::Program;
+
+struct Prepared
+{
+    Program prog;
+    ebpf::AbsIntResult analysis;
+    Cfg cfg;
+};
+
+Prepared
+prepare(Program prog)
+{
+    Prepared p;
+    ebpf::VerifyResult vr = ebpf::verify(prog);
+    EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors[0]);
+    p.prog = std::move(prog);
+    p.analysis = std::move(vr.analysis);
+    p.cfg = Cfg::build(p.prog);
+    return p;
+}
+
+/** Row index of each scheduled instruction within its block. */
+std::map<size_t, std::pair<size_t, size_t>>
+rowOf(const Schedule &sched)
+{
+    std::map<size_t, std::pair<size_t, size_t>> out;
+    for (size_t b = 0; b < sched.blocks.size(); ++b)
+        for (size_t r = 0; r < sched.blocks[b].rows.size(); ++r)
+            for (size_t pc : sched.blocks[b].rows[r].ops)
+                out[pc] = {b, r};
+    return out;
+}
+
+TEST(Schedule, IndependentOpsShareARow)
+{
+    Prepared p = prepare(assemble(R"(
+        r1 = 1
+        r2 = 2
+        r3 = 3
+        r0 = 0
+        exit
+    )"));
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis);
+    // All four moves are independent -> one row (plus exit which orders
+    // only against memory, so it can share too but uses r0).
+    EXPECT_GE(sched.maxIlp, 4u);
+}
+
+TEST(Schedule, DependentChainStaysSequential)
+{
+    Prepared p = prepare(assemble(R"(
+        r1 = 1
+        r1 += 1
+        r1 *= 2
+        r1 *= 3
+        r0 = r1
+        exit
+    )"));
+    ScheduleOptions opts;
+    opts.enableFusion = false;
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis, opts);
+    auto rows = rowOf(sched);
+    EXPECT_LT(rows[0].second, rows[1].second);
+    EXPECT_LT(rows[1].second, rows[2].second);
+    EXPECT_LT(rows[2].second, rows[3].second);
+}
+
+TEST(Schedule, FusionPairsAdjacentAluChain)
+{
+    Prepared p = prepare(assemble(R"(
+        r1 = 4
+        r2 = r10
+        r2 += -4
+        r0 = 0
+        exit
+    )"));
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis);
+    // "r2 = r10; r2 += -4" is the paper's three-operand fusion example.
+    EXPECT_GE(sched.fusion.pairCount(), 1u);
+    ASSERT_TRUE(sched.fusion.followerOf.count(1));
+    EXPECT_EQ(sched.fusion.followerOf.at(1), 2u);
+    // Fused ops share a row.
+    auto rows = rowOf(sched);
+    EXPECT_EQ(rows[1], rows[2]);
+}
+
+TEST(Schedule, FusionDisabledSplitsThem)
+{
+    Prepared p = prepare(assemble(R"(
+        r2 = r10
+        r2 += -4
+        r0 = 0
+        exit
+    )"));
+    ScheduleOptions opts;
+    opts.enableFusion = false;
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis, opts);
+    EXPECT_EQ(sched.fusion.pairCount(), 0u);
+    auto rows = rowOf(sched);
+    EXPECT_NE(rows[0].second, rows[1].second);
+}
+
+TEST(Schedule, NoFusionOfMultiply)
+{
+    Prepared p = prepare(assemble(R"(
+        r1 = 3
+        r1 *= 7
+        r0 = 0
+        exit
+    )"));
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis);
+    EXPECT_FALSE(sched.fusion.isFollower(1));
+}
+
+TEST(Schedule, IlpDisabledIsSequential)
+{
+    Prepared p = prepare(assemble(R"(
+        r1 = 1
+        r2 = 2
+        r3 = 3
+        r0 = 0
+        exit
+    )"));
+    ScheduleOptions opts;
+    opts.enableIlp = false;
+    opts.enableFusion = false;
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis, opts);
+    EXPECT_EQ(sched.maxIlp, 1u);
+    EXPECT_EQ(sched.totalRows, p.prog.insns.size());
+}
+
+TEST(Schedule, LaneCapForVliwModel)
+{
+    Prepared p = prepare(assemble(R"(
+        r1 = 1
+        r2 = 2
+        r3 = 3
+        r4 = 4
+        r5 = 5
+        r0 = 0
+        exit
+    )"));
+    ScheduleOptions opts;
+    opts.maxOpsPerRow = 2;
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis, opts);
+    EXPECT_LE(sched.maxIlp, 2u);
+}
+
+TEST(Schedule, ExitComesAfterStores)
+{
+    Prepared p = prepare(assemble(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r2 = 7
+        *(u8 *)(r6 + 0) = r2
+        r0 = 2
+        exit
+    )"));
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis);
+    auto rows = rowOf(sched);
+    EXPECT_LT(rows[2].second, rows[4].second);  // store before exit
+}
+
+TEST(Schedule, MapPortBudgetRespected)
+{
+    // Two lookups of the same map can share a row (2 ports), a third
+    // cannot.
+    Prepared p = prepare(assemble(R"(
+        .map m array 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        *(u32 *)(r10 - 8) = r3
+        *(u32 *)(r10 - 12) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        r6 = r0
+        r1 = map[m]
+        r2 = r10
+        r2 += -8
+        call 1
+        r7 = r0
+        r1 = map[m]
+        r2 = r10
+        r2 += -12
+        call 1
+        r0 = 2
+        exit
+    )"));
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis);
+    std::map<size_t, unsigned> lookups_per_row;
+    auto rows = rowOf(sched);
+    for (size_t pc = 0; pc < p.prog.size(); ++pc)
+        if (p.prog.insns[pc].isCall())
+            lookups_per_row[rows[pc].second]++;
+    for (const auto &[row, count] : lookups_per_row)
+        EXPECT_LE(count, 2u);
+}
+
+TEST(Schedule, PaperAppsIlpStatistics)
+{
+    // Paper table 5: max ILP in [3, 15], average in roughly [1.4, 2.4].
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        Prepared p = prepare(spec.prog);
+        const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis);
+        EXPECT_GE(sched.maxIlp, 2u) << spec.prog.name;
+        EXPECT_LE(sched.maxIlp, 16u) << spec.prog.name;
+        EXPECT_GE(sched.avgIlp, 1.2) << spec.prog.name;
+        EXPECT_LE(sched.avgIlp, 2.6) << spec.prog.name;
+        EXPECT_LT(sched.totalRows, spec.prog.size()) << spec.prog.name;
+    }
+}
+
+/** Property: every dependence pair lands in increasing rows. */
+class ScheduleDepsTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ScheduleDepsTest, DependenciesRespectRows)
+{
+    Rng rng(GetParam());
+    ebpf::ProgramBuilder b("rand");
+    const unsigned n = 8 + rng.below(24);
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned dst = 1 + rng.below(8);
+        switch (rng.below(4)) {
+          case 0: b.mov(dst, static_cast<int32_t>(rng.next())); break;
+          case 1: b.aluReg(ebpf::AluOp::Add, dst, 1 + rng.below(8)); break;
+          case 2: b.stx(ebpf::MemSize::DW, 10,
+                        -8 * static_cast<int16_t>(1 + rng.below(8)), dst);
+            break;
+          case 3: b.ldx(ebpf::MemSize::DW, dst, 10,
+                        -8 * static_cast<int16_t>(1 + rng.below(8)));
+            break;
+        }
+    }
+    b.mov(0, 0);
+    b.exit();
+    Program prog = b.build();
+    // Initialize r1-r8 first so verification passes.
+    ebpf::ProgramBuilder init("init");
+    for (unsigned r = 1; r <= 8; ++r)
+        init.mov(r, r);
+    for (unsigned s = 1; s <= 8; ++s)
+        init.stx(ebpf::MemSize::DW, 10, -8 * static_cast<int16_t>(s), 1);
+    Program full;
+    full.name = "rand";
+    for (const auto &insn : init.build().insns)
+        full.insns.push_back(insn);
+    for (const auto &insn : prog.insns)
+        full.insns.push_back(insn);
+
+    Prepared p = prepare(full);
+    ScheduleOptions opts;
+    opts.enableFusion = rng.chance(0.5);
+    const Schedule sched = buildSchedule(p.prog, p.cfg, p.analysis, opts);
+    auto rows = rowOf(sched);
+
+    for (size_t i = 0; i < p.prog.size(); ++i) {
+        for (size_t j = i + 1; j < p.prog.size(); ++j) {
+            if (rows[i].first != rows[j].first)
+                continue;  // different blocks
+            const Effects fi = insnEffects(p.prog, i, p.analysis);
+            const Effects fj = insnEffects(p.prog, j, p.analysis);
+            if (!dependsOn(fi, fj))
+                continue;
+            const bool fused = sched.fusion.leaderOf.count(j) &&
+                               sched.fusion.leaderOf.at(j) == i;
+            if (fused)
+                EXPECT_EQ(rows[i].second, rows[j].second);
+            else
+                EXPECT_LT(rows[i].second, rows[j].second)
+                    << "dep " << i << " -> " << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleDepsTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace ehdl::analysis

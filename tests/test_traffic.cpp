@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Traffic generator tests: determinism, line-rate pacing, flow
+ * distributions, packet-size models and the CAIDA/MAWI trace profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "sim/traffic.hpp"
+
+namespace ehdl::sim {
+namespace {
+
+TEST(Traffic, DeterministicForSeed)
+{
+    TrafficConfig config;
+    config.seed = 99;
+    TrafficGen a(config), b(config);
+    for (int i = 0; i < 50; ++i) {
+        net::Packet pa = a.next();
+        net::Packet pb = b.next();
+        EXPECT_EQ(pa.bytes(), pb.bytes());
+        EXPECT_EQ(pa.arrivalNs, pb.arrivalNs);
+    }
+}
+
+TEST(Traffic, LineRatePacing64B)
+{
+    TrafficConfig config;
+    config.packetLen = 64;
+    config.lineRateGbps = 100.0;
+    TrafficGen gen(config);
+    const int n = 1000;
+    uint64_t last = 0;
+    for (int i = 0; i < n; ++i)
+        last = gen.next().arrivalNs;
+    // 64B + 20B overhead at 100 Gbps = 6.72 ns/packet -> 148.8 Mpps.
+    EXPECT_NEAR(static_cast<double>(last) / n, 6.72, 0.05);
+}
+
+TEST(Traffic, SlowerRateSpacesPackets)
+{
+    TrafficConfig config;
+    config.lineRateGbps = 10.0;
+    TrafficGen gen(config);
+    gen.next();
+    const uint64_t t1 = gen.nowNs();
+    gen.next();
+    EXPECT_NEAR(static_cast<double>(gen.nowNs() - t1), 67.2, 1.0);
+}
+
+TEST(Traffic, UniformFlowsCoverTheSpace)
+{
+    TrafficConfig config;
+    config.numFlows = 10;
+    TrafficGen gen(config);
+    std::map<uint32_t, int> sources;
+    for (int i = 0; i < 1000; ++i) {
+        net::Packet pkt = gen.next();
+        net::FlowKey flow;
+        ASSERT_TRUE(net::PacketFactory::parseFlow(pkt, flow));
+        sources[flow.srcIp]++;
+    }
+    EXPECT_EQ(sources.size(), 10u);
+    for (const auto &[ip, count] : sources)
+        EXPECT_GT(count, 50);  // roughly uniform
+}
+
+TEST(Traffic, ZipfSkewsTowardFewFlows)
+{
+    TrafficConfig config;
+    config.numFlows = 1000;
+    config.zipfS = 1.0;
+    TrafficGen gen(config);
+    std::map<uint32_t, int> sources;
+    for (int i = 0; i < 5000; ++i) {
+        net::FlowKey flow;
+        net::Packet pkt = gen.next();
+        ASSERT_TRUE(net::PacketFactory::parseFlow(pkt, flow));
+        sources[flow.srcIp]++;
+    }
+    // The most popular flow dominates under Zipf.
+    int max_count = 0;
+    for (const auto &[ip, count] : sources)
+        max_count = std::max(max_count, count);
+    EXPECT_GT(max_count, 5000 / 20);
+}
+
+TEST(Traffic, FlowOfIsStable)
+{
+    TrafficConfig config;
+    TrafficGen gen(config);
+    EXPECT_EQ(gen.flowOf(7), gen.flowOf(7));
+    EXPECT_NE(gen.flowOf(7).srcIp, gen.flowOf(8).srcIp);
+    EXPECT_EQ(gen.flowOf(3).proto, net::kIpProtoUdp);
+}
+
+TEST(Traffic, ReverseFractionFlipsDirections)
+{
+    TrafficConfig config;
+    config.numFlows = 4;
+    config.reverseFraction = 0.5;
+    config.seed = 3;
+    TrafficGen gen(config);
+    int forward = 0, reverse = 0;
+    for (int i = 0; i < 1000; ++i) {
+        net::FlowKey flow;
+        net::Packet pkt = gen.next();
+        ASSERT_TRUE(net::PacketFactory::parseFlow(pkt, flow));
+        // Forward flows source from 10/8 in our generator.
+        if ((flow.srcIp >> 24) == 0x0a)
+            ++forward;
+        else
+            ++reverse;
+    }
+    EXPECT_GT(forward, 300);
+    EXPECT_GT(reverse, 300);
+}
+
+TEST(Traffic, SizeDistributionHitsMean)
+{
+    TrafficConfig config;
+    config.packetLen = 0;
+    config.meanPacketLen = 411.0;
+    TrafficGen gen(config);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += gen.next().size();
+    EXPECT_NEAR(total / n, 411.0, 30.0);
+}
+
+TEST(Traffic, TraceProfilesMatchPaperStats)
+{
+    const TraceProfile caida = caidaProfile();
+    EXPECT_EQ(caida.flows, 184305u);
+    EXPECT_DOUBLE_EQ(caida.meanPacketLen, 411.0);
+    const TraceProfile mawi = mawiProfile();
+    EXPECT_EQ(mawi.flows, 163697u);
+    EXPECT_DOUBLE_EQ(mawi.meanPacketLen, 573.0);
+
+    TrafficGen replay = makeTraceReplay(caida, 100.0);
+    double total = 0;
+    for (int i = 0; i < 5000; ++i)
+        total += replay.next().size();
+    EXPECT_NEAR(total / 5000, 411.0, 40.0);
+}
+
+TEST(Traffic, PacketIdsAreSequential)
+{
+    TrafficConfig config;
+    TrafficGen gen(config);
+    EXPECT_EQ(gen.next().id, 1u);
+    EXPECT_EQ(gen.next().id, 2u);
+    EXPECT_EQ(gen.generated(), 2u);
+}
+
+TEST(Traffic, RejectsBadConfig)
+{
+    TrafficConfig none;
+    none.numFlows = 0;
+    EXPECT_THROW(TrafficGen{none}, FatalError);
+    TrafficConfig rate;
+    rate.lineRateGbps = 0;
+    EXPECT_THROW(TrafficGen{rate}, FatalError);
+}
+
+}  // namespace
+}  // namespace ehdl::sim

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Bounded-loop unrolling tests: DAG production, semantic preservation
+ * (VM equivalence between the looped and unrolled programs), trip-bound
+ * abort behaviour, and nested loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/unroll.hpp"
+#include "common/logging.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/vm.hpp"
+#include "net/headers.hpp"
+
+namespace ehdl::analysis {
+namespace {
+
+using ebpf::assemble;
+using ebpf::ExecResult;
+using ebpf::MapSet;
+using ebpf::Program;
+using ebpf::Vm;
+using ebpf::XdpAction;
+
+ExecResult
+run(const Program &prog)
+{
+    MapSet maps(prog.maps);
+    Vm vm(prog, maps);
+    net::PacketSpec spec;
+    net::Packet pkt = net::PacketFactory::build(spec);
+    return vm.run(pkt);
+}
+
+const char *kCountdownLoop = R"(
+    r1 = 5
+    r2 = 0
+    top:
+    r2 += 10
+    r1 -= 1
+    if r1 != 0 goto top
+    r0 = r2
+    exit
+)";
+
+TEST(Unroll, ProducesDag)
+{
+    Program prog = assemble(kCountdownLoop);
+    EXPECT_FALSE(Cfg::build(prog).isDag());
+    const UnrollResult result = unrollLoops(prog, 8);
+    EXPECT_EQ(result.loopsUnrolled, 1u);
+    EXPECT_TRUE(Cfg::build(result.prog).isDag());
+}
+
+TEST(Unroll, PreservesSemanticsWhenBoundSuffices)
+{
+    Program prog = assemble(kCountdownLoop);
+    const Program unrolled = unrollLoops(prog, 8).prog;
+    const ExecResult orig = run(prog);
+    const ExecResult flat = run(unrolled);
+    EXPECT_FALSE(orig.trapped);
+    EXPECT_FALSE(flat.trapped);
+    // r2 accumulates 5 * 10 = 50; action value 50 clamps to Aborted in
+    // both, so compare the exit path by instruction behaviour instead:
+    EXPECT_EQ(orig.action, flat.action);
+}
+
+TEST(Unroll, ResultValueMatches)
+{
+    // Loop computing 3 iterations of r2 += 1; exit code = r2 = 3 (TX).
+    const char *text = R"(
+        r1 = 3
+        r2 = 0
+        top:
+        r2 += 1
+        r1 -= 1
+        if r1 != 0 goto top
+        r0 = r2
+        exit
+    )";
+    Program prog = assemble(text);
+    const Program unrolled = unrollLoops(prog, 4).prog;
+    EXPECT_EQ(run(unrolled).action, XdpAction::Tx);
+}
+
+TEST(Unroll, AbortsWhenTripsExceedBound)
+{
+    const char *text = R"(
+        r1 = 10
+        top:
+        r1 -= 1
+        if r1 != 0 goto top
+        r0 = 2
+        exit
+    )";
+    Program prog = assemble(text);
+    const Program unrolled = unrollLoops(prog, 4).prog;
+    const ExecResult result = run(unrolled);
+    EXPECT_EQ(result.action, XdpAction::Aborted);  // bound too small
+    const Program enough = unrollLoops(prog, 16).prog;
+    EXPECT_EQ(run(enough).action, XdpAction::Pass);
+}
+
+TEST(Unroll, NestedLoops)
+{
+    const char *text = R"(
+        r1 = 2
+        r3 = 0
+        outer:
+        r2 = 3
+        inner:
+        r3 += 1
+        r2 -= 1
+        if r2 != 0 goto inner
+        r1 -= 1
+        if r1 != 0 goto outer
+        r0 = 2
+        exit
+    )";
+    Program prog = assemble(text);
+    const UnrollResult result = unrollLoops(prog, 4);
+    EXPECT_EQ(result.loopsUnrolled, 2u);
+    EXPECT_TRUE(Cfg::build(result.prog).isDag());
+    EXPECT_EQ(run(result.prog).action, XdpAction::Pass);
+}
+
+TEST(Unroll, LoopAtProgramStart)
+{
+    const char *text = R"(
+        top:
+        r1 = 1
+        if r1 == 0 goto top
+        r0 = 2
+        exit
+    )";
+    Program prog = assemble(text);
+    const Program unrolled = unrollLoops(prog, 4).prog;
+    EXPECT_TRUE(Cfg::build(unrolled).isDag());
+    EXPECT_EQ(run(unrolled).action, XdpAction::Pass);
+}
+
+TEST(Unroll, NoLoopIsIdentity)
+{
+    Program prog = assemble("r0 = 2\nexit\n");
+    const UnrollResult result = unrollLoops(prog, 8);
+    EXPECT_EQ(result.loopsUnrolled, 0u);
+    EXPECT_EQ(result.prog.insns.size(), prog.insns.size());
+}
+
+TEST(Unroll, ExternalForwardJumpsSurvive)
+{
+    const char *text = R"(
+        r1 = 2
+        r4 = 7
+        if r4 == 7 goto after
+        top:
+        r1 -= 1
+        if r1 != 0 goto top
+        after:
+        r0 = 2
+        exit
+    )";
+    Program prog = assemble(text);
+    const Program unrolled = unrollLoops(prog, 4).prog;
+    EXPECT_TRUE(Cfg::build(unrolled).isDag());
+    EXPECT_EQ(run(unrolled).action, XdpAction::Pass);
+}
+
+TEST(Unroll, RejectsJumpIntoLoopBody)
+{
+    // Jump into the middle of the loop body (irreducible).
+    ebpf::ProgramBuilder b("irr");
+    b.mov(1, 2);                            // 0
+    b.jcond(ebpf::JmpOp::Jeq, 1, 9, "mid"); // 1
+    b.label("top");                         //
+    b.alu(ebpf::AluOp::Add, 1, 0);          // 2 (loop head)
+    b.label("mid");
+    b.alu(ebpf::AluOp::Sub, 1, 1);          // 3
+    b.jcond(ebpf::JmpOp::Jne, 1, 0, "top"); // 4 (back edge)
+    b.mov(0, 2);                            // 5
+    b.exit();                               // 6
+    EXPECT_THROW(unrollLoops(b.build(), 4), FatalError);
+}
+
+TEST(Unroll, RejectsZeroTrips)
+{
+    Program prog = assemble(kCountdownLoop);
+    EXPECT_THROW(unrollLoops(prog, 0), FatalError);
+}
+
+}  // namespace
+}  // namespace ehdl::analysis

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Verifier and abstract-interpretation tests: rejection of unsafe
+ * programs, memory-area labeling (paper section 3.1), null-check
+ * refinement, and the key/value constness analysis that distinguishes
+ * global state from flow state (section 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/verifier.hpp"
+
+namespace ehdl::ebpf {
+namespace {
+
+VerifyResult
+verifyText(const std::string &text)
+{
+    return verify(assemble(text));
+}
+
+bool
+hasError(const VerifyResult &vr, const std::string &needle)
+{
+    for (const std::string &e : vr.errors)
+        if (e.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+TEST(Verifier, AcceptsMinimalProgram)
+{
+    const VerifyResult vr = verifyText("r0 = 0\nexit\n");
+    EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors[0]);
+}
+
+TEST(Verifier, RejectsEmptyProgram)
+{
+    Program prog;
+    EXPECT_FALSE(verify(prog).ok);
+}
+
+TEST(Verifier, RejectsMissingExit)
+{
+    ProgramBuilder b("noexit");
+    b.mov(0, 0);
+    Program prog = b.build();
+    const VerifyResult vr = verify(prog);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "no exit"));
+}
+
+TEST(Verifier, RejectsFallOffEnd)
+{
+    // Conditional jump whose fallthrough leaves the program.
+    ProgramBuilder b("fall");
+    b.mov(1, 0);
+    b.label("end");
+    b.jcond(JmpOp::Jeq, 1, 0, "end2");
+    b.label("end2");
+    b.exit();
+    Program prog = b.build();
+    // r0 uninitialized at exit is the detected problem here.
+    const VerifyResult vr = verify(prog);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "uninitialized r0"));
+}
+
+TEST(Verifier, RejectsUninitializedRegisterUse)
+{
+    const VerifyResult vr = verifyText("r0 = r5\nexit\n");
+    EXPECT_FALSE(vr.ok);
+}
+
+TEST(Verifier, RejectsWriteToR10)
+{
+    ProgramBuilder b("r10");
+    b.mov(10, 0);
+    b.mov(0, 0);
+    b.exit();
+    const VerifyResult vr = verify(b.build());
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "read-only R10"));
+}
+
+TEST(Verifier, RejectsBackwardJumpByDefault)
+{
+    const std::string loop = R"(
+        r1 = 3
+        top:
+        r1 -= 1
+        if r1 != 0 goto top
+        r0 = 0
+        exit
+    )";
+    const VerifyResult strict = verify(assemble(loop));
+    EXPECT_FALSE(strict.ok);
+    EXPECT_TRUE(hasError(strict, "backward jump"));
+    const VerifyResult relaxed = verify(assemble(loop), true);
+    EXPECT_TRUE(relaxed.ok);
+    EXPECT_TRUE(relaxed.hasBackwardJumps);
+}
+
+TEST(Verifier, RejectsUnknownHelper)
+{
+    const VerifyResult vr = verifyText("call 9999\nr0 = 0\nexit\n");
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "helper"));
+}
+
+TEST(Verifier, RejectsLoadThroughScalar)
+{
+    const VerifyResult vr =
+        verifyText("r1 = 5\nr2 = *(u32 *)(r1 + 0)\nr0 = 0\nexit\n");
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "non-pointer"));
+}
+
+TEST(Verifier, RejectsStoreToCtx)
+{
+    const VerifyResult vr = verifyText("*(u32 *)(r1 + 0) = 5\nr0 = 0\nexit\n");
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "read-only xdp_md"));
+}
+
+TEST(Verifier, RejectsStackOutOfBounds)
+{
+    const VerifyResult vr =
+        verifyText("r3 = 0\n*(u32 *)(r10 - 516) = r3\nr0 = 0\nexit\n");
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "out of bounds"));
+}
+
+TEST(Verifier, RejectsNullMapValueDeref)
+{
+    const VerifyResult vr = verifyText(R"(
+        .map m hash 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        r2 = *(u64 *)(r0 + 0)
+        r0 = 0
+        exit
+    )");
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "null check"));
+}
+
+TEST(Verifier, NullCheckRefinementAcceptsGuardedDeref)
+{
+    const VerifyResult vr = verifyText(R"(
+        .map m hash 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto out
+        r2 = *(u64 *)(r0 + 0)
+        out:
+        r0 = 0
+        exit
+    )");
+    EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors[0]);
+}
+
+TEST(Verifier, JneRefinementAlsoWorks)
+{
+    const VerifyResult vr = verifyText(R"(
+        .map m hash 4 8 4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 != 0 goto hit
+        r0 = 1
+        exit
+        hit:
+        r2 = *(u64 *)(r0 + 0)
+        r0 = 0
+        exit
+    )");
+    EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors[0]);
+}
+
+TEST(Verifier, RejectsPointerPointerAdd)
+{
+    const VerifyResult vr = verifyText(R"(
+        r2 = *(u32 *)(r1 + 0)
+        r3 = *(u32 *)(r1 + 4)
+        r2 += r3
+        r0 = 0
+        exit
+    )");
+    EXPECT_FALSE(vr.ok);
+}
+
+TEST(Verifier, RejectsCallWithUninitializedArgs)
+{
+    // bpf_map_lookup_elem takes r1, r2; r2 never set.
+    const VerifyResult vr = verifyText(R"(
+        .map m hash 4 8 4
+        r1 = map[m]
+        call 1
+        r0 = 0
+        exit
+    )");
+    EXPECT_FALSE(vr.ok);
+}
+
+TEST(Verifier, RejectsLookupOnNonMap)
+{
+    const VerifyResult vr = verifyText(R"(
+        r1 = 5
+        r2 = r10
+        r2 += -4
+        r3 = 0
+        *(u32 *)(r10 - 4) = r3
+        call 1
+        r0 = 0
+        exit
+    )");
+    EXPECT_FALSE(vr.ok);
+    EXPECT_TRUE(hasError(vr, "not a map handle"));
+}
+
+TEST(Labeling, IdentifiesMemoryRegions)
+{
+    Program prog = assemble(R"(
+        .map m array 4 8 1
+        r2 = *(u32 *)(r1 + 4)
+        r6 = *(u32 *)(r1 + 0)
+        r3 = *(u8 *)(r6 + 12)
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto out
+        r4 = *(u64 *)(r0 + 0)
+        out:
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr = verify(prog);
+    ASSERT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors[0]);
+    const auto &labels = vr.analysis.labels;
+    EXPECT_EQ(labels[0].region, MemRegion::Ctx);
+    EXPECT_EQ(labels[1].region, MemRegion::Ctx);
+    EXPECT_EQ(labels[2].region, MemRegion::Packet);
+    EXPECT_TRUE(labels[2].offKnown);
+    EXPECT_EQ(labels[2].staticOff, 12);
+    EXPECT_EQ(labels[3].region, MemRegion::Stack);
+    EXPECT_EQ(labels[3].staticOff, 512 - 4);
+    EXPECT_EQ(labels[9].region, MemRegion::Map);
+    EXPECT_EQ(labels[9].mapId, 0);
+}
+
+TEST(Labeling, DerivedPacketPointersKeepOffsets)
+{
+    Program prog = assemble(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r6 += 14
+        r3 = *(u16 *)(r6 + 2)
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr = verify(prog);
+    ASSERT_TRUE(vr.ok);
+    EXPECT_EQ(vr.analysis.labels[2].region, MemRegion::Packet);
+    EXPECT_TRUE(vr.analysis.labels[2].offKnown);
+    EXPECT_EQ(vr.analysis.labels[2].staticOff, 16);
+}
+
+TEST(Labeling, DynamicOffsetsLoseStaticOffset)
+{
+    Program prog = assemble(R"(
+        r6 = *(u32 *)(r1 + 0)
+        r3 = *(u8 *)(r6 + 12)
+        r6 += r3
+        r4 = *(u8 *)(r6 + 0)
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr = verify(prog);
+    ASSERT_TRUE(vr.ok);
+    EXPECT_EQ(vr.analysis.labels[3].region, MemRegion::Packet);
+    EXPECT_FALSE(vr.analysis.labels[3].offKnown);
+}
+
+TEST(CallSites, ConstKeyIsGlobalState)
+{
+    Program prog = assemble(R"(
+        .map stats array 4 8 4
+        r3 = 2
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[stats]
+        r2 = r10
+        r2 += -4
+        call 1
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr = verify(prog);
+    ASSERT_TRUE(vr.ok);
+    const CallSite &site = vr.analysis.calls[5];
+    EXPECT_TRUE(site.reachable);
+    EXPECT_EQ(site.mapId, 0u);
+    EXPECT_TRUE(site.keyConst);
+    EXPECT_TRUE(site.keyOnStack);
+    EXPECT_EQ(site.keyStackOff, 512 - 4);
+}
+
+TEST(CallSites, PacketDerivedKeyIsFlowState)
+{
+    Program prog = assemble(R"(
+        .map flows hash 4 8 4
+        r6 = *(u32 *)(r1 + 0)
+        r3 = *(u32 *)(r6 + 26)
+        *(u32 *)(r10 - 4) = r3
+        r1 = map[flows]
+        r2 = r10
+        r2 += -4
+        call 1
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr = verify(prog);
+    ASSERT_TRUE(vr.ok);
+    EXPECT_FALSE(vr.analysis.calls[6].keyConst);
+}
+
+TEST(CallSites, ValueConstnessForSdnetModel)
+{
+    Program const_update = assemble(R"(
+        .map m hash 4 8 4
+        r3 = 1
+        *(u32 *)(r10 - 4) = r3
+        r4 = 7
+        *(u64 *)(r10 - 16) = r4
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        r3 = r10
+        r3 += -16
+        r4 = 0
+        call 2
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr1 = verify(const_update);
+    ASSERT_TRUE(vr1.ok);
+    EXPECT_TRUE(vr1.analysis.calls[10].valueConst);
+
+    Program dyn_update = assemble(R"(
+        .map m hash 4 8 4
+        r6 = *(u32 *)(r1 + 0)
+        r3 = 1
+        *(u32 *)(r10 - 4) = r3
+        r4 = *(u32 *)(r6 + 26)
+        *(u64 *)(r10 - 16) = r4
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        r3 = r10
+        r3 += -16
+        r4 = 0
+        call 2
+        r0 = 0
+        exit
+    )");
+    const VerifyResult vr2 = verify(dyn_update);
+    ASSERT_TRUE(vr2.ok);
+    EXPECT_FALSE(vr2.analysis.calls[11].valueConst);
+}
+
+TEST(Verifier, AllEvaluationAppsVerify)
+{
+    for (const apps::AppSpec &spec : apps::paperApps()) {
+        const VerifyResult vr = verify(spec.prog);
+        EXPECT_TRUE(vr.ok) << spec.prog.name << ": "
+                           << (vr.errors.empty() ? "" : vr.errors[0]);
+    }
+    EXPECT_TRUE(verify(apps::makeToyCounter().prog).ok);
+    EXPECT_TRUE(verify(apps::makeLeakyBucket().prog).ok);
+    EXPECT_TRUE(verify(apps::makeElasticDemo().prog).ok);
+}
+
+TEST(Verifier, ReachabilityTracksDeadCode)
+{
+    Program prog = assemble(R"(
+        r0 = 0
+        goto out
+        r0 = 1
+        out:
+        exit
+    )");
+    const VerifyResult vr = verify(prog);
+    ASSERT_TRUE(vr.ok);
+    EXPECT_TRUE(vr.analysis.reachable[0]);
+    EXPECT_FALSE(vr.analysis.reachable[2]);
+    EXPECT_TRUE(vr.analysis.reachable[3]);
+}
+
+}  // namespace
+}  // namespace ehdl::ebpf

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * ehdlc — the eHDL command-line compiler.
+ *
+ * Mirrors the paper's tool flow: eBPF in, VHDL out, no hardware expertise
+ * required (section 5.5: "eHDL starts from the eBPF bytecode ... and
+ * generates the firmware ready to be loaded on the Xilinx U50").
+ *
+ * Usage:
+ *   ehdlc compile <prog> [-o out.vhd] [--frame N] [--no-ilp]
+ *                 [--no-fusion] [--no-pruning] [--report]
+ *   ehdlc disasm  <prog>
+ *   ehdlc verify  <prog>
+ *   ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]
+ *   ehdlc report  <prog>            # pipeline + resource summary
+ *
+ * <prog> is a textual assembly file (see ebpf/asm.hpp for the syntax), a
+ * raw bytecode file (.bin, 8-byte wire slots), or an ELF relocatable
+ * object (.o) produced by clang -target bpf.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "ebpf/asm.hpp"
+#include "ebpf/codec.hpp"
+#include "ebpf/disasm.hpp"
+#include "ebpf/elf.hpp"
+#include "ebpf/verifier.hpp"
+#include "hdl/compiler.hpp"
+#include "hdl/flush_model.hpp"
+#include "hdl/resources.hpp"
+#include "hdl/vhdl.hpp"
+#include "net/headers.hpp"
+#include "net/pcap.hpp"
+#include "sim/nic_shell.hpp"
+#include "sim/pipe_sim.hpp"
+#include "sim/traffic.hpp"
+
+using namespace ehdl;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+/** Load a program from assembly, raw bytecode or an ELF object. */
+ebpf::Program
+loadProgram(const std::string &path)
+{
+    const std::string body = readFile(path);
+    const std::string name = [&path] {
+        const size_t slash = path.find_last_of('/');
+        const size_t start = slash == std::string::npos ? 0 : slash + 1;
+        const size_t dot = path.find_last_of('.');
+        return path.substr(start,
+                           dot == std::string::npos || dot < start
+                               ? std::string::npos
+                               : dot - start);
+    }();
+    if (body.size() >= 4 && std::memcmp(body.data(), "\x7f"
+                                                     "ELF",
+                                        4) == 0) {
+        return ebpf::loadElf(
+            std::vector<uint8_t>(body.begin(), body.end()), name);
+    }
+    if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+        ebpf::Program prog;
+        prog.name = name;
+        prog.insns =
+            ebpf::decode(std::vector<uint8_t>(body.begin(), body.end()));
+        return prog;
+    }
+    return ebpf::assemble(body, name);
+}
+
+void
+printReport(const hdl::Pipeline &pipe)
+{
+    const hdl::ResourceReport report = hdl::estimateResources(pipe);
+    const hdl::HazardGeometry geo = hdl::hazardGeometry(pipe);
+    std::printf("program '%s': %zu instructions, %zu maps\n",
+                pipe.prog.name.c_str(), pipe.prog.size(),
+                pipe.prog.maps.size());
+    std::printf("pipeline: %zu stages (%u framing pads), max ILP %u, "
+                "avg ILP %.2f\n",
+                pipe.numStages(), pipe.padStages, pipe.schedule.maxIlp,
+                pipe.schedule.avgIlp);
+    std::printf("hazards: %zu map ports, %zu WAR/speculation buffers, "
+                "%zu flush blocks",
+                pipe.mapPorts.size(), pipe.warBuffers.size(),
+                pipe.flushBlocks.size());
+    if (geo.hasFlush)
+        std::printf(" (K=%.0f, L=%.0f)", geo.k, geo.l);
+    std::printf(", %zu elastic buffers\n", pipe.elasticBuffers.size());
+    std::printf("latency at %u MHz: %.0f ns through the pipeline\n",
+                pipe.options.clockMhz,
+                pipe.numStages() * 1000.0 / pipe.options.clockMhz);
+    std::printf("Alveo U50 (incl. Corundum shell): LUT %.2f%%, FF %.2f%%, "
+                "BRAM %.2f%%\n",
+                report.lutFrac * 100, report.ffFrac * 100,
+                report.bramFrac * 100);
+}
+
+int
+cmdCompile(int argc, char **argv)
+{
+    std::string out_path;
+    bool report = false;
+    bool testbench = false;
+    hdl::PipelineOptions options;
+    std::string input;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc)
+            out_path = argv[++i];
+        else if (arg == "--testbench")
+            testbench = true;
+        else if (arg == "--frame" && i + 1 < argc)
+            options.frameBytes =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--no-ilp")
+            options.enableIlp = false;
+        else if (arg == "--no-fusion")
+            options.enableFusion = false;
+        else if (arg == "--no-pruning")
+            options.enablePruning = false;
+        else if (arg == "--report")
+            report = true;
+        else if (!arg.empty() && arg[0] != '-')
+            input = arg;
+        else
+            fatal("unknown option '", arg, "'");
+    }
+    if (input.empty())
+        fatal("compile: missing input file");
+
+    const ebpf::Program prog = loadProgram(input);
+    const hdl::Pipeline pipe = hdl::compile(prog, options);
+    if (report)
+        printReport(pipe);
+    const std::string vhdl = hdl::generateVhdl(pipe);
+    if (out_path.empty())
+        out_path = prog.name + "_pipeline.vhd";
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out)
+        fatal("cannot write '", out_path, "'");
+    out << vhdl;
+    std::printf("wrote %zu bytes of VHDL to %s\n", vhdl.size(),
+                out_path.c_str());
+    if (testbench) {
+        net::PacketSpec spec;
+        const net::Packet pkt = net::PacketFactory::build(spec);
+        const std::string tb = hdl::generateTestbench(pipe, pkt.bytes());
+        const std::string tb_path = out_path + "_tb.vhd";
+        std::ofstream tb_out(tb_path, std::ios::binary);
+        if (!tb_out)
+            fatal("cannot write '", tb_path, "'");
+        tb_out << tb;
+        std::printf("wrote %zu bytes of testbench to %s\n", tb.size(),
+                    tb_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdDisasm(const std::string &input)
+{
+    const ebpf::Program prog = loadProgram(input);
+    for (const ebpf::MapDef &def : prog.maps)
+        std::printf(".map %s %s %u %u %u\n", def.name.c_str(),
+                    ebpf::mapKindName(def.kind).c_str(), def.keySize,
+                    def.valueSize, def.maxEntries);
+    std::printf("%s", ebpf::disasm(prog).c_str());
+    return 0;
+}
+
+int
+cmdVerify(const std::string &input)
+{
+    const ebpf::Program prog = loadProgram(input);
+    const ebpf::VerifyResult vr = ebpf::verify(prog, true);
+    if (vr.ok) {
+        std::printf("%s: OK (%zu instructions%s)\n", prog.name.c_str(),
+                    prog.size(),
+                    vr.hasBackwardJumps ? ", has bounded loops" : "");
+        return 0;
+    }
+    std::printf("%s: FAILED\n", prog.name.c_str());
+    for (const std::string &error : vr.errors)
+        std::printf("  %s\n", error.c_str());
+    return 1;
+}
+
+int
+cmdSim(int argc, char **argv)
+{
+    std::string input;
+    std::string pcap_in, pcap_out;
+    int packets = 10000;
+    sim::TrafficConfig traffic;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--packets" && i + 1 < argc)
+            packets = std::stoi(argv[++i]);
+        else if (arg == "--pcap-in" && i + 1 < argc)
+            pcap_in = argv[++i];
+        else if (arg == "--pcap-out" && i + 1 < argc)
+            pcap_out = argv[++i];
+        else if (arg == "--flows" && i + 1 < argc)
+            traffic.numFlows = std::stoull(argv[++i]);
+        else if (arg == "--zipf" && i + 1 < argc)
+            traffic.zipfS = std::stod(argv[++i]);
+        else if (arg == "--len" && i + 1 < argc)
+            traffic.packetLen =
+                static_cast<uint32_t>(std::stoul(argv[++i]));
+        else if (!arg.empty() && arg[0] != '-')
+            input = arg;
+        else
+            fatal("unknown option '", arg, "'");
+    }
+    if (input.empty())
+        fatal("sim: missing input file");
+
+    const ebpf::Program prog = loadProgram(input);
+    const hdl::Pipeline pipe = hdl::compile(prog);
+    printReport(pipe);
+
+    ebpf::MapSet maps(prog.maps);
+    sim::PipeSimConfig config;
+    config.inputQueueCapacity = 1u << 20;
+    sim::PipeSim sim(pipe, maps, config);
+    if (!pcap_in.empty()) {
+        const std::vector<net::Packet> replay = net::readPcap(pcap_in);
+        packets = static_cast<int>(replay.size());
+        for (const net::Packet &pkt : replay)
+            sim.offer(pkt);
+    } else {
+        sim::TrafficGen gen(traffic);
+        for (int i = 0; i < packets; ++i)
+            sim.offer(gen.next());
+    }
+    sim.drain();
+    if (!pcap_out.empty()) {
+        // Emit forwarded packets (TX/redirect) as seen on the wire.
+        std::vector<net::Packet> emitted;
+        for (const sim::PacketOutcome &out : sim.outcomes()) {
+            if (out.action == ebpf::XdpAction::Tx ||
+                out.action == ebpf::XdpAction::Redirect) {
+                net::Packet pkt(out.bytes);
+                pkt.arrivalNs = out.exitCycle * 4;
+                emitted.push_back(std::move(pkt));
+            }
+        }
+        net::writePcap(pcap_out, emitted);
+        std::printf("wrote %zu forwarded packets to %s\n", emitted.size(),
+                    pcap_out.c_str());
+    }
+
+    uint64_t actions[5] = {};
+    for (const sim::PacketOutcome &out : sim.outcomes())
+        actions[static_cast<uint32_t>(out.action) % 5]++;
+    const sim::EndToEndResult e2e =
+        sim::summarizeEndToEnd(sim, traffic.packetLen ? traffic.packetLen
+                                                      : 64);
+    std::printf("\nsimulated %d packets from %llu flows:\n", packets,
+                static_cast<unsigned long long>(traffic.numFlows));
+    std::printf("  throughput %.1f Mpps (pipeline %.1f, line rate %.1f)\n",
+                e2e.throughputMpps, e2e.pipelineMpps, e2e.lineRateMpps);
+    std::printf("  latency %.0f ns end to end\n", e2e.avgLatencyNs);
+    std::printf("  flushes %llu, lost %llu\n",
+                static_cast<unsigned long long>(e2e.flushEvents),
+                static_cast<unsigned long long>(e2e.lostPackets));
+    for (uint32_t a = 0; a < 5; ++a) {
+        if (actions[a])
+            std::printf("  %s: %llu\n",
+                        ebpf::xdpActionName(
+                            static_cast<ebpf::XdpAction>(a))
+                            .c_str(),
+                        static_cast<unsigned long long>(actions[a]));
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "ehdlc — eBPF/XDP to hardware pipeline compiler\n"
+        "\n"
+        "usage:\n"
+        "  ehdlc compile <prog> [-o out.vhd] [--frame N] [--no-ilp]\n"
+        "                [--no-fusion] [--no-pruning] [--report] [--testbench]\n"
+        "  ehdlc disasm  <prog>\n"
+        "  ehdlc verify  <prog>\n"
+        "  ehdlc report  <prog>\n"
+        "  ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]\n"
+        "                [--pcap-in f] [--pcap-out f]\n"
+        "\n"
+        "<prog>: textual assembly (.s), raw bytecode (.bin) or an ELF\n"
+        "object built with clang -target bpf.\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return argc < 2 ? 0 : 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "compile")
+            return cmdCompile(argc - 2, argv + 2);
+        if (cmd == "disasm")
+            return cmdDisasm(argv[2]);
+        if (cmd == "verify")
+            return cmdVerify(argv[2]);
+        if (cmd == "report") {
+            printReport(hdl::compile(loadProgram(argv[2])));
+            return 0;
+        }
+        if (cmd == "sim")
+            return cmdSim(argc - 2, argv + 2);
+        usage();
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ehdlc: %s\n", e.what());
+        return 1;
+    }
+}
