@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bundle.dir/bench_bundle.cpp.o"
+  "CMakeFiles/bench_bundle.dir/bench_bundle.cpp.o.d"
+  "bench_bundle"
+  "bench_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

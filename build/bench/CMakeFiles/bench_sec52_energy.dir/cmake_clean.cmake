@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_energy.dir/bench_sec52_energy.cpp.o"
+  "CMakeFiles/bench_sec52_energy.dir/bench_sec52_energy.cpp.o.d"
+  "bench_sec52_energy"
+  "bench_sec52_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_single_flow.dir/bench_sec53_single_flow.cpp.o"
+  "CMakeFiles/bench_sec53_single_flow.dir/bench_sec53_single_flow.cpp.o.d"
+  "bench_sec53_single_flow"
+  "bench_sec53_single_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_single_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

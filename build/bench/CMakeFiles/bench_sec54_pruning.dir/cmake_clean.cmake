@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_pruning.dir/bench_sec54_pruning.cpp.o"
+  "CMakeFiles/bench_sec54_pruning.dir/bench_sec54_pruning.cpp.o.d"
+  "bench_sec54_pruning"
+  "bench_sec54_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_flush.dir/bench_table2_flush.cpp.o"
+  "CMakeFiles/bench_table2_flush.dir/bench_table2_flush.cpp.o.d"
+  "bench_table2_flush"
+  "bench_table2_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_kmax.dir/bench_table4_kmax.cpp.o"
+  "CMakeFiles/bench_table4_kmax.dir/bench_table4_kmax.cpp.o.d"
+  "bench_table4_kmax"
+  "bench_table4_kmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_kmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ilp.dir/bench_table5_ilp.cpp.o"
+  "CMakeFiles/bench_table5_ilp.dir/bench_table5_ilp.cpp.o.d"
+  "bench_table5_ilp"
+  "bench_table5_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_offload.dir/firewall_offload.cpp.o"
+  "CMakeFiles/firewall_offload.dir/firewall_offload.cpp.o.d"
+  "firewall_offload"
+  "firewall_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

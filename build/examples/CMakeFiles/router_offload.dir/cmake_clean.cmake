@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_offload.dir/router_offload.cpp.o"
+  "CMakeFiles/router_offload.dir/router_offload.cpp.o.d"
+  "router_offload"
+  "router_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

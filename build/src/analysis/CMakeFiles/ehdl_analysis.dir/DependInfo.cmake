@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/ehdl_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/ehdl_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/effects.cpp" "src/analysis/CMakeFiles/ehdl_analysis.dir/effects.cpp.o" "gcc" "src/analysis/CMakeFiles/ehdl_analysis.dir/effects.cpp.o.d"
+  "/root/repo/src/analysis/fusion.cpp" "src/analysis/CMakeFiles/ehdl_analysis.dir/fusion.cpp.o" "gcc" "src/analysis/CMakeFiles/ehdl_analysis.dir/fusion.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/analysis/CMakeFiles/ehdl_analysis.dir/liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/ehdl_analysis.dir/liveness.cpp.o.d"
+  "/root/repo/src/analysis/schedule.cpp" "src/analysis/CMakeFiles/ehdl_analysis.dir/schedule.cpp.o" "gcc" "src/analysis/CMakeFiles/ehdl_analysis.dir/schedule.cpp.o.d"
+  "/root/repo/src/analysis/unroll.cpp" "src/analysis/CMakeFiles/ehdl_analysis.dir/unroll.cpp.o" "gcc" "src/analysis/CMakeFiles/ehdl_analysis.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/ehdl_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ehdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ehdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

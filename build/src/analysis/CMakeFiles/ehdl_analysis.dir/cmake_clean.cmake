@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/ehdl_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/ehdl_analysis.dir/effects.cpp.o"
+  "CMakeFiles/ehdl_analysis.dir/effects.cpp.o.d"
+  "CMakeFiles/ehdl_analysis.dir/fusion.cpp.o"
+  "CMakeFiles/ehdl_analysis.dir/fusion.cpp.o.d"
+  "CMakeFiles/ehdl_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/ehdl_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/ehdl_analysis.dir/schedule.cpp.o"
+  "CMakeFiles/ehdl_analysis.dir/schedule.cpp.o.d"
+  "CMakeFiles/ehdl_analysis.dir/unroll.cpp.o"
+  "CMakeFiles/ehdl_analysis.dir/unroll.cpp.o.d"
+  "libehdl_analysis.a"
+  "libehdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

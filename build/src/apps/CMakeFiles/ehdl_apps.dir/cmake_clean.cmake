@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_apps.dir/apps.cpp.o"
+  "CMakeFiles/ehdl_apps.dir/apps.cpp.o.d"
+  "libehdl_apps.a"
+  "libehdl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

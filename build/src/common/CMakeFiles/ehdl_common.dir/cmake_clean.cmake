@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_common.dir/logging.cpp.o"
+  "CMakeFiles/ehdl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ehdl_common.dir/table.cpp.o"
+  "CMakeFiles/ehdl_common.dir/table.cpp.o.d"
+  "CMakeFiles/ehdl_common.dir/zipf.cpp.o"
+  "CMakeFiles/ehdl_common.dir/zipf.cpp.o.d"
+  "libehdl_common.a"
+  "libehdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

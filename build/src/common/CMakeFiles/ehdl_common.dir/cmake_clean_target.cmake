@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libehdl_common.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/absint.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/absint.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/absint.cpp.o.d"
+  "/root/repo/src/ebpf/asm.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/asm.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/asm.cpp.o.d"
+  "/root/repo/src/ebpf/builder.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/builder.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/builder.cpp.o.d"
+  "/root/repo/src/ebpf/codec.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/codec.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/codec.cpp.o.d"
+  "/root/repo/src/ebpf/disasm.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/disasm.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/disasm.cpp.o.d"
+  "/root/repo/src/ebpf/elf.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/elf.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/elf.cpp.o.d"
+  "/root/repo/src/ebpf/exec.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/exec.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/exec.cpp.o.d"
+  "/root/repo/src/ebpf/helpers.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/helpers.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/helpers.cpp.o.d"
+  "/root/repo/src/ebpf/isa.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/isa.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/isa.cpp.o.d"
+  "/root/repo/src/ebpf/maps.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/maps.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/maps.cpp.o.d"
+  "/root/repo/src/ebpf/verifier.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/verifier.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/verifier.cpp.o.d"
+  "/root/repo/src/ebpf/vm.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/vm.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/vm.cpp.o.d"
+  "/root/repo/src/ebpf/xdp.cpp" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/xdp.cpp.o" "gcc" "src/ebpf/CMakeFiles/ehdl_ebpf.dir/xdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ehdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ehdl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

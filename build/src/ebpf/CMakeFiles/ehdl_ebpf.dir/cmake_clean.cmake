@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_ebpf.dir/absint.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/absint.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/asm.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/asm.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/builder.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/builder.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/codec.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/codec.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/disasm.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/disasm.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/elf.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/elf.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/exec.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/exec.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/helpers.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/helpers.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/isa.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/isa.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/maps.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/maps.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/verifier.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/verifier.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/vm.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/vm.cpp.o.d"
+  "CMakeFiles/ehdl_ebpf.dir/xdp.cpp.o"
+  "CMakeFiles/ehdl_ebpf.dir/xdp.cpp.o.d"
+  "libehdl_ebpf.a"
+  "libehdl_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

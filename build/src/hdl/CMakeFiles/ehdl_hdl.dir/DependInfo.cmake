@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/bundle.cpp" "src/hdl/CMakeFiles/ehdl_hdl.dir/bundle.cpp.o" "gcc" "src/hdl/CMakeFiles/ehdl_hdl.dir/bundle.cpp.o.d"
+  "/root/repo/src/hdl/compiler.cpp" "src/hdl/CMakeFiles/ehdl_hdl.dir/compiler.cpp.o" "gcc" "src/hdl/CMakeFiles/ehdl_hdl.dir/compiler.cpp.o.d"
+  "/root/repo/src/hdl/flush_model.cpp" "src/hdl/CMakeFiles/ehdl_hdl.dir/flush_model.cpp.o" "gcc" "src/hdl/CMakeFiles/ehdl_hdl.dir/flush_model.cpp.o.d"
+  "/root/repo/src/hdl/pipeline.cpp" "src/hdl/CMakeFiles/ehdl_hdl.dir/pipeline.cpp.o" "gcc" "src/hdl/CMakeFiles/ehdl_hdl.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hdl/resources.cpp" "src/hdl/CMakeFiles/ehdl_hdl.dir/resources.cpp.o" "gcc" "src/hdl/CMakeFiles/ehdl_hdl.dir/resources.cpp.o.d"
+  "/root/repo/src/hdl/vhdl.cpp" "src/hdl/CMakeFiles/ehdl_hdl.dir/vhdl.cpp.o" "gcc" "src/hdl/CMakeFiles/ehdl_hdl.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ehdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ehdl_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ehdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ehdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_hdl.dir/bundle.cpp.o"
+  "CMakeFiles/ehdl_hdl.dir/bundle.cpp.o.d"
+  "CMakeFiles/ehdl_hdl.dir/compiler.cpp.o"
+  "CMakeFiles/ehdl_hdl.dir/compiler.cpp.o.d"
+  "CMakeFiles/ehdl_hdl.dir/flush_model.cpp.o"
+  "CMakeFiles/ehdl_hdl.dir/flush_model.cpp.o.d"
+  "CMakeFiles/ehdl_hdl.dir/pipeline.cpp.o"
+  "CMakeFiles/ehdl_hdl.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ehdl_hdl.dir/resources.cpp.o"
+  "CMakeFiles/ehdl_hdl.dir/resources.cpp.o.d"
+  "CMakeFiles/ehdl_hdl.dir/vhdl.cpp.o"
+  "CMakeFiles/ehdl_hdl.dir/vhdl.cpp.o.d"
+  "libehdl_hdl.a"
+  "libehdl_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

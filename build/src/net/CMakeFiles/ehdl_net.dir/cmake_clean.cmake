@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_net.dir/checksum.cpp.o"
+  "CMakeFiles/ehdl_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/ehdl_net.dir/headers.cpp.o"
+  "CMakeFiles/ehdl_net.dir/headers.cpp.o.d"
+  "CMakeFiles/ehdl_net.dir/packet.cpp.o"
+  "CMakeFiles/ehdl_net.dir/packet.cpp.o.d"
+  "CMakeFiles/ehdl_net.dir/pcap.cpp.o"
+  "CMakeFiles/ehdl_net.dir/pcap.cpp.o.d"
+  "libehdl_net.a"
+  "libehdl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdl_sim.dir/baselines.cpp.o"
+  "CMakeFiles/ehdl_sim.dir/baselines.cpp.o.d"
+  "CMakeFiles/ehdl_sim.dir/nic_shell.cpp.o"
+  "CMakeFiles/ehdl_sim.dir/nic_shell.cpp.o.d"
+  "CMakeFiles/ehdl_sim.dir/pipe_sim.cpp.o"
+  "CMakeFiles/ehdl_sim.dir/pipe_sim.cpp.o.d"
+  "CMakeFiles/ehdl_sim.dir/traffic.cpp.o"
+  "CMakeFiles/ehdl_sim.dir/traffic.cpp.o.d"
+  "libehdl_sim.a"
+  "libehdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absint.dir/test_absint.cpp.o"
+  "CMakeFiles/test_absint.dir/test_absint.cpp.o.d"
+  "test_absint"
+  "test_absint.pdb"
+  "test_absint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bundle.dir/test_bundle.cpp.o"
+  "CMakeFiles/test_bundle.dir/test_bundle.cpp.o.d"
+  "test_bundle"
+  "test_bundle.pdb"
+  "test_bundle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flush_model.dir/test_flush_model.cpp.o"
+  "CMakeFiles/test_flush_model.dir/test_flush_model.cpp.o.d"
+  "test_flush_model"
+  "test_flush_model.pdb"
+  "test_flush_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flush_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_liveness.cpp" "tests/CMakeFiles/test_liveness.dir/test_liveness.cpp.o" "gcc" "tests/CMakeFiles/test_liveness.dir/test_liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ehdl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ehdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/ehdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ehdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ehdl_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ehdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ehdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_maps[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_verifier[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg[1]_include.cmake")
+include("/root/repo/build/tests/test_unroll[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_vhdl[1]_include.cmake")
+include("/root/repo/build/tests/test_resources[1]_include.cmake")
+include("/root/repo/build/tests/test_flush_model[1]_include.cmake")
+include("/root/repo/build/tests/test_pipe_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_elf[1]_include.cmake")
+include("/root/repo/build/tests/test_bundle[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_liveness[1]_include.cmake")
+include("/root/repo/build/tests/test_nic_shell[1]_include.cmake")
+include("/root/repo/build/tests/test_absint[1]_include.cmake")

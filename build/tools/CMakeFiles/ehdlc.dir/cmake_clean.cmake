@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehdlc.dir/ehdlc.cpp.o"
+  "CMakeFiles/ehdlc.dir/ehdlc.cpp.o.d"
+  "ehdlc"
+  "ehdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

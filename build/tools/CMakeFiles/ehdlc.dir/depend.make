@@ -1,0 +1,2 @@
+# Empty dependencies file for ehdlc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_verify_acl "/root/repo/build/tools/ehdlc" "verify" "/root/repo/examples/programs/acl_counter.s")
+set_tests_properties(cli_verify_acl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report_flow_meter "/root/repo/build/tools/ehdlc" "report" "/root/repo/examples/programs/flow_meter.s")
+set_tests_properties(cli_report_flow_meter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile_acl "/root/repo/build/tools/ehdlc" "compile" "/root/repo/examples/programs/acl_counter.s" "-o" "acl_test.vhd" "--testbench")
+set_tests_properties(cli_compile_acl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sim_flow_meter "/root/repo/build/tools/ehdlc" "sim" "/root/repo/examples/programs/flow_meter.s" "--packets" "2000" "--flows" "8")
+set_tests_properties(cli_sim_flow_meter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
