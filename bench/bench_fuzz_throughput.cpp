@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Differential-fuzzer throughput: how many generated programs per second
+ * the campaign machinery sustains, split into its cost centres —
+ * generation+verification alone, the full three-backend differential
+ * iteration (VM, pipeline, hXDP), and the shrink loop on a
+ * fault-injected reproducer. These rates size how many iterations a CI
+ * smoke budget buys (the committed fuzz-smoke target runs 1000).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/gen.hpp"
+#include "fuzz/shrink.hpp"
+
+using namespace ehdl;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Differential fuzzer throughput (seed 1)\n\n");
+    TextTable table(
+        {"Phase", "Work", "Seconds", "Rate", "Notes"});
+
+    // Generation + verifier acceptance alone.
+    {
+        const int n = 2000;
+        const auto start = std::chrono::steady_clock::now();
+        size_t insns = 0;
+        for (uint64_t seed = 1; seed <= n; ++seed)
+            insns += fuzz::generateProgram(seed).insns.size();
+        const double s = secondsSince(start);
+        table.addRow({"generate", std::to_string(n) + " programs", fmtF(s),
+                      fmtF(n / s, 0) + "/s",
+                      fmtF(static_cast<double>(insns) / n, 1) +
+                          " insns/prog"});
+    }
+
+    // Full differential iterations against the (correct) pipeline.
+    {
+        fuzz::FuzzOptions opts;
+        opts.seed = 1;
+        opts.iterations = 400;
+        const auto start = std::chrono::steady_clock::now();
+        const fuzz::FuzzStats stats = fuzz::runFuzz(opts);
+        const double s = secondsSince(start);
+        table.addRow(
+            {"differential", std::to_string(stats.iterations) + " iters",
+             fmtF(s), fmtF(static_cast<double>(stats.iterations) / s, 0) +
+                          "/s",
+             std::to_string(stats.compiled) + " compiled, " +
+                 std::to_string(stats.packetsRun) + " pkts, " +
+                 std::to_string(stats.divergences) + " div"});
+    }
+
+    // Find + shrink a planted WAR hazard bug.
+    {
+        fuzz::FuzzOptions opts;
+        opts.seed = 1;
+        opts.iterations = 10000;  // stops at the first divergence
+        opts.injectWarBug = true;
+        const auto start = std::chrono::steady_clock::now();
+        const fuzz::FuzzStats stats = fuzz::runFuzz(opts);
+        const double s = secondsSince(start);
+        if (stats.divergences != 1) {
+            std::printf("ERROR: injected WAR bug not found\n");
+            return 1;
+        }
+        const fuzz::DivergenceRecord &rec = stats.records[0];
+        table.addRow(
+            {"find+shrink", std::to_string(rec.shrinkRuns) + " oracle runs",
+             fmtF(s), fmtF(static_cast<double>(rec.shrinkRuns) / s, 0) +
+                          "/s",
+             "shrunk to " + std::to_string(rec.shrunk.prog.insns.size()) +
+                 " insns / " + std::to_string(rec.shrunk.packets.size()) +
+                 " pkts"});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,84 @@
+#include "ebpf/mutate.hpp"
+
+#include <cstdint>
+
+#include "ebpf/isa.hpp"
+
+namespace ehdl::ebpf {
+
+namespace {
+
+bool
+isRelativeJump(const Insn &insn)
+{
+    return insn.isJmp() && !insn.isCall() && !insn.isExit();
+}
+
+}  // namespace
+
+std::optional<Program>
+removeInsn(const Program &prog, size_t idx)
+{
+    if (idx >= prog.insns.size())
+        return std::nullopt;
+
+    // New index of old instruction x once idx is gone; a jump that targeted
+    // idx itself lands on the instruction that takes its place.
+    const auto remap = [idx](size_t x) { return x - (x > idx ? 1 : 0); };
+
+    Program out;
+    out.name = prog.name;
+    out.maps = prog.maps;
+    out.insns.reserve(prog.insns.size() - 1);
+
+    for (size_t pc = 0; pc < prog.insns.size(); ++pc) {
+        if (pc == idx)
+            continue;
+        Insn insn = prog.insns[pc];
+        if (isRelativeJump(insn)) {
+            const size_t target = prog.jumpTarget(pc);
+            if (target > prog.insns.size())
+                return std::nullopt;
+            // A jump targeting past-the-end of the removed tail is dead.
+            if (target == prog.insns.size() && idx + 1 == prog.insns.size())
+                return std::nullopt;
+            const int64_t off = static_cast<int64_t>(remap(target)) -
+                                static_cast<int64_t>(remap(pc)) - 1;
+            if (off < INT16_MIN || off > INT16_MAX)
+                return std::nullopt;
+            insn.off = static_cast<int16_t>(off);
+        }
+        insn.origPc = static_cast<int32_t>(out.insns.size());
+        out.insns.push_back(insn);
+    }
+    return out;
+}
+
+std::optional<Program>
+constantizeInsn(const Program &prog, size_t idx, int32_t imm)
+{
+    if (idx >= prog.insns.size())
+        return std::nullopt;
+    const Insn &old = prog.insns[idx];
+    // Only instructions that define exactly one scalar register qualify;
+    // lddw map loads are excluded (dropping the handle changes call sites).
+    const bool defines_reg =
+        (old.isAlu() || (old.cls() == InsnClass::Ldx) ||
+         (old.isLddw() && !old.isMapLoad)) &&
+        old.dst < kFp;
+    if (!defines_reg)
+        return std::nullopt;
+
+    Program out = prog;
+    Insn repl;
+    repl.opcode = makeAluOpcode(InsnClass::Alu64, AluOp::Mov, SrcKind::K);
+    repl.dst = old.dst;
+    repl.imm = imm;
+    repl.origPc = old.origPc;
+    if (repl.opcode == old.opcode && repl.imm == old.imm)
+        return std::nullopt;  // already that constant — not a new mutant
+    out.insns[idx] = repl;
+    return out;
+}
+
+}  // namespace ehdl::ebpf

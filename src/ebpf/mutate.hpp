@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Structural program mutations used by the differential fuzzer's shrinker
+ * (src/fuzz/shrink.hpp). Each mutation preserves the *well-formedness* of
+ * the instruction stream (jump offsets are re-targeted across deletions);
+ * whether the mutant is still verifier/compiler-acceptable is the caller's
+ * problem — the shrinker re-verifies and re-runs every candidate.
+ */
+
+#ifndef EHDL_EBPF_MUTATE_HPP_
+#define EHDL_EBPF_MUTATE_HPP_
+
+#include <optional>
+
+#include "ebpf/program.hpp"
+
+namespace ehdl::ebpf {
+
+/**
+ * Remove the instruction at index @p idx, shifting later instructions up
+ * and fixing every jump offset that spans the hole. A jump whose target
+ * *is* the removed instruction is re-targeted to its successor.
+ *
+ * @return The mutated program, or nullopt when the removal cannot produce
+ *         a well-formed stream (removing the last instruction while jumps
+ *         target it, or an offset no longer fits int16).
+ */
+std::optional<Program> removeInsn(const Program &prog, size_t idx);
+
+/**
+ * Replace the instruction at index @p idx with `mov dst, imm` writing the
+ * same destination register (the canonical "constantize" shrink step: a
+ * packet/stack/map load collapses to a constant, after which its address
+ * chain often becomes dead and removable).
+ *
+ * @return nullopt when the instruction does not define exactly one
+ *         general-purpose register (jumps, stores, exit, calls).
+ */
+std::optional<Program> constantizeInsn(const Program &prog, size_t idx,
+                                       int32_t imm);
+
+}  // namespace ehdl::ebpf
+
+#endif  // EHDL_EBPF_MUTATE_HPP_

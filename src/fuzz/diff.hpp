@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The differential executor: runs one FuzzCase through the three backends —
+ * the sequential reference VM (the golden model), the compiled pipeline in
+ * sim::PipeSim, and the hXDP baseline's sequential execution engine — and
+ * reports the first observable divergence in per-packet XDP verdicts,
+ * rewritten packet bytes, redirect targets, or final map state.
+ *
+ * The pipeline claim under test is the paper's section 4.1 equivalence:
+ * whatever hdl::compile accepts must be observationally equal to the VM.
+ * Compiler rejections (fail-closed unsupported patterns) are reported as
+ * non-divergent "rejected" results so the fuzzer can count and skip them.
+ */
+
+#ifndef EHDL_FUZZ_DIFF_HPP_
+#define EHDL_FUZZ_DIFF_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fuzz/case.hpp"
+#include "sim/pipe_sim.hpp"
+
+namespace ehdl::fuzz {
+
+/** One observed disagreement between a backend and the reference VM. */
+struct Divergence
+{
+    std::string backend;  ///< "pipeline" or "hxdp"
+    /** Packet on which the disagreement surfaced (0 for whole-run fields). */
+    uint64_t packetId = 0;
+    /** "action", "bytes", "redirect", "trap", "maps", "completion", "panic" */
+    std::string field;
+    std::string detail;
+
+    std::string describe() const;
+};
+
+/** Outcome of running one case through the executor. */
+struct CaseResult
+{
+    /** hdl::compile accepted the program. */
+    bool compiled = false;
+    /** FatalError message when !compiled. */
+    std::string rejectReason;
+
+    std::optional<Divergence> divergence;
+
+    /** Pipeline shape/behaviour statistics (when compiled). */
+    size_t numStages = 0;
+    uint64_t flushEvents = 0;
+    /** Total instructions the reference VM executed over the workload. */
+    uint64_t vmInsns = 0;
+
+    bool diverged() const { return divergence.has_value(); }
+};
+
+/** Executor knobs. */
+struct RunOptions
+{
+    /** Also cross-check the hXDP baseline's execution engine. */
+    bool runHxdp = true;
+    /** Input queue depth for the pipeline simulator (large: no losses). */
+    size_t inputQueueCapacity = 1u << 20;
+};
+
+/**
+ * Run @p c through all backends and compare. Deterministic: same case,
+ * same result. Panics escaping a backend are converted into a divergence
+ * with field "panic" rather than propagated.
+ */
+CaseResult runCase(const FuzzCase &c, const RunOptions &opts = {});
+
+}  // namespace ehdl::fuzz
+
+#endif  // EHDL_FUZZ_DIFF_HPP_

@@ -1,0 +1,131 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <ostream>
+
+#include "common/rng.hpp"
+#include "sim/traffic.hpp"
+
+namespace ehdl::fuzz {
+
+namespace {
+
+/** Distinct streams per iteration derived from the campaign seed. */
+uint64_t
+mix(uint64_t seed, uint64_t iter, uint64_t stream)
+{
+    uint64_t z = seed + iter * 0x9e3779b97f4a7c15ULL + stream * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FuzzCase
+makeCase(uint64_t seed, uint64_t iter, const FuzzOptions &opts)
+{
+    FuzzCase c;
+    c.programSeed = mix(seed, iter, 1);
+    c.trafficSeed = mix(seed, iter, 2);
+    c.name = "fuzz-s" + std::to_string(seed) + "-i" + std::to_string(iter);
+    c.prog = generateProgram(c.programSeed, opts.gen);
+
+    // Collision-heavy workloads: few flows, and line rates up to 400 Gbps
+    // so consecutive packets of 64B frames arrive nearly back-to-back
+    // relative to the pipeline clock, maximizing hazard-window overlap.
+    Rng rng(c.trafficSeed);
+    sim::TrafficConfig tc;
+    tc.numFlows = 1 + rng.below(opts.maxFlows);
+    tc.zipfS = rng.chance(0.3) ? 1.1 : 0.0;
+    tc.packetLen = 64 + 4 * static_cast<uint32_t>(rng.below(8));
+    const double rates[] = {40.0, 100.0, 200.0, 400.0};
+    tc.lineRateGbps = rates[rng.below(4)];
+    tc.reverseFraction = rng.chance(0.25) ? 0.3 : 0.0;
+    tc.seed = c.trafficSeed;
+    sim::TrafficGen gen(tc);
+
+    const unsigned span = opts.maxPackets - opts.minPackets + 1;
+    const unsigned count =
+        opts.minPackets + static_cast<unsigned>(rng.below(span));
+    for (unsigned i = 0; i < count; ++i) {
+        const net::Packet p = gen.next();
+        CasePacket cp;
+        cp.id = p.id;
+        cp.arrivalNs = p.arrivalNs;
+        cp.bytes = p.bytes();
+        c.packets.push_back(std::move(cp));
+    }
+
+    c.options.unsafeDisableWarBuffers = opts.injectWarBug;
+    c.options.unsafeDisableFlushBlocks = opts.injectFlushBug;
+    c.expectDivergence = false;
+    return c;
+}
+
+FuzzStats
+runFuzz(const FuzzOptions &opts, std::ostream *log)
+{
+    FuzzStats stats;
+    for (uint64_t iter = 0; iter < opts.iterations; ++iter) {
+        const FuzzCase c = makeCase(opts.seed, iter, opts);
+        const CaseResult r = runCase(c, opts.run);
+
+        ++stats.iterations;
+        stats.packetsRun += c.packets.size();
+        stats.vmInsns += r.vmInsns;
+        if (r.compiled)
+            ++stats.compiled;
+        else if (!r.diverged())
+            ++stats.rejected;
+
+        if (log && stats.iterations % 500 == 0) {
+            *log << "[fuzz] " << stats.iterations << "/" << opts.iterations
+                 << " iters, " << stats.compiled << " compiled, "
+                 << stats.rejected << " rejected, " << stats.divergences
+                 << " divergences\n";
+        }
+        if (!r.diverged())
+            continue;
+
+        ++stats.divergences;
+        DivergenceRecord rec;
+        rec.iteration = iter;
+        rec.original = c;
+        rec.divergence = *r.divergence;
+        if (log) {
+            *log << "[fuzz] iteration " << iter << ": "
+                 << r.divergence->describe() << "\n";
+        }
+
+        if (opts.shrink) {
+            const ShrinkResult s = shrinkCase(c, opts.shrinkOpts);
+            rec.shrunk = s.best;
+            rec.divergence = s.divergence;
+            rec.shrinkRuns = s.runs;
+            if (log) {
+                *log << "[fuzz] shrunk " << s.initialInsns << " -> "
+                     << s.finalInsns << " insns, " << s.initialPackets
+                     << " -> " << s.finalPackets << " packets ("
+                     << s.runs << " runs)\n";
+            }
+        } else {
+            rec.shrunk = c;
+            rec.shrunk.expectDivergence = true;
+        }
+
+        if (!opts.corpusDir.empty()) {
+            rec.savedPath = opts.corpusDir + "/" + rec.shrunk.name +
+                            ".ehdlcase";
+            saveCase(rec.shrunk, rec.savedPath);
+            if (log)
+                *log << "[fuzz] reproducer saved to " << rec.savedPath
+                     << "\n";
+        }
+        stats.records.push_back(std::move(rec));
+        if (opts.stopAtFirstDivergence)
+            break;
+    }
+    return stats;
+}
+
+}  // namespace ehdl::fuzz

@@ -1,0 +1,274 @@
+#include "fuzz/gen.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "ebpf/builder.hpp"
+#include "ebpf/helpers.hpp"
+#include "ebpf/verifier.hpp"
+#include "ebpf/xdp.hpp"
+
+namespace ehdl::fuzz {
+
+using ebpf::AluOp;
+using ebpf::JmpOp;
+using ebpf::MemSize;
+using ebpf::ProgramBuilder;
+
+namespace {
+
+/**
+ * Register discipline: r6 holds the packet pointer, r7/r8 carry
+ * packet-derived scalars, r9 is the verdict accumulator — all callee-saved
+ * across helper calls. r3/r4 are call-clobbered temps used only linearly.
+ */
+constexpr unsigned kPkt = 6;
+constexpr unsigned kA = 7;
+constexpr unsigned kB = 8;
+constexpr unsigned kAcc = 9;
+
+/** Parse depth the prologue bounds-checks (covers the IPv4/UDP headers). */
+constexpr int64_t kParseBytes = 34;
+
+/** Scratch registers the ALU segments are allowed to mix. */
+constexpr std::array<unsigned, 3> kSegRegs = {kA, kB, kAcc};
+
+void
+emitAluSegments(ProgramBuilder &b, Rng &rng, const GeneratorConfig &config,
+                unsigned &label_seq)
+{
+    const unsigned segments = rng.below(config.maxSegments + 1);
+    for (unsigned seg = 0; seg < segments; ++seg) {
+        const std::string skip = "seg" + std::to_string(label_seq++);
+        const std::array<JmpOp, 6> cmps = {JmpOp::Jeq,  JmpOp::Jgt,
+                                           JmpOp::Jsgt, JmpOp::Jset,
+                                           JmpOp::Jlt,  JmpOp::Jne};
+        const unsigned lhs = kSegRegs[rng.below(kSegRegs.size())];
+        if (rng.chance(0.5)) {
+            b.jcond(cmps[rng.below(cmps.size())], lhs,
+                    static_cast<int64_t>(rng.below(1u << 16)), skip);
+        } else {
+            b.jcondReg(cmps[rng.below(cmps.size())], lhs,
+                       kSegRegs[rng.below(kSegRegs.size())], skip);
+        }
+        const unsigned ops = 1 + rng.below(config.maxAluOpsPerSegment);
+        for (unsigned i = 0; i < ops; ++i) {
+            const unsigned dst = kSegRegs[rng.below(kSegRegs.size())];
+            const unsigned src = kSegRegs[rng.below(kSegRegs.size())];
+            switch (rng.below(8)) {
+              case 0: b.aluReg(AluOp::Add, dst, src); break;
+              case 1: b.aluReg(AluOp::Xor, dst, src); break;
+              case 2: b.aluReg(AluOp::Or, dst, src); break;
+              case 3: b.alu(AluOp::Lsh, dst, rng.below(31)); break;
+              case 4: b.alu(AluOp::Rsh, dst, rng.below(31)); break;
+              case 5: b.alu32(AluOp::Add, dst,
+                              static_cast<int32_t>(rng.next()));
+                break;
+              case 6: b.alu(AluOp::And, dst,
+                            static_cast<int64_t>(rng.below(1u << 20)));
+                break;
+              case 7: b.alu32Reg(AluOp::Sub, dst, src); break;
+            }
+        }
+        b.label(skip);
+    }
+}
+
+/** One map declaration plus the section of code that exercises it. */
+void
+emitMapSection(ProgramBuilder &b, Rng &rng, const GeneratorConfig &config,
+               unsigned &label_seq, unsigned key_reg)
+{
+    const bool is_array = rng.chance(config.pArrayMap);
+    const uint32_t entries =
+        is_array ? (1u << (2 + rng.below(4)))            // 4..32, pow2
+                 : static_cast<uint32_t>(4 + rng.below(60));
+    const uint32_t value_size = rng.chance(0.4) ? 16 : 8;
+    const uint32_t map_id = b.addMap(
+        {"m" + std::to_string(label_seq), is_array ? ebpf::MapKind::Array
+                                                   : ebpf::MapKind::Hash,
+         4, value_size, entries});
+    const std::string miss = "miss" + std::to_string(label_seq);
+    const std::string done = "done" + std::to_string(label_seq);
+    ++label_seq;
+
+    // Key: compile-time constant, or packet-derived (masked down to a
+    // valid index for array maps so the hit path actually runs).
+    if (rng.chance(config.pConstKey)) {
+        b.st(MemSize::W, ebpf::kFp, -4,
+             static_cast<int32_t>(rng.below(is_array ? entries : 8)));
+    } else if (is_array) {
+        b.movReg(3, key_reg);
+        b.alu(AluOp::And, 3, entries - 1);
+        b.stx(MemSize::W, ebpf::kFp, -4, 3);
+    } else {
+        b.stx(MemSize::W, ebpf::kFp, -4, key_reg);
+    }
+
+    b.ldMap(1, map_id);
+    b.movReg(2, ebpf::kFp);
+    b.alu(AluOp::Add, 2, -4);
+    b.call(ebpf::kHelperMapLookup);
+    b.jcond(JmpOp::Jeq, 0, 0, miss);
+
+    // Hit path: a randomized interleaving over the value field(s). The
+    // shapes below are the hazard generators — a store followed by a
+    // later load creates a WAR/speculation buffer, a load followed by a
+    // later store creates a RAW flush window.
+    const auto value_off = [&]() -> int16_t {
+        return static_cast<int16_t>(value_size == 16 ? 8 * rng.below(2) : 0);
+    };
+    if (rng.chance(config.pAtomic)) {
+        b.atomicAdd(MemSize::DW, 0, value_off(), kAcc);
+    } else {
+        const unsigned ops = 2 + rng.below(config.maxHitOps);
+        bool loaded = false;
+        for (unsigned i = 0; i < ops; ++i) {
+            switch (rng.below(6)) {
+              case 0:  // value load into a temp, folded into the verdict
+                b.ldx(MemSize::DW, 3, 0, value_off());
+                b.aluReg(AluOp::Xor, kAcc, 3);
+                loaded = true;
+                break;
+              case 1:  // counter increment on the loaded value
+                if (loaded)
+                    b.alu(AluOp::Add, 3,
+                          static_cast<int64_t>(1 + rng.below(1000)));
+                break;
+              case 2:  // store the modified value back
+                if (loaded)
+                    b.stx(MemSize::DW, 0, value_off(), 3);
+                break;
+              case 3:  // store a register-soup value
+                b.stx(MemSize::DW, 0, value_off(), kAcc);
+                break;
+              case 4:  // store-then-reload (the canonical WAR shape)
+                b.stx(MemSize::DW, 0, value_off(), kAcc);
+                b.ldx(MemSize::DW, 4, 0, value_off());
+                b.aluReg(AluOp::Add, kAcc, 4);
+                break;
+              case 5:  // load-modify-store-reload (WAR + RAW combined)
+                b.ldx(MemSize::DW, 3, 0, value_off());
+                b.alu(AluOp::Add, 3, 1);
+                b.stx(MemSize::DW, 0, value_off(), 3);
+                b.ldx(MemSize::DW, 4, 0, value_off());
+                b.aluReg(AluOp::Xor, kAcc, 4);
+                loaded = true;
+                break;
+            }
+        }
+    }
+    b.jmp(done);
+
+    b.label(miss);
+    if (rng.chance(config.pDeleteOnMiss)) {
+        b.ldMap(1, map_id);
+        b.movReg(2, ebpf::kFp);
+        b.alu(AluOp::Add, 2, -4);
+        b.call(ebpf::kHelperMapDelete);
+    } else if (rng.chance(config.pUpdateOnMiss)) {
+        // Build the initial value from per-flow state on the stack.
+        b.stx(MemSize::DW, ebpf::kFp, -24, kB);
+        if (value_size == 16) {
+            b.mov(3, static_cast<int64_t>(rng.below(100000)));
+            b.stx(MemSize::DW, ebpf::kFp, -16, 3);
+        }
+        b.ldMap(1, map_id);
+        b.movReg(2, ebpf::kFp);
+        b.alu(AluOp::Add, 2, -4);
+        b.movReg(3, ebpf::kFp);
+        b.alu(AluOp::Add, 3, -24);
+        b.mov(4, 0);
+        b.call(ebpf::kHelperMapUpdate);
+        b.aluReg(AluOp::Xor, kAcc, 0);  // fold rc into the verdict
+    }
+    b.label(done);
+}
+
+}  // namespace
+
+ebpf::Program
+generateProgram(uint64_t seed, const GeneratorConfig &config)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x6b79);
+    ProgramBuilder b("fuzz" + std::to_string(seed));
+    unsigned label_seq = 0;
+
+    // Prologue: bounds check, then derive two scalars from the headers.
+    b.ldx(MemSize::W, 2, 1, ebpf::kXdpMdDataEnd);
+    b.ldx(MemSize::W, kPkt, 1, ebpf::kXdpMdData);
+    b.movReg(3, kPkt);
+    b.alu(AluOp::Add, 3, kParseBytes);
+    b.jcondReg(JmpOp::Jgt, 3, 2, "pass");
+    const bool swap_key = rng.chance(0.5);
+    b.ldx(MemSize::W, kA, kPkt, swap_key ? 26 : 30);  // src/dst IPv4
+    b.ldx(MemSize::W, kB, kPkt, swap_key ? 30 : 26);
+    b.mov(kAcc, static_cast<int64_t>(rng.below(1u << 30)));
+
+    // Optional spill/refill of the scalars through the stack (exercises
+    // LoadStack/StoreStack primitives; unconditional so every path that
+    // reaches the refill has seen the spill).
+    const bool spilled = rng.chance(config.pSpill);
+    if (spilled) {
+        b.stx(MemSize::DW, ebpf::kFp, -40, kA);
+        b.stx(MemSize::DW, ebpf::kFp, -48, kB);
+    }
+
+    emitAluSegments(b, rng, config, label_seq);
+
+    if (rng.chance(config.pMapSection)) {
+        emitMapSection(b, rng, config, label_seq, kA);
+        if (rng.chance(config.pSecondMap)) {
+            emitAluSegments(b, rng, config, label_seq);
+            emitMapSection(b, rng, config, label_seq, kB);
+        }
+    }
+
+    if (spilled) {
+        b.ldx(MemSize::DW, 3, ebpf::kFp, -40);
+        b.aluReg(AluOp::Xor, kAcc, 3);
+    }
+
+    // Optional packet rewrite within the bounds-checked region.
+    if (rng.chance(config.pPacketWrite)) {
+        switch (rng.below(3)) {
+          case 0:
+            b.stx(MemSize::W, kPkt, static_cast<int16_t>(rng.below(31)),
+                  kAcc);
+            break;
+          case 1:
+            b.stx(MemSize::H, kPkt, static_cast<int16_t>(rng.below(33)),
+                  kB);
+            break;
+          case 2:
+            b.stx(MemSize::B, kPkt, static_cast<int16_t>(rng.below(34)),
+                  kA);
+            break;
+        }
+    }
+
+    // Epilogue: fold the scalars into a valid XDP action.
+    b.aluReg(AluOp::Xor, kAcc, kA);
+    b.aluReg(AluOp::Xor, kAcc, kB);
+    b.movReg(0, kAcc);
+    b.alu(AluOp::And, 0, 3);  // {Aborted, Drop, Pass, Tx}
+    b.exit();
+    b.label("pass");
+    b.mov(0, 2);
+    b.exit();
+
+    ebpf::Program prog = b.build();
+    const ebpf::VerifyResult vr = ebpf::verify(prog);
+    if (!vr.ok) {
+        std::string errs;
+        for (const std::string &e : vr.errors)
+            errs += "\n  " + e;
+        panic("fuzz generator produced an unverifiable program (seed ",
+              seed, "):", errs);
+    }
+    return prog;
+}
+
+}  // namespace ehdl::fuzz

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Seeded random generation of verifier-accepted XDP programs for the
+ * differential fuzzer. Programs are built from a constrained template —
+ * bounds-checked packet parsing, branchy ALU segments over callee-saved
+ * registers, randomized map sections (lookup / value load / ALU / value
+ * store / atomic / update / delete mixes) and optional packet rewrites —
+ * so that every output passes ebpf::verify and most outputs are accepted
+ * by hdl::compile. The hazard-heavy shapes (store-then-reload on a map
+ * value, load-modify-store counters) are emitted with high probability
+ * because they are exactly what exercises the WAR delay buffers and
+ * flush-evaluation blocks under colliding traffic.
+ */
+
+#ifndef EHDL_FUZZ_GEN_HPP_
+#define EHDL_FUZZ_GEN_HPP_
+
+#include <cstdint>
+
+#include "ebpf/program.hpp"
+
+namespace ehdl::fuzz {
+
+/** Probability/size knobs of the program generator. */
+struct GeneratorConfig
+{
+    unsigned maxSegments = 3;        ///< branchy ALU segments
+    unsigned maxAluOpsPerSegment = 5;
+    unsigned maxHitOps = 7;          ///< map-value ops on the hit path
+
+    double pMapSection = 0.8;        ///< program touches a map at all
+    double pSecondMap = 0.25;        ///< a second, independent map section
+    double pConstKey = 0.4;          ///< compile-time-constant key
+    double pArrayMap = 0.35;         ///< array map (always hits)
+    double pAtomic = 0.1;            ///< hit path uses the atomic primitive
+    double pUpdateOnMiss = 0.8;      ///< miss path inserts the entry
+    double pDeleteOnMiss = 0.1;      ///< miss path deletes instead
+    double pPacketWrite = 0.35;      ///< rewrite packet bytes before exit
+    double pSpill = 0.4;             ///< spill/refill through the stack
+};
+
+/**
+ * Generate a random XDP program from @p seed. Deterministic: the same
+ * (seed, config) pair always yields the same instruction stream.
+ *
+ * The result always passes ebpf::verify (this is asserted internally;
+ * a failure is a generator bug and panics). hdl::compile may still
+ * reject some outputs as unsupported access patterns — callers count
+ * those and move on, mirroring the compiler's documented fail-closed
+ * behaviour.
+ */
+ebpf::Program generateProgram(uint64_t seed,
+                              const GeneratorConfig &config = {});
+
+}  // namespace ehdl::fuzz
+
+#endif  // EHDL_FUZZ_GEN_HPP_

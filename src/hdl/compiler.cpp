@@ -195,31 +195,21 @@ recordMapPort(Pipeline &pipe, const StageOp &op, size_t stage)
 void
 planHazards(Pipeline &pipe)
 {
-    // Non-idempotent side-effect stages (atomic read-modify-writes): a
-    // flush may freely replay plain updates/stores/deletes (re-executing
-    // them recomputes the same sequential outcome), but replaying an
-    // atomic add would double-count. Elastic buffers must therefore sit
-    // after the last atomic preceding each flush-covered write
-    // (appendix A.2).
-    std::vector<size_t> atomic_stages;
-    for (const MapPort &port : pipe.mapPorts)
-        if (port.isAtomic)
-            atomic_stages.push_back(port.stage);
-    std::sort(atomic_stages.begin(), atomic_stages.end());
-
     std::map<uint32_t, std::vector<const MapPort *>> by_map;
     for (const MapPort &port : pipe.mapPorts)
         by_map[port.mapId].push_back(&port);
 
-    for (auto &[map_id, ports] : by_map) {
-        auto hazard_pair = [](const MapPort &read, const MapPort &write) {
-            if (write.isAtomic && read.isAtomic)
-                return false;  // atomic blocks serialize internally
-            const bool index_level = read.readsIndex && write.writesIndex;
-            const bool value_level = read.readsValue && write.writesValue;
-            return index_level || value_level;
-        };
+    auto hazard_pair = [](const MapPort &read, const MapPort &write) {
+        if (write.isAtomic && read.isAtomic)
+            return false;  // atomic blocks serialize internally
+        const bool index_level = read.readsIndex && write.writesIndex;
+        const bool value_level = read.readsValue && write.writesValue;
+        return index_level || value_level;
+    };
 
+    // Pass 1: WAR delay buffers for every map (flush-block planning below
+    // needs the full buffer set to place replay barriers across maps).
+    for (auto &[map_id, ports] : by_map) {
         // Deepest (non-atomic) write stage of this map: a write issued
         // earlier is speculative until its packet clears this stage,
         // because a flush raised by the later write must be able to
@@ -268,7 +258,31 @@ planHazards(Pipeline &pipe)
             buf.depth = static_cast<unsigned>(commit - write->stage);
             pipe.warBuffers.push_back(buf);
         }
+    }
 
+    // Path co-occurrence over the CFG DAG: two predicated blocks can both
+    // execute for one packet iff one reaches the other (mutually
+    // exclusive branch arms never co-occur, so a side effect on one arm
+    // cannot pollute a replay that only runs the other).
+    const auto &cfg_blocks = pipe.cfg.blocks();
+    const size_t nblocks = cfg_blocks.size();
+    std::vector<std::vector<uint8_t>> reach(
+        nblocks, std::vector<uint8_t>(nblocks, 0));
+    const std::vector<size_t> &topo = pipe.cfg.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const size_t b = *it;
+        reach[b][b] = 1;
+        for (size_t s : cfg_blocks[b].succs)
+            for (size_t t = 0; t < nblocks; ++t)
+                reach[b][t] |= reach[s][t];
+    }
+    auto co_occur = [&](size_t pc_a, size_t pc_b) {
+        const size_t a = pipe.cfg.blockOf(pc_a);
+        const size_t b = pipe.cfg.blockOf(pc_b);
+        return reach[a][b] != 0 || reach[b][a] != 0;
+    };
+
+    for (auto &[map_id, ports] : by_map) {
         // RAW: a read at stage r < w returns stale data when an older
         // packet has not yet written at w -> flush evaluation block per
         // write (appendix A.1.3 requires one per map write instruction).
@@ -292,20 +306,80 @@ planHazards(Pipeline &pipe)
             fb.mapId = map_id;
             fb.writeStage = write->stage;
             fb.firstReadStage = first_read;
-            // Elastic-buffer restart: after the deepest atomic stage
-            // strictly before this write (appendix A.2); idempotent
-            // writes upstream simply replay.
+            // Elastic-buffer restart: after the deepest replay barrier
+            // strictly before this write (appendix A.2). Barriers are
+            // stages whose side effects a replayed packet must not re-run
+            // or re-observe:
+            //   (a) atomic read-modify-writes — replaying double-counts;
+            //   (b) map writes a flushed packet may already have made
+            //       architecturally visible (index writes and direct
+            //       value stores at their own stage, parked stores at
+            //       their commit stage) when an earlier read of the same
+            //       map is replayed: the packet would observe its own
+            //       write, which sequentially happens after that read.
+            // Writes still parked at flush time simply replay (they are
+            // un-committed and re-executed), as do visible writes nobody
+            // upstream reads back: re-execution recomputes the same
+            // sequential outcome.
             fb.restartStage = 0;
-            for (size_t s : atomic_stages)
-                if (s < write->stage)
-                    fb.restartStage = std::max(fb.restartStage, s);
+            for (const MapPort &eff : pipe.mapPorts) {
+                if (eff.stage >= write->stage)
+                    continue;
+                if (eff.isAtomic) {
+                    fb.restartStage = std::max(fb.restartStage, eff.stage);
+                    continue;
+                }
+                if (!eff.anyWrite())
+                    continue;
+                // Stage at which this write lands in map memory: parked
+                // stores surface at their commit stage, everything else
+                // at its own stage (index writes are never parked).
+                size_t visible = eff.stage;
+                for (const WarBufferPlan &buf : pipe.warBuffers)
+                    if (buf.mapId == eff.mapId &&
+                        buf.writeStage == eff.stage)
+                        visible = std::max(visible, buf.lastReadStage);
+                if (visible >= write->stage)
+                    continue;
+                // A packet flushed by this block read the block's map
+                // somewhere in the window; only a path doing that can
+                // carry the side effect into a replay.
+                bool flushable = false;
+                for (const MapPort &rf : pipe.mapPorts) {
+                    if (rf.mapId == map_id &&
+                        (rf.readsIndex || rf.readsValue) &&
+                        rf.stage < write->stage &&
+                        co_occur(rf.pc, eff.pc)) {
+                        flushable = true;
+                        break;
+                    }
+                }
+                if (!flushable)
+                    continue;
+                // ...and the pollution is observable only through an
+                // earlier read of the written map that the replay
+                // re-executes (index mutations show through lookups too,
+                // value stores only through value reads).
+                for (const MapPort &rb : pipe.mapPorts) {
+                    const bool observes =
+                        eff.writesIndex ? (rb.readsIndex || rb.readsValue)
+                                        : rb.readsValue;
+                    if (rb.mapId == eff.mapId && observes &&
+                        rb.stage < eff.stage && co_occur(rb.pc, eff.pc)) {
+                        fb.restartStage =
+                            std::max(fb.restartStage, visible);
+                        break;
+                    }
+                }
+            }
             if (fb.restartStage >= fb.firstReadStage) {
-                fatal("map ", map_id, ": an atomic update at stage ",
-                      fb.restartStage,
+                fatal("map ", map_id, ": a non-replayable side effect "
+                      "(atomic, map insert/delete or committed store) at "
+                      "stage ", fb.restartStage,
                       " sits between a protected read (stage ",
                       fb.firstReadStage, ") and a write (stage ",
                       fb.writeStage,
-                      "); flush recovery cannot replay atomics");
+                      "); flush recovery cannot replay it");
             }
             pipe.flushBlocks.push_back(fb);
             if (fb.restartStage > 0)
@@ -499,6 +573,12 @@ compile(const Program &input, const PipelineOptions &options)
         for (const StageOp &op : pipe.stages[s].ops)
             recordMapPort(pipe, op, s);
     planHazards(pipe);
+
+    // Fault injection for the differential fuzzer (see PipelineOptions).
+    if (options.unsafeDisableWarBuffers)
+        pipe.warBuffers.clear();
+    if (options.unsafeDisableFlushBlocks)
+        pipe.flushBlocks.clear();
 
     return pipe;
 }

@@ -163,6 +163,16 @@ struct PipelineOptions
     unsigned maxLoopTrips = 64;      ///< bounded-loop unroll factor
     unsigned assumedParseDepthBytes = 128;  ///< for dynamic packet offsets
     unsigned clockMhz = 250;         ///< pipeline clock
+
+    /**
+     * Fault injection (testing only): drop the WAR/speculation delay
+     * buffers or the RAW flush-evaluation blocks from the plan. The
+     * resulting pipeline is deliberately *incorrect* under hazards; the
+     * differential fuzzer uses these to validate that it actually detects
+     * the class of bugs the hazard machinery exists to prevent.
+     */
+    bool unsafeDisableWarBuffers = false;
+    bool unsafeDisableFlushBlocks = false;
 };
 
 /** The compiled hardware pipeline. */

@@ -155,18 +155,34 @@ struct PipeSim::Impl
             // packets (which are sequentially ordered before it). Older
             // packets never see younger parked writes - that is the WAR
             // protection of figure 6.
+            //
+            // Overlay in *sequential* order, not buffer-insertion order:
+            // parked writes of different packets interleave by stage
+            // timing (an older packet's deep store can park after a
+            // younger packet's shallow one), while per writer the buffer
+            // already holds program order (overlapping stores are WAW-
+            // scheduled in order).
+            std::vector<const PendingWrite *> fwd;
             for (const PendingWrite &pw : impl_.pendingWrites) {
                 if (pw.mapId != map_id || pw.entry != entry)
                     continue;
                 if (pw.writer != impl_.cur &&
                     pw.writer->seq > impl_.cur->seq)
                     continue;
-                const int64_t lo = std::max<int64_t>(pw.off, off);
-                const int64_t hi = std::min<int64_t>(pw.off + pw.size,
+                fwd.push_back(&pw);
+            }
+            std::stable_sort(fwd.begin(), fwd.end(),
+                             [](const PendingWrite *a,
+                                const PendingWrite *b) {
+                                 return a->writer->seq < b->writer->seq;
+                             });
+            for (const PendingWrite *pw : fwd) {
+                const int64_t lo = std::max<int64_t>(pw->off, off);
+                const int64_t hi = std::min<int64_t>(pw->off + pw->size,
                                                      off + size);
                 for (int64_t b = lo; b < hi; ++b)
                     buf[b - off] = static_cast<uint8_t>(
-                        pw.value >> (8 * (b - pw.off)));
+                        pw->value >> (8 * (b - pw->off)));
             }
             uint64_t out = 0;
             std::memcpy(&out, buf, size);
@@ -251,6 +267,28 @@ struct PipeSim::Impl
         }
     }
 
+    /**
+     * Release @p flight's parked writes whose delay buffer drains at or
+     * before @p stage. The buffer empties as the packet *enters* the
+     * commit stage, logically ahead of that stage's own operations: a
+     * later write by the same packet at the commit stage (WAW, scheduled
+     * deeper precisely because it conflicts) must land after the parked
+     * one or the two stores would commit in reverse program order.
+     */
+    void
+    commitPendingWritesFor(const Flight &flight, size_t stage)
+    {
+        for (size_t i = 0; i < pendingWrites.size();) {
+            const PendingWrite pw = pendingWrites[i];
+            if (pw.writer != &flight || pw.commitStage > stage) {
+                ++i;
+                continue;
+            }
+            pendingWrites.erase(pendingWrites.begin() + i);
+            directWrite(pw.mapId, pw.entry, pw.off, pw.size, pw.value);
+        }
+    }
+
     size_t
     stageOf(const Flight *flight) const
     {
@@ -314,12 +352,16 @@ struct PipeSim::Impl
             }
             sim.stats_.flushedPackets++;
             sim.stats_.replayedStages += s - plan->restartStage;
-            // Un-commit the flushed packet's parked WAR writes: the
-            // replay re-executes the store instructions themselves.
+            // Un-commit the flushed packet's parked WAR writes from the
+            // replayed stages: the replay re-executes those store
+            // instructions. Writes parked at or before the restart point
+            // are architecturally issued (their stage is not re-run) and
+            // must stay parked or they would be lost.
             pendingWrites.erase(
                 std::remove_if(pendingWrites.begin(), pendingWrites.end(),
-                               [&f](const PendingWrite &pw) {
-                                   return pw.writer == f.get();
+                               [&f, window_first](const PendingWrite &pw) {
+                                   return pw.writer == f.get() &&
+                                          pw.issueStage >= window_first;
                                }),
                 pendingWrites.end());
             restoreFlight(*f, plan->restartStage);
@@ -388,6 +430,10 @@ struct PipeSim::Impl
     executeStage(Flight &flight, size_t stage_idx)
     {
         const hdl::Stage &stage = pipe.stages[stage_idx];
+        // Drain this packet's due delay buffers before the stage executes
+        // (older packets ran their deeper stages earlier this cycle, so
+        // every protected reader has already gone past).
+        commitPendingWritesFor(flight, stage_idx);
         cur = &flight;
         if (!flight.exited && !stage.ops.empty()) {
             flight.state->setPort(static_cast<unsigned>(stage_idx));

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Differential-fuzzing subsystem tests: generator determinism and
+ * verifier acceptance, case-file round-trips, shrinker mutations (jump
+ * re-targeting across deletions), clean campaigns against the fixed
+ * pipeline, and fault-injected campaigns that must find and shrink the
+ * planted hazard bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "ebpf/codec.hpp"
+#include "ebpf/mutate.hpp"
+#include "ebpf/verifier.hpp"
+#include "fuzz/case.hpp"
+#include "fuzz/diff.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/gen.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace ehdl::fuzz {
+namespace {
+
+TEST(FuzzGen, DeterministicForSeed)
+{
+    for (uint64_t seed : {1ull, 17ull, 123456789ull}) {
+        const ebpf::Program a = generateProgram(seed);
+        const ebpf::Program b = generateProgram(seed);
+        ASSERT_EQ(a.insns.size(), b.insns.size());
+        EXPECT_EQ(ebpf::encode(a.insns), ebpf::encode(b.insns));
+        ASSERT_EQ(a.maps.size(), b.maps.size());
+        for (size_t i = 0; i < a.maps.size(); ++i) {
+            EXPECT_EQ(a.maps[i].kind, b.maps[i].kind);
+            EXPECT_EQ(a.maps[i].maxEntries, b.maps[i].maxEntries);
+        }
+    }
+}
+
+TEST(FuzzGen, SeedsDiverge)
+{
+    // Not a hard guarantee per pair, but over a few seeds the streams
+    // must not all collapse to one template instantiation.
+    const std::vector<uint8_t> first =
+        ebpf::encode(generateProgram(1).insns);
+    bool any_different = false;
+    for (uint64_t seed = 2; seed <= 6; ++seed)
+        any_different |=
+            ebpf::encode(generateProgram(seed).insns) != first;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(FuzzGen, EveryProgramVerifies)
+{
+    // generateProgram panics internally on verifier rejection; this sweep
+    // both exercises that assertion and re-checks from the outside.
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        const ebpf::Program prog = generateProgram(seed);
+        EXPECT_TRUE(ebpf::verify(prog).ok) << "seed " << seed;
+        EXPECT_GT(prog.insns.size(), 5u);
+    }
+}
+
+TEST(FuzzGen, CodecRoundTripsGeneratedPrograms)
+{
+    // Randomized encode->decode round-trip: generated programs cover
+    // lddw map loads, calls, branches and atomics in one stream.
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        const ebpf::Program prog = generateProgram(seed);
+        const std::vector<uint8_t> wire = ebpf::encode(prog.insns);
+        EXPECT_EQ(ebpf::encode(ebpf::decode(wire)), wire)
+            << "seed " << seed;
+    }
+}
+
+TEST(FuzzCaseFormat, RoundTrip)
+{
+    FuzzCase c = makeCase(3, 7, FuzzOptions{});
+    c.expectDivergence = true;
+    c.options.unsafeDisableWarBuffers = true;
+    const std::string text = serializeCase(c);
+    const FuzzCase back = parseCase(text);
+
+    EXPECT_EQ(back.name, c.name);
+    EXPECT_EQ(back.programSeed, c.programSeed);
+    EXPECT_EQ(back.trafficSeed, c.trafficSeed);
+    EXPECT_EQ(back.expectDivergence, c.expectDivergence);
+    EXPECT_EQ(back.options.unsafeDisableWarBuffers,
+              c.options.unsafeDisableWarBuffers);
+    EXPECT_EQ(back.options.unsafeDisableFlushBlocks,
+              c.options.unsafeDisableFlushBlocks);
+    EXPECT_EQ(ebpf::encode(back.prog.insns), ebpf::encode(c.prog.insns));
+    ASSERT_EQ(back.prog.maps.size(), c.prog.maps.size());
+    for (size_t i = 0; i < c.prog.maps.size(); ++i) {
+        EXPECT_EQ(back.prog.maps[i].kind, c.prog.maps[i].kind);
+        EXPECT_EQ(back.prog.maps[i].keySize, c.prog.maps[i].keySize);
+        EXPECT_EQ(back.prog.maps[i].valueSize, c.prog.maps[i].valueSize);
+        EXPECT_EQ(back.prog.maps[i].maxEntries, c.prog.maps[i].maxEntries);
+    }
+    EXPECT_EQ(back.packets, c.packets);
+
+    // Serialization is itself deterministic (stable corpus diffs).
+    EXPECT_EQ(serializeCase(back), text);
+}
+
+TEST(FuzzCaseFormat, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseCase("format 999\nend\n"), FatalError);
+    EXPECT_THROW(parseCase("# missing format line\nend\n"), FatalError);
+    FuzzCase c = makeCase(3, 7, FuzzOptions{});
+    std::string text = serializeCase(c);
+    text.replace(text.find("insn "), 6, "insn zz");
+    EXPECT_THROW(parseCase(text), FatalError);
+}
+
+TEST(FuzzMutate, RemoveInsnRetargetsJumps)
+{
+    // 0: r0 = 0 / 1: if r0 == 0 goto +2 / 2: r0 += 1 / 3: r0 += 2 /
+    // 4: exit   — removing insn 2 must shrink the branch offset to +1.
+    ebpf::Program prog;
+    prog.name = "jmpfix";
+    prog.insns.push_back(ebpf::Insn{0xb7, 0, 0, 0, 0});       // mov r0,0
+    prog.insns.push_back(ebpf::Insn{0x15, 0, 0, 2, 0});       // jeq +2
+    prog.insns.push_back(ebpf::Insn{0x07, 0, 0, 0, 1});       // r0 += 1
+    prog.insns.push_back(ebpf::Insn{0x07, 0, 0, 0, 2});       // r0 += 2
+    prog.insns.push_back(ebpf::Insn{0x95, 0, 0, 0, 0});       // exit
+
+    const auto mutant = ebpf::removeInsn(prog, 2);
+    ASSERT_TRUE(mutant.has_value());
+    ASSERT_EQ(mutant->insns.size(), 4u);
+    EXPECT_EQ(mutant->insns[1].off, 1);  // jump now lands on old insn 3
+    EXPECT_TRUE(ebpf::verify(*mutant).ok);
+}
+
+TEST(FuzzMutate, ConstantizeRefusesNonDefs)
+{
+    ebpf::Program prog;
+    prog.insns.push_back(ebpf::Insn{0xb7, 3, 0, 0, 7});       // mov r3,7
+    prog.insns.push_back(ebpf::Insn{0x95, 0, 0, 0, 0});       // exit
+    EXPECT_TRUE(ebpf::constantizeInsn(prog, 0, 1).has_value());
+    EXPECT_FALSE(ebpf::constantizeInsn(prog, 1, 1).has_value());
+}
+
+TEST(FuzzCampaign, MakeCaseIsDeterministic)
+{
+    FuzzOptions opts;
+    opts.seed = 9;
+    const FuzzCase a = makeCase(opts.seed, 4, opts);
+    const FuzzCase b = makeCase(opts.seed, 4, opts);
+    EXPECT_EQ(ebpf::encode(a.prog.insns), ebpf::encode(b.prog.insns));
+    EXPECT_EQ(a.packets, b.packets);
+    const FuzzCase other = makeCase(opts.seed, 5, opts);
+    EXPECT_NE(a.packets, other.packets);
+}
+
+TEST(FuzzCampaign, CleanPipelineShowsNoDivergence)
+{
+    FuzzOptions opts;
+    opts.seed = 5;
+    opts.iterations = 40;
+    opts.maxPackets = 48;
+    const FuzzStats stats = runFuzz(opts);
+    EXPECT_EQ(stats.divergences, 0u);
+    EXPECT_GT(stats.compiled, 0u);
+    EXPECT_EQ(stats.iterations, 40u);
+}
+
+TEST(FuzzCampaign, FindsAndShrinksInjectedWarBug)
+{
+    FuzzOptions opts;
+    opts.seed = 1;
+    opts.iterations = 10000;  // stops at the first divergence
+    opts.injectWarBug = true;
+    const FuzzStats stats = runFuzz(opts);
+    ASSERT_EQ(stats.divergences, 1u);
+    const DivergenceRecord &rec = stats.records[0];
+    EXPECT_LE(rec.shrunk.prog.insns.size(), 16u);
+    EXPECT_LE(rec.shrunk.packets.size(), 8u);
+    // The shrunk case must still reproduce on a fresh run.
+    const CaseResult replay = runCase(rec.shrunk);
+    EXPECT_TRUE(replay.diverged());
+}
+
+TEST(FuzzCampaign, FindsInjectedFlushBug)
+{
+    FuzzOptions opts;
+    opts.seed = 1;
+    opts.iterations = 10000;
+    opts.injectFlushBug = true;
+    opts.shrink = false;
+    const FuzzStats stats = runFuzz(opts);
+    ASSERT_EQ(stats.divergences, 1u);
+    EXPECT_TRUE(runCase(stats.records[0].original).diverged());
+}
+
+TEST(FuzzShrink, PanicsOnAgreeingCase)
+{
+    const FuzzCase c = makeCase(5, 1, FuzzOptions{});
+    if (runCase(c).diverged())
+        GTEST_SKIP() << "seed unexpectedly diverges";
+    EXPECT_THROW(shrinkCase(c, ShrinkOptions{}), PanicError);
+}
+
+}  // namespace
+}  // namespace ehdl::fuzz

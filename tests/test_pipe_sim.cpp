@@ -106,6 +106,43 @@ TEST(PipeSim, InputQueueOverflowCountsLosses)
     EXPECT_EQ(sim.stats().completed, 8u);
 }
 
+TEST(PipeSim, ThroughputIsZeroBeforeAnyCycle)
+{
+    // Guard the cycles==0 division edge in PipeSimStats::throughputMpps.
+    PipeSimStats empty;
+    EXPECT_EQ(empty.throughputMpps(250'000'000), 0.0);
+
+    const hdl::Pipeline pipe = hdl::compile(apps::makeToyCounter().prog);
+    MapSet maps(pipe.prog.maps);
+    PipeSim sim(pipe, maps, bigQueue());
+    sim.offer(defaultPacket(1));  // queued, but no cycle has run yet
+    EXPECT_EQ(sim.stats().cycles, 0u);
+    EXPECT_EQ(sim.stats().throughputMpps(250'000'000), 0.0);
+    sim.drain();
+    EXPECT_GT(sim.stats().throughputMpps(250'000'000), 0.0);
+}
+
+TEST(PipeSim, QueueAcceptsExactlyCapacityBeforeLosing)
+{
+    const hdl::Pipeline pipe = hdl::compile(apps::makeToyCounter().prog);
+    MapSet maps(pipe.prog.maps);
+    PipeSimConfig config;
+    config.inputQueueCapacity = 8;
+    PipeSim sim(pipe, maps, config);
+    // Offers 1..capacity all fit; the boundary packet must not be lost.
+    for (unsigned i = 1; i <= 8; ++i) {
+        EXPECT_TRUE(sim.offer(defaultPacket(i))) << "offer " << i;
+        EXPECT_EQ(sim.stats().lost, 0u) << "offer " << i;
+    }
+    // The first past-capacity offer is the first loss.
+    EXPECT_FALSE(sim.offer(defaultPacket(9)));
+    EXPECT_EQ(sim.stats().lost, 1u);
+    EXPECT_EQ(sim.stats().offered, 9u);
+    EXPECT_EQ(sim.stats().accepted, 8u);
+    sim.drain();
+    EXPECT_EQ(sim.stats().completed, 8u);
+}
+
 TEST(PipeSim, ArrivalTimesGateInjection)
 {
     const hdl::Pipeline pipe = hdl::compile(apps::makeToyCounter().prog);

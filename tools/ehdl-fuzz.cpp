@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Differential fuzzing driver. Two modes:
+ *
+ *   ehdl-fuzz [--iters N] [--seed N] ...     run a fuzzing campaign
+ *   ehdl-fuzz --replay case.ehdlcase ...     replay saved corpus cases
+ *
+ * Campaign exit status: 0 when no divergence was found, 1 when at least one
+ * was (reproducers are shrunk and optionally written to --corpus DIR).
+ * Replay exit status: 0 when every case matches its recorded expectation.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "fuzz/case.hpp"
+#include "fuzz/diff.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using namespace ehdl;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: ehdl-fuzz [options]\n"
+          "       ehdl-fuzz --replay CASE.ehdlcase [CASE...]\n"
+          "\n"
+          "campaign options:\n"
+          "  --iters N          iterations to run (default 1000)\n"
+          "  --seed N           campaign seed (default 1)\n"
+          "  --packets-min N    min packets per workload (default 24)\n"
+          "  --packets-max N    max packets per workload (default 96)\n"
+          "  --flows N          max flows per workload (default 6)\n"
+          "  --inject-war-bug   compile without WAR delay buffers\n"
+          "  --inject-flush-bug compile without flush-evaluation blocks\n"
+          "  --no-shrink        keep reproducers unreduced\n"
+          "  --all              keep fuzzing past the first divergence\n"
+          "  --corpus DIR       write shrunk reproducers to DIR\n"
+          "  --quiet            suppress progress output\n";
+}
+
+uint64_t
+parseNum(const char *flag, const char *value)
+{
+    if (!value)
+        fatal(flag, " requires a value");
+    try {
+        size_t pos = 0;
+        const uint64_t v = std::stoull(value, &pos);
+        if (pos != std::strlen(value))
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal(flag, ": expected a number, got '", value, "'");
+    }
+}
+
+int
+replay(const std::vector<std::string> &paths)
+{
+    int failures = 0;
+    for (const std::string &path : paths) {
+        const fuzz::FuzzCase c = fuzz::loadCase(path);
+        const fuzz::CaseResult r = fuzz::runCase(c);
+        const bool ok = r.diverged() == c.expectDivergence;
+        std::cout << (ok ? "OK   " : "FAIL ") << path << ": "
+                  << (r.diverged() ? r.divergence->describe()
+                                   : (r.compiled ? "agreement"
+                                                 : "rejected: " +
+                                                       r.rejectReason))
+                  << " (expected "
+                  << (c.expectDivergence ? "divergence" : "agreement")
+                  << ")\n";
+        if (!ok)
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+run(int argc, char **argv)
+{
+    fuzz::FuzzOptions opts;
+    std::vector<std::string> replay_paths;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--replay") {
+            while (i + 1 < argc)
+                replay_paths.push_back(argv[++i]);
+            if (replay_paths.empty())
+                fatal("--replay requires at least one case file");
+        } else if (arg == "--iters") {
+            opts.iterations = parseNum("--iters", value());
+        } else if (arg == "--seed") {
+            opts.seed = parseNum("--seed", value());
+        } else if (arg == "--packets-min") {
+            opts.minPackets =
+                static_cast<unsigned>(parseNum("--packets-min", value()));
+        } else if (arg == "--packets-max") {
+            opts.maxPackets =
+                static_cast<unsigned>(parseNum("--packets-max", value()));
+        } else if (arg == "--flows") {
+            opts.maxFlows =
+                static_cast<unsigned>(parseNum("--flows", value()));
+        } else if (arg == "--inject-war-bug") {
+            opts.injectWarBug = true;
+        } else if (arg == "--inject-flush-bug") {
+            opts.injectFlushBug = true;
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+        } else if (arg == "--all") {
+            opts.stopAtFirstDivergence = false;
+        } else if (arg == "--corpus") {
+            const char *dir = value();
+            if (!dir)
+                fatal("--corpus requires a directory");
+            opts.corpusDir = dir;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage(std::cerr);
+            fatal("unknown option '", arg, "'");
+        }
+    }
+    if (opts.minPackets == 0 || opts.maxPackets < opts.minPackets)
+        fatal("--packets-min/--packets-max must satisfy 1 <= min <= max");
+    if (opts.maxFlows == 0)
+        fatal("--flows must be at least 1");
+
+    if (!replay_paths.empty())
+        return replay(replay_paths);
+
+    std::ostream *log = quiet ? nullptr : &std::cout;
+    const fuzz::FuzzStats stats = fuzz::runFuzz(opts, log);
+    std::cout << "ran " << stats.iterations << " iterations: "
+              << stats.compiled << " compiled, " << stats.rejected
+              << " rejected, " << stats.divergences << " divergences ("
+              << stats.packetsRun << " packets, " << stats.vmInsns
+              << " vm insns)\n";
+    for (const fuzz::DivergenceRecord &rec : stats.records) {
+        std::cout << "divergence at iteration " << rec.iteration << ": "
+                  << rec.divergence.describe() << "\n  shrunk to "
+                  << rec.shrunk.prog.insns.size() << " insns / "
+                  << rec.shrunk.packets.size() << " packets";
+        if (!rec.savedPath.empty())
+            std::cout << " -> " << rec.savedPath;
+        std::cout << "\n";
+    }
+    return stats.divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << "panic: " << e.what() << "\n";
+        return 3;
+    }
+}
