@@ -8,7 +8,11 @@
 #ifndef EHDL_BENCH_BENCH_COMMON_HPP_
 #define EHDL_BENCH_BENCH_COMMON_HPP_
 
+#include <atomic>
+#include <ctime>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -19,6 +23,70 @@
 #include "sim/traffic.hpp"
 
 namespace ehdl::bench {
+
+/**
+ * CPU time consumed by this process (all threads), in seconds. Host-side
+ * engine rates are reported against CPU time rather than wall clock so
+ * the numbers survive noisy shared machines: scheduler preemption
+ * inflates wall time but not cycles actually spent simulating.
+ */
+inline double
+processCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** CPU time consumed by the calling thread only, in seconds. */
+inline double
+threadCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/**
+ * Run @p trial (0..n-1) across a pool of worker threads and block until
+ * every trial finished. Trials must be independent: each one builds its
+ * own simulator and maps, and measures itself with threadCpuSeconds().
+ * Trial indices are claimed from an atomic counter, so assignment order
+ * is nondeterministic but every index runs exactly once.
+ */
+inline void
+runTrialsParallel(unsigned n, const std::function<void(unsigned)> &trial,
+                  unsigned max_workers = 0)
+{
+    unsigned workers = std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    if (max_workers != 0 && workers > max_workers)
+        workers = max_workers;
+    if (workers > n)
+        workers = n;
+    if (workers <= 1) {
+        for (unsigned i = 0; i < n; ++i)
+            trial(i);
+        return;
+    }
+    std::atomic<unsigned> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back([&] {
+            for (;;) {
+                const unsigned i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                trial(i);
+            }
+        });
+    for (std::thread &t : pool)
+        t.join();
+}
 
 /** The five evaluation applications, keyed by their paper names. */
 struct NamedApp

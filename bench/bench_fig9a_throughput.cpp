@@ -5,27 +5,107 @@
  * with 1 and 4 Arm cores. Expected shape: eHDL and SDNet at line rate
  * (148.8 Mpps), SDNet unable to implement DNAT, hXDP at 0.9-5.4 Mpps,
  * Bf2 1c comparable to hXDP and 4c scaling linearly past 10 Mpps.
+ *
+ * A second section sweeps multi-queue pipeline replication (MultiPipeSim
+ * with 1, 2 and 4 replicas behind the symmetric RSS dispatcher) under a
+ * hash-balanced back-to-back trace, reporting both the modeled packet
+ * rate and the host-side simulation rate (simulated cycles per CPU
+ * second). Trials run concurrently on a worker pool; each trial times
+ * itself with per-thread CPU clocks. Results are mirrored into
+ * BENCH_fig9a_throughput.json. EHDL_BENCH_QUICK=1 shrinks the packet
+ * counts for CI smoke runs.
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "sim/baselines.hpp"
+#include "sim/multi_pipe_sim.hpp"
 
 using namespace ehdl;
+
+namespace {
+
+struct SweepResult
+{
+    std::string app;
+    unsigned replicas = 0;
+    double modeledMpps = 0;
+    double simCyclesPerSec = 0;
+    uint64_t simCycles = 0;
+    double cpuSeconds = 0;
+};
+
+/** One (app, replica-count) trial of the replication sweep. */
+SweepResult
+runSweepTrial(const apps::AppSpec &spec, const std::string &name,
+              unsigned replicas, int num_packets)
+{
+    const hdl::Pipeline pipe = hdl::compile(spec.prog);
+    ebpf::MapSet maps(spec.prog.maps);
+    spec.seedMaps(maps);
+
+    sim::TrafficConfig traffic;
+    traffic.numFlows = 10000;
+    traffic.packetLen = 64;
+    traffic.reverseFraction = spec.reverseFraction;
+    traffic.ipProto = spec.ipProto;
+    sim::TrafficGen gen(traffic);
+
+    sim::MultiPipeSimConfig config;
+    config.numReplicas = replicas;
+    config.mapMode = sim::MapMode::Sharded;
+    config.pipe.inputQueueCapacity = 1u << 20;
+    sim::MultiPipeSim multi(pipe, maps, config);
+    for (int i = 0; i < num_packets; ++i) {
+        net::Packet pkt = gen.next();
+        pkt.arrivalNs = 0;  // saturating offered load
+        multi.offer(std::move(pkt));
+    }
+    const double t0 = bench::threadCpuSeconds();
+    multi.drain();
+    const double s = bench::threadCpuSeconds() - t0;
+
+    uint64_t cycles_all = 0;
+    for (size_t r = 0; r < multi.numReplicas(); ++r)
+        cycles_all += multi.replica(r).stats().cycles;
+
+    SweepResult out;
+    out.app = name;
+    out.replicas = replicas;
+    out.modeledMpps = multi.stats().throughputMpps(config.pipe.clockHz);
+    out.simCycles = cycles_all;
+    out.cpuSeconds = s;
+    out.simCyclesPerSec = static_cast<double>(cycles_all) / s;
+    return out;
+}
+
+}  // namespace
 
 int
 main()
 {
+    const bool quick = std::getenv("EHDL_BENCH_QUICK") != nullptr;
+    const int fig_packets = quick ? 3000 : 30000;
+    const int sweep_packets = quick ? 3000 : 30000;
+
+    bench::Json json;
+    json.set("bench", bench::Json::str("fig9a_throughput"));
+    json.set("quick", bench::Json::boolean(quick));
+
     std::printf("Figure 9a: throughput in Mpps "
-                "(10k flows, 64B packets, 100 Gbps offered)\n\n");
+                "(10k flows, 64B packets, 100 Gbps offered)%s\n\n",
+                quick ? " [quick]" : "");
     TextTable table({"Program", "eHDL", "SDNet", "hXDP", "Bf2 1c",
                      "Bf2 4c"});
 
+    bench::Json fig_rows = bench::Json::array();
     for (bench::NamedApp &app : bench::paperApps()) {
         const bench::PipelineRun run =
-            bench::runPipeline(app.spec, 10000, 30000);
+            bench::runPipeline(app.spec, 10000, fig_packets);
 
         const auto workload = bench::baselineWorkload(app.spec);
         ebpf::MapSet hxdp_maps(app.spec.prog.maps);
@@ -48,9 +128,64 @@ main()
         table.addRow({app.name, fmtF(run.endToEnd.throughputMpps, 1),
                       sdnet.supported() ? fmtF(sdnet.mpps(), 1) : "n/a",
                       fmtF(hxdp, 1), fmtF(bf2_1, 1), fmtF(bf2_4, 1)});
+
+        bench::Json row;
+        row.set("program", bench::Json::str(app.name));
+        row.set("ehdl_mpps",
+                bench::Json::num(run.endToEnd.throughputMpps, 2));
+        row.set("sdnet_mpps", sdnet.supported()
+                                  ? bench::Json::num(sdnet.mpps(), 2)
+                                  : bench::Json::str("n/a"));
+        row.set("hxdp_mpps", bench::Json::num(hxdp, 2));
+        row.set("bf2_1c_mpps", bench::Json::num(bf2_1, 2));
+        row.set("bf2_4c_mpps", bench::Json::num(bf2_4, 2));
+        fig_rows.push(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("SDNet cannot express the DNAT's dynamic port selection "
-                "(paper section 5).\n");
+                "(paper section 5).\n\n");
+    json.set("figure9a", std::move(fig_rows));
+
+    // Multi-queue replication sweep.
+    const unsigned replica_counts[] = {1, 2, 4};
+    std::vector<bench::NamedApp> apps = bench::paperApps();
+    std::vector<SweepResult> results(apps.size() * 3);
+    bench::runTrialsParallel(
+        static_cast<unsigned>(results.size()), [&](unsigned i) {
+            const bench::NamedApp &app = apps[i / 3];
+            results[i] = runSweepTrial(app.spec, app.name,
+                                       replica_counts[i % 3],
+                                       sweep_packets);
+        });
+
+    std::printf("Multi-queue replication sweep "
+                "(%d back-to-back 64B packets, 10k flows, sharded maps)\n\n",
+                sweep_packets);
+    TextTable sweep({"Program", "Replicas", "Modeled Mpps", "Scaling",
+                     "Host Mcyc/s"});
+    bench::Json sweep_rows = bench::Json::array();
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &r = results[i];
+        const double base_mpps = results[(i / 3) * 3].modeledMpps;
+        sweep.addRow({r.app, std::to_string(r.replicas),
+                      fmtF(r.modeledMpps, 1),
+                      fmtF(r.modeledMpps / base_mpps, 2) + "x",
+                      fmtF(r.simCyclesPerSec / 1e6, 1)});
+        bench::Json row;
+        row.set("program", bench::Json::str(r.app));
+        row.set("replicas", bench::Json::integer(r.replicas));
+        row.set("modeled_mpps", bench::Json::num(r.modeledMpps, 2));
+        row.set("scaling_vs_one_replica",
+                bench::Json::num(r.modeledMpps / base_mpps, 3));
+        row.set("sim_cycles", bench::Json::integer(r.simCycles));
+        row.set("cpu_seconds", bench::Json::num(r.cpuSeconds, 4));
+        row.set("sim_cycles_per_sec",
+                bench::Json::num(r.simCyclesPerSec, 0));
+        sweep_rows.push(std::move(row));
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    json.set("replication_sweep", std::move(sweep_rows));
+
+    bench::writeBenchJson("fig9a_throughput", json);
     return 0;
 }

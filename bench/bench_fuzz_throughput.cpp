@@ -6,11 +6,34 @@
  * iteration (VM, pipeline, hXDP), and the shrink loop on a
  * fault-injected reproducer. These rates size how many iterations a CI
  * smoke budget buys (the committed fuzz-smoke target runs 1000).
+ *
+ * A fourth phase benchmarks the cycle engine itself: the first few
+ * compilable fuzz programs are driven with pre-generated traces under
+ * two load shapes —
+ *
+ *  - "saturated": back-to-back arrivals against the default bounded
+ *    input queue, keeping every pipeline slot busy (stresses the
+ *    per-cycle execute/advance sweeps);
+ *  - "sparse": arrivals 2000 ns apart (0.5 Mpps on one queue), mostly
+ *    idle pipeline (stresses the idle fast-forward path).
+ *
+ * Rates are simulated cycles per host CPU second (see
+ * bench::processCpuSeconds for why CPU time, not wall clock). The
+ * emitted BENCH_fuzz_throughput.json records each scenario plus the
+ * aggregate and compares against the recorded pre-optimization baseline.
+ *
+ * EHDL_BENCH_QUICK=1 shrinks every phase for CI smoke runs (the JSON is
+ * still written, flagged "quick", without the baseline comparison since
+ * the workload differs).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/gen.hpp"
@@ -28,34 +51,102 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/**
+ * Pre-optimization engine rates, measured on this workload (4 saturated
+ * + 2 sparse traces, 60000 packets each) against the tree before the
+ * pooled-flight / pruned-checkpoint / bounded-sweep / idle-fast-forward
+ * work, using CPU time on an otherwise loaded host. The aggregate is
+ * total simulated cycles over total CPU seconds across all scenarios.
+ */
+constexpr double kBaselineSaturatedCyclesPerSec = 1.35e6;
+constexpr double kBaselineSparseCyclesPerSec = 15.2e6;
+constexpr double kBaselineAggregateCyclesPerSec = 11.3e6;
+
+struct EngineScenario
+{
+    const char *shape;  ///< "saturated" or "sparse"
+    uint64_t seed;
+    size_t stages;
+    uint64_t cycles;
+    uint64_t flushes;
+    uint64_t packets;
+    double cpuSeconds;
+};
+
+/** Stream a pre-generated trace through one PipeSim, timed on CPU. */
+EngineScenario
+runEngineScenario(const char *shape, uint64_t seed,
+                  const hdl::Pipeline &pipe, int npkts, uint64_t gap_ns)
+{
+    ebpf::MapSet maps(pipe.prog.maps);
+    sim::TrafficConfig tc;
+    tc.numFlows = 256;
+    sim::TrafficGen gen(tc);
+    std::vector<net::Packet> trace;
+    trace.reserve(static_cast<size_t>(npkts));
+    for (int i = 0; i < npkts; ++i) {
+        net::Packet p = gen.next();
+        p.arrivalNs = static_cast<uint64_t>(i) * gap_ns;
+        trace.push_back(std::move(p));
+    }
+
+    sim::PipeSim sim(pipe, maps);  // default bounded input queue
+    const double t0 = bench::processCpuSeconds();
+    for (const net::Packet &p : trace) {
+        // Copy-offer: offer() consumes its argument even when the queue
+        // is full, so the retry must re-offer a fresh copy.
+        while (!sim.offer(p))
+            sim.step();
+    }
+    sim.drain();
+    const double s = bench::processCpuSeconds() - t0;
+
+    EngineScenario out;
+    out.shape = shape;
+    out.seed = seed;
+    out.stages = pipe.numStages();
+    out.cycles = sim.stats().cycles;
+    out.flushes = sim.stats().flushEvents;
+    out.packets = sim.stats().completed;
+    out.cpuSeconds = s;
+    return out;
+}
+
 }  // namespace
 
 int
 main()
 {
-    std::printf("Differential fuzzer throughput (seed 1)\n\n");
+    const bool quick = std::getenv("EHDL_BENCH_QUICK") != nullptr;
+    std::printf("Differential fuzzer throughput (seed 1)%s\n\n",
+                quick ? " [quick]" : "");
     TextTable table(
         {"Phase", "Work", "Seconds", "Rate", "Notes"});
 
+    bench::Json json;
+    json.set("bench", bench::Json::str("fuzz_throughput"));
+    json.set("quick", bench::Json::boolean(quick));
+
     // Generation + verifier acceptance alone.
     {
-        const int n = 2000;
+        const int n = quick ? 200 : 2000;
         const auto start = std::chrono::steady_clock::now();
         size_t insns = 0;
-        for (uint64_t seed = 1; seed <= n; ++seed)
+        for (uint64_t seed = 1; seed <= static_cast<uint64_t>(n); ++seed)
             insns += fuzz::generateProgram(seed).insns.size();
         const double s = secondsSince(start);
         table.addRow({"generate", std::to_string(n) + " programs", fmtF(s),
                       fmtF(n / s, 0) + "/s",
                       fmtF(static_cast<double>(insns) / n, 1) +
                           " insns/prog"});
+        json.set("generate_programs_per_sec", bench::Json::num(n / s, 1));
     }
 
     // Full differential iterations against the (correct) pipeline.
     {
         fuzz::FuzzOptions opts;
         opts.seed = 1;
-        opts.iterations = 400;
+        opts.iterations = quick ? 50 : 400;
         const auto start = std::chrono::steady_clock::now();
         const fuzz::FuzzStats stats = fuzz::runFuzz(opts);
         const double s = secondsSince(start);
@@ -66,6 +157,8 @@ main()
              std::to_string(stats.compiled) + " compiled, " +
                  std::to_string(stats.packetsRun) + " pkts, " +
                  std::to_string(stats.divergences) + " div"});
+        json.set("differential_iters_per_sec",
+                 bench::Json::num(stats.iterations / s, 1));
     }
 
     // Find + shrink a planted WAR hazard bug.
@@ -89,8 +182,131 @@ main()
              "shrunk to " + std::to_string(rec.shrunk.prog.insns.size()) +
                  " insns / " + std::to_string(rec.shrunk.packets.size()) +
                  " pkts"});
+        json.set("shrink_oracle_runs_per_sec",
+                 bench::Json::num(rec.shrinkRuns / s, 1));
+    }
+
+    // Cycle-engine throughput on the first compilable fuzz programs.
+    {
+        const unsigned n_saturated = quick ? 2 : 4;
+        const unsigned n_sparse = 2;
+        const int npkts = quick ? 6000 : 60000;
+        const uint64_t sparse_gap_ns = 2000;
+
+        std::vector<std::pair<uint64_t, hdl::Pipeline>> pipes;
+        for (uint64_t seed = 1; pipes.size() < n_saturated && seed < 100;
+             ++seed) {
+            try {
+                pipes.emplace_back(seed,
+                                   hdl::compile(fuzz::generateProgram(seed)));
+            } catch (...) {
+                // rejected by the verifier or unsupported by the compiler
+            }
+        }
+
+        std::vector<EngineScenario> scenarios;
+        for (const auto &[seed, pipe] : pipes)
+            scenarios.push_back(
+                runEngineScenario("saturated", seed, pipe, npkts, 0));
+        for (unsigned i = 0; i < n_sparse && i < pipes.size(); ++i)
+            scenarios.push_back(runEngineScenario(
+                "sparse", pipes[i].first, pipes[i].second, npkts,
+                sparse_gap_ns));
+
+        bench::Json engine;
+        bench::Json config;
+        config.set("packets_per_trace", bench::Json::integer(
+                                            static_cast<uint64_t>(npkts)));
+        config.set("flows", bench::Json::integer(256));
+        config.set("sparse_gap_ns", bench::Json::integer(sparse_gap_ns));
+        config.set("input_queue_capacity",
+                   bench::Json::integer(sim::PipeSimConfig{}
+                                            .inputQueueCapacity));
+        config.set("clock_hz",
+                   bench::Json::integer(sim::PipeSimConfig{}.clockHz));
+        engine.set("config", std::move(config));
+
+        bench::Json rows = bench::Json::array();
+        double total_cycles = 0, total_seconds = 0;
+        double sat_cycles = 0, sat_seconds = 0;
+        double sparse_cycles = 0, sparse_seconds = 0;
+        for (const EngineScenario &sc : scenarios) {
+            const double rate = static_cast<double>(sc.cycles) /
+                                sc.cpuSeconds;
+            table.addRow(
+                {std::string("engine ") + sc.shape,
+                 std::to_string(sc.packets) + " pkts seed " +
+                     std::to_string(sc.seed),
+                 fmtF(sc.cpuSeconds), fmtF(rate / 1e6, 1) + "M cyc/s",
+                 std::to_string(sc.stages) + " stages, " +
+                     std::to_string(sc.flushes) + " flushes"});
+            bench::Json row;
+            row.set("scenario", bench::Json::str(sc.shape));
+            row.set("seed", bench::Json::integer(sc.seed));
+            row.set("stages", bench::Json::integer(sc.stages));
+            row.set("packets", bench::Json::integer(sc.packets));
+            row.set("sim_cycles", bench::Json::integer(sc.cycles));
+            row.set("flush_events", bench::Json::integer(sc.flushes));
+            row.set("cpu_seconds", bench::Json::num(sc.cpuSeconds, 4));
+            row.set("sim_cycles_per_sec", bench::Json::num(rate, 0));
+            row.set("packets_per_sec",
+                    bench::Json::num(sc.packets / sc.cpuSeconds, 0));
+            rows.push(std::move(row));
+            total_cycles += static_cast<double>(sc.cycles);
+            total_seconds += sc.cpuSeconds;
+            if (std::string(sc.shape) == "saturated") {
+                sat_cycles += static_cast<double>(sc.cycles);
+                sat_seconds += sc.cpuSeconds;
+            } else {
+                sparse_cycles += static_cast<double>(sc.cycles);
+                sparse_seconds += sc.cpuSeconds;
+            }
+        }
+        engine.set("scenarios", std::move(rows));
+
+        const double aggregate = total_cycles / total_seconds;
+        bench::Json agg;
+        agg.set("sim_cycles", bench::Json::num(total_cycles, 0));
+        agg.set("cpu_seconds", bench::Json::num(total_seconds, 4));
+        agg.set("sim_cycles_per_sec", bench::Json::num(aggregate, 0));
+        agg.set("saturated_cycles_per_sec",
+                bench::Json::num(sat_cycles / sat_seconds, 0));
+        if (sparse_seconds > 0)
+            agg.set("sparse_cycles_per_sec",
+                    bench::Json::num(sparse_cycles / sparse_seconds, 0));
+        engine.set("aggregate", std::move(agg));
+
+        table.addRow({"engine total",
+                      std::to_string(scenarios.size()) + " scenarios",
+                      fmtF(total_seconds),
+                      fmtF(aggregate / 1e6, 1) + "M cyc/s", ""});
+
+        if (!quick) {
+            bench::Json baseline;
+            baseline.set("sim_cycles_per_sec",
+                         bench::Json::num(kBaselineAggregateCyclesPerSec, 0));
+            baseline.set("saturated_cycles_per_sec",
+                         bench::Json::num(kBaselineSaturatedCyclesPerSec, 0));
+            baseline.set("sparse_cycles_per_sec",
+                         bench::Json::num(kBaselineSparseCyclesPerSec, 0));
+            baseline.set(
+                "note",
+                bench::Json::str("pre-optimization engine, same workload "
+                                 "and host, CPU-time measurement"));
+            engine.set("baseline", std::move(baseline));
+            engine.set("speedup_vs_baseline",
+                       bench::Json::num(
+                           aggregate / kBaselineAggregateCyclesPerSec, 2));
+            std::printf("engine speedup vs recorded baseline: %.2fx "
+                        "(%.1fM vs %.1fM sim cycles per CPU second)\n\n",
+                        aggregate / kBaselineAggregateCyclesPerSec,
+                        aggregate / 1e6,
+                        kBaselineAggregateCyclesPerSec / 1e6);
+        }
+        json.set("engine", std::move(engine));
     }
 
     std::printf("%s\n", table.render().c_str());
+    bench::writeBenchJson("fuzz_throughput", json);
     return 0;
 }

@@ -107,22 +107,70 @@ ExecState::Checkpoint
 ExecState::checkpoint() const
 {
     Checkpoint cp;
-    cp.regs = regs;
-    cp.stack = stack_;
-    cp.shadow = shadow_;
-    cp.shadowValid = shadowValid_;
+    std::bitset<kStackSize> all;
+    all.set();
+    checkpointInto(cp, kAllRegsMask, all);
+    return cp;
+}
+
+void
+ExecState::checkpointInto(Checkpoint &cp, uint16_t live_regs,
+                          const std::bitset<kStackSize> &live_stack) const
+{
+    cp.liveRegs = live_regs;
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        if ((live_regs >> r) & 1)
+            cp.regs[r] = regs[r];
+    cp.stackSlots.clear();
+    for (unsigned slot = 0; slot < kStackSize / 8; ++slot) {
+        bool live = false;
+        for (unsigned b = 0; b < 8 && !live; ++b)
+            live = live_stack[slot * 8 + b];
+        if (!live)
+            continue;
+        Checkpoint::StackSlot rec;
+        rec.slot = static_cast<uint16_t>(slot);
+        std::memcpy(rec.bytes.data(), stack_.data() + slot * 8, 8);
+        rec.shadow = shadow_[slot];
+        rec.shadowValid = shadowValid_[slot];
+        cp.stackSlots.push_back(rec);
+    }
     cp.pktGen = pktGen_;
     cp.prandomSeq = prandomSeq_;
-    return cp;
+}
+
+void
+ExecState::checkpointInto(Checkpoint &cp, uint16_t live_regs,
+                          const std::vector<uint16_t> &live_slots) const
+{
+    cp.liveRegs = live_regs;
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        if ((live_regs >> r) & 1)
+            cp.regs[r] = regs[r];
+    cp.stackSlots.clear();
+    for (const uint16_t slot : live_slots) {
+        Checkpoint::StackSlot rec;
+        rec.slot = slot;
+        std::memcpy(rec.bytes.data(), stack_.data() + slot * 8, 8);
+        rec.shadow = shadow_[slot];
+        rec.shadowValid = shadowValid_[slot];
+        cp.stackSlots.push_back(rec);
+    }
+    cp.pktGen = pktGen_;
+    cp.prandomSeq = prandomSeq_;
 }
 
 void
 ExecState::restore(const Checkpoint &cp)
 {
-    regs = cp.regs;
-    stack_ = cp.stack;
-    shadow_ = cp.shadow;
-    shadowValid_ = cp.shadowValid;
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        if ((cp.liveRegs >> r) & 1)
+            regs[r] = cp.regs[r];
+    for (const Checkpoint::StackSlot &rec : cp.stackSlots) {
+        std::memcpy(stack_.data() + rec.slot * 8, rec.bytes.data(), 8);
+        shadow_[rec.slot] = rec.shadow;
+        shadowValid_[rec.slot] = rec.shadowValid;
+    }
     pktGen_ = cp.pktGen;
     prandomSeq_ = cp.prandomSeq;
 }
@@ -275,6 +323,28 @@ uint64_t
 ExecState::readBytes(const VmValue &addr, int64_t off, unsigned len,
                      uint8_t *out) const
 {
+    // Bulk copies for in-bounds stack/packet sources (the common map-key
+    // staging paths); anything else — including every out-of-bounds case,
+    // which must trap with the same per-byte granularity — falls through
+    // to byte-wise tagged loads.
+    const int64_t at = static_cast<int64_t>(addr.bits) + off;
+    switch (addr.tag) {
+      case PtrTag::Stack:
+        if (at >= 0 && static_cast<uint64_t>(at) + len <= kStackSize) {
+            std::memcpy(out, stack_.data() + at, len);
+            return len;
+        }
+        break;
+      case PtrTag::Packet:
+        if (addr.pktGen == pktGen_ && at >= 0 &&
+            static_cast<uint64_t>(at) + len <= pkt_->size()) {
+            std::memcpy(out, pkt_->data() + at, len);
+            return len;
+        }
+        break;
+      default:
+        break;
+    }
     for (unsigned i = 0; i < len; ++i)
         out[i] = static_cast<uint8_t>(load(addr, off + i, 1).bits);
     return len;
@@ -549,7 +619,7 @@ ExecState::execCall(const Insn &insn)
             trap("lookup: R1 is not a map");
         const uint32_t map_id = regs[1].mapId;
         const MapDef &def = prog_.maps.at(map_id);
-        std::vector<uint8_t> key;
+        std::vector<uint8_t> &key = keyScratch_;
         readKey(regs[2], def.keySize, key);
         const int64_t entry = mapio_->lookup(map_id, key.data(), port_);
         if (entry >= 0) {
@@ -565,7 +635,8 @@ ExecState::execCall(const Insn &insn)
             trap("update: R1 is not a map");
         const uint32_t map_id = regs[1].mapId;
         const MapDef &def = prog_.maps.at(map_id);
-        std::vector<uint8_t> key, value;
+        std::vector<uint8_t> &key = keyScratch_;
+        std::vector<uint8_t> &value = valueScratch_;
         readKey(regs[2], def.keySize, key);
         readKey(regs[3], def.valueSize, value);
         const int rc = mapio_->update(map_id, key.data(), value.data(),
@@ -577,7 +648,7 @@ ExecState::execCall(const Insn &insn)
         if (regs[1].tag != PtrTag::MapHandle)
             trap("delete: R1 is not a map");
         const uint32_t map_id = regs[1].mapId;
-        std::vector<uint8_t> key;
+        std::vector<uint8_t> &key = keyScratch_;
         readKey(regs[2], prog_.maps.at(map_id).keySize, key);
         const int rc = mapio_->erase(map_id, key.data(), port_);
         ret = VmValue::scalar(static_cast<uint64_t>(static_cast<int64_t>(rc)));

@@ -18,6 +18,7 @@
 #define EHDL_EBPF_EXEC_HPP_
 
 #include <array>
+#include <bitset>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -182,18 +183,59 @@ class ExecState
 
     // --- Checkpoint support for pipeline flush replay -------------------
 
-    /** Copyable checkpoint of registers + stack (not packet or maps). */
+    /** Register mask selecting every architectural register. */
+    static constexpr uint16_t kAllRegsMask = (1u << kNumRegs) - 1;
+
+    /**
+     * Copyable checkpoint of registers + stack (not packet or maps).
+     *
+     * The checkpoint is liveness-pruned: it records only the registers in
+     * @c liveRegs and the aligned 8-byte stack slots listed in
+     * @c stackSlots, mirroring the pruned pipeline registers the elastic
+     * buffers of the generated hardware actually carry (paper section
+     * 4.3). restore() overlays exactly the recorded state; anything the
+     * pruner dropped is dead by construction and left to the caller
+     * (the simulator replays from a freshly reset ExecState, so dropped
+     * slots deterministically read as zero).
+     */
     struct Checkpoint
     {
-        std::array<VmValue, kNumRegs> regs;
-        std::vector<uint8_t> stack;
-        std::array<VmValue, kStackSize / 8> shadow;
-        std::array<bool, kStackSize / 8> shadowValid;
-        uint32_t pktGen;
-        uint32_t prandomSeq;
+        /** One live 8-byte-aligned stack slot. */
+        struct StackSlot
+        {
+            uint16_t slot = 0;  ///< aligned slot index (byte offset / 8)
+            std::array<uint8_t, 8> bytes{};
+            VmValue shadow{};
+            bool shadowValid = false;
+        };
+
+        std::array<VmValue, kNumRegs> regs{};
+        uint16_t liveRegs = 0;  ///< mask of registers recorded in @c regs
+        std::vector<StackSlot> stackSlots;
+        uint32_t pktGen = 0;
+        uint32_t prandomSeq = 0;
     };
 
+    /** Full (unpruned) checkpoint: every register and stack slot. */
     Checkpoint checkpoint() const;
+
+    /**
+     * Liveness-pruned checkpoint written into reusable storage so hot
+     * simulator paths do not reallocate @c cp.stackSlots every crossing.
+     * A stack slot is captured when any of its 8 bytes is live.
+     */
+    void checkpointInto(Checkpoint &cp, uint16_t live_regs,
+                        const std::bitset<kStackSize> &live_stack) const;
+
+    /**
+     * Same, but with the live stack pre-resolved to a list of 8-byte slot
+     * indices (hot simulator path: the bitset scan is done once per stage
+     * at pipeline setup instead of once per checkpoint).
+     */
+    void checkpointInto(Checkpoint &cp, uint16_t live_regs,
+                        const std::vector<uint16_t> &live_slots) const;
+
+    /** Overlay the recorded registers and stack slots onto this state. */
     void restore(const Checkpoint &cp);
 
     const net::Packet &packet() const { return *pkt_; }
@@ -228,6 +270,10 @@ class ExecState
     uint32_t pktGen_ = 0;
     /** Per-execution counter making bpf_get_prandom_u32 replay-stable. */
     uint32_t prandomSeq_ = 0;
+
+    /** Reused key/value staging for map helpers (avoids per-call allocs). */
+    mutable std::vector<uint8_t> keyScratch_;
+    mutable std::vector<uint8_t> valueScratch_;
 };
 
 }  // namespace ehdl::ebpf

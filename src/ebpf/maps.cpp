@@ -455,6 +455,33 @@ MapSet::equal(const MapSet &a, const MapSet &b)
     return true;
 }
 
+void
+MapSet::copyContentsFrom(const MapSet &src)
+{
+    if (maps_.size() != src.maps_.size())
+        panic("copyContentsFrom: map set shape mismatch (", maps_.size(),
+              " vs ", src.maps_.size(), ")");
+    for (size_t i = 0; i < maps_.size(); ++i) {
+        Map &dst = *maps_[i];
+        const Map &from = *src.maps_[i];
+        if (dst.def().kind != from.def().kind ||
+            dst.def().keySize != from.def().keySize ||
+            dst.def().valueSize != from.def().valueSize)
+            panic("copyContentsFrom: map ", i, " definition mismatch");
+        // Drop entries the source does not have (array entries always
+        // exist on both sides and are simply overwritten below).
+        if (dst.def().kind != MapKind::Array) {
+            const auto mine = dst.snapshot();
+            const auto theirs = from.snapshot();
+            for (const auto &[key, value] : mine)
+                if (theirs.find(key) == theirs.end())
+                    dst.erase(key.data());
+        }
+        for (const auto &[key, value] : from.snapshot())
+            dst.update(key.data(), value.data(), kBpfAny);
+    }
+}
+
 std::string
 MapSet::dump() const
 {

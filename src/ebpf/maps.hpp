@@ -245,6 +245,14 @@ class MapSet
     /** True when all maps have identical contents. */
     static bool equal(const MapSet &a, const MapSet &b);
 
+    /**
+     * Replace this set's contents with a deep copy of @p src (which must
+     * have the same map definitions). Used to seed per-replica map shards
+     * in the multi-queue pipeline simulator, mirroring how per-CPU map
+     * instances each start from the loaded program's initial state.
+     */
+    void copyContentsFrom(const MapSet &src);
+
     /** Render all map contents (debugging aid for test failures). */
     std::string dump() const;
 

@@ -31,6 +31,24 @@ opKindName(OpKind kind)
     return "?";
 }
 
+uint16_t
+Pipeline::liveRegsAfter(size_t stage) const
+{
+    if (stage + 1 < stages.size())
+        return stages[stage + 1].liveRegs;
+    return static_cast<uint16_t>((1u << ebpf::kNumRegs) - 1);
+}
+
+const std::bitset<ebpf::kStackSize> &
+Pipeline::liveStackAfter(size_t stage) const
+{
+    static const std::bitset<ebpf::kStackSize> all =
+        std::bitset<ebpf::kStackSize>().set();
+    if (stage + 1 < stages.size())
+        return stages[stage + 1].liveStack;
+    return all;
+}
+
 size_t
 Pipeline::maxFlushDepth() const
 {

@@ -199,6 +199,16 @@ struct Pipeline
     /** Deepest flush window (the paper's K, excluding reload overhead). */
     size_t maxFlushDepth() const;
 
+    /**
+     * Live register mask entering the stage after @p stage — the pruned
+     * state an elastic buffer sitting behind @p stage has to checkpoint
+     * (section 4.3). Falls back to the full mask past the last stage.
+     */
+    uint16_t liveRegsAfter(size_t stage) const;
+
+    /** Live stack bytes entering the stage after @p stage. */
+    const std::bitset<ebpf::kStackSize> &liveStackAfter(size_t stage) const;
+
     /** Stage summary for logs and tests. */
     std::string describe() const;
 };

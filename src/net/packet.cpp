@@ -64,4 +64,21 @@ Packet::bytes() const
     return {buf_.begin() + start_, buf_.begin() + end_};
 }
 
+void
+Packet::bytesInto(std::vector<uint8_t> &out) const
+{
+    out.assign(buf_.begin() + start_, buf_.begin() + end_);
+}
+
+void
+Packet::assignBytes(const std::vector<uint8_t> &bytes, uint32_t headroom)
+{
+    // Exact size so tailroom matches a freshly built packet; shrinking a
+    // vector keeps its capacity, so reuse still avoids reallocation.
+    buf_.resize(headroom + bytes.size());
+    std::memcpy(buf_.data() + headroom, bytes.data(), bytes.size());
+    start_ = headroom;
+    end_ = headroom + static_cast<uint32_t>(bytes.size());
+}
+
 }  // namespace ehdl::net

@@ -77,6 +77,17 @@ class Packet
     /** The full payload as a vector copy (for test assertions). */
     std::vector<uint8_t> bytes() const;
 
+    /** Copy the payload into @p out, reusing its capacity. */
+    void bytesInto(std::vector<uint8_t> &out) const;
+
+    /**
+     * Reinitialize in place from @p bytes with fresh headroom, reusing the
+     * existing buffer allocation when it is large enough (hot flush-replay
+     * path in the pipeline simulator). Metadata fields are untouched.
+     */
+    void assignBytes(const std::vector<uint8_t> &bytes,
+                     uint32_t headroom = kXdpHeadroom);
+
     /** Identifier assigned by traffic generators (0 when unset). */
     uint64_t id = 0;
     /** Arrival timestamp in nanoseconds (simulated clock). */

@@ -68,18 +68,26 @@ struct PipeSim::Impl
 
         std::vector<ReadRec> reads;
 
+        /**
+         * One elastic-buffer checkpoint slot. Storage is indexed by the
+         * buffer's position in Pipeline::elasticBuffers and reused across
+         * crossings and pooled-flight reuse, so the steady state performs
+         * no allocation.
+         */
         struct Checkpoint
         {
+            bool valid = false;
+            size_t stage = 0;
             ExecState::Checkpoint state;
             std::vector<uint8_t> pktBytes;
             std::vector<bool> blockEnabled;
-            bool exited;
-            bool trapped;
-            XdpAction action;
-            uint32_t redirectIfindex;
+            bool exited = false;
+            bool trapped = false;
+            XdpAction action = XdpAction::Aborted;
+            uint32_t redirectIfindex = 0;
             std::vector<ReadRec> reads;
         };
-        std::map<size_t, Checkpoint> checkpoints;
+        std::vector<Checkpoint> checkpoints;
     };
 
     /** A write parked in a WAR delay buffer (section 4.1.1). */
@@ -150,6 +158,11 @@ struct PipeSim::Impl
             const uint8_t *base =
                 impl_.maps.at(map_id).valueAt(entry) + off;
             std::memcpy(buf, base, size);
+            if (impl_.pendingWrites.empty()) {
+                uint64_t direct = 0;
+                std::memcpy(&direct, buf, size);
+                return direct;
+            }
             // Store-to-load forwarding from the speculation/WAR buffer:
             // a packet sees its own parked writes and those of *older*
             // packets (which are sequentially ordered before it). Older
@@ -162,7 +175,8 @@ struct PipeSim::Impl
             // younger packet's shallow one), while per writer the buffer
             // already holds program order (overlapping stores are WAW-
             // scheduled in order).
-            std::vector<const PendingWrite *> fwd;
+            std::vector<const PendingWrite *> &fwd = impl_.fwdScratch;
+            fwd.clear();
             for (const PendingWrite &pw : impl_.pendingWrites) {
                 if (pw.mapId != map_id || pw.entry != entry)
                     continue;
@@ -238,6 +252,86 @@ struct PipeSim::Impl
     {
         cycleNs = 1e9 / static_cast<double>(owner.config().clockHz);
         entryBlock = pipe.cfg.blockOf(0);
+        // O(1) elastic-buffer lookup on the per-stage hot path.
+        elasticIndex.assign(pipe.numStages(), -1);
+        for (size_t i = 0; i < pipe.elasticBuffers.size(); ++i)
+            elasticIndex[pipe.elasticBuffers[i]] = static_cast<int>(i);
+        stageHasOps.resize(pipe.numStages());
+        for (size_t s = 0; s < pipe.numStages(); ++s)
+            stageHasOps[s] = !pipe.stages[s].ops.empty();
+        // Resolve each elastic buffer's live stack bitset to a slot list
+        // once, so checkpoints only copy the live 8-byte slots instead of
+        // rescanning all 512 bits per packet.
+        liveSlotsAfter.resize(pipe.elasticBuffers.size());
+        for (size_t i = 0; i < pipe.elasticBuffers.size(); ++i) {
+            const auto &bits = pipe.liveStackAfter(pipe.elasticBuffers[i]);
+            for (unsigned slot = 0; slot < ebpf::kStackSize / 8; ++slot)
+                for (unsigned b = 0; b < 8; ++b)
+                    if (bits[slot * 8 + b]) {
+                        liveSlotsAfter[i].push_back(
+                            static_cast<uint16_t>(slot));
+                        break;
+                    }
+        }
+        // Flush-evaluation blocks indexed by write stage: most map writes
+        // hit stages with no flush block and return immediately.
+        flushAtStage.resize(pipe.numStages());
+        for (size_t i = 0; i < pipe.flushBlocks.size(); ++i)
+            flushAtStage[pipe.flushBlocks[i].writeStage].push_back(
+                static_cast<uint16_t>(i));
+    }
+
+    // --- flight pooling ---------------------------------------------------
+
+    /**
+     * Fetch a recycled Flight (or build the first ones). The embedded
+     * ExecState, packet buffer, checkpoint storage and bookkeeping vectors
+     * retain their allocations across packets, so the steady-state cost of
+     * admitting a packet is a few memcpys rather than a dozen mallocs.
+     */
+    std::unique_ptr<Flight>
+    acquireFlight(net::Packet &&pkt)
+    {
+        std::unique_ptr<Flight> f;
+        if (!flightPool.empty()) {
+            f = std::move(flightPool.back());
+            flightPool.pop_back();
+        } else {
+            f = std::make_unique<Flight>();
+        }
+        f->id = pkt.id;
+        f->seq = nextSeq++;
+        f->arrivalNs = pkt.arrivalNs;
+        pkt.bytesInto(f->pristineBytes);
+        f->pkt = std::move(pkt);
+        if (!f->state) {
+            // &f->pkt and &io are stable for the flight's pooled lifetime.
+            f->state = std::make_unique<ExecState>(pipe.prog, &f->pkt, &io);
+        } else {
+            f->state->setPort(0);
+            f->state->reset();
+        }
+        f->state->nowNs = f->arrivalNs;
+        f->blockEnabled.assign(pipe.numBlocks(), false);
+        f->blockEnabled[entryBlock] = true;
+        f->exited = false;
+        f->trapped = false;
+        f->trapReason.clear();
+        f->lastExecuted = -1;
+        f->action = XdpAction::Aborted;
+        f->redirectIfindex = 0;
+        f->entryCycle = 0;
+        f->reads.clear();
+        f->checkpoints.resize(pipe.elasticBuffers.size());
+        for (Flight::Checkpoint &cp : f->checkpoints)
+            cp.valid = false;
+        return f;
+    }
+
+    void
+    releaseFlight(std::unique_ptr<Flight> f)
+    {
+        flightPool.push_back(std::move(f));
     }
 
     // --- map plumbing ---------------------------------------------------
@@ -307,9 +401,9 @@ struct PipeSim::Impl
                   const std::vector<std::pair<bool, uint64_t>> &addrs)
     {
         const FlushBlockPlan *plan = nullptr;
-        for (const FlushBlockPlan &fb : pipe.flushBlocks)
-            if (fb.mapId == map_id && fb.writeStage == stage)
-                plan = &fb;
+        for (const uint16_t idx : flushAtStage[stage])
+            if (pipe.flushBlocks[idx].mapId == map_id)
+                plan = &pipe.flushBlocks[idx];
         if (plan == nullptr)
             return;
 
@@ -344,7 +438,9 @@ struct PipeSim::Impl
         // Flush: every packet between the elastic buffer (restart stage)
         // and the write stage replays from its checkpoint.
         sim.stats_.flushEvents++;
-        for (size_t s = window_first; s < plan->writeStage; ++s) {
+        // Harvest deepest-first: deeper flights are older (smaller seq),
+        // so the replay queue comes out oldest-first without sorting.
+        for (size_t s = plan->writeStage; s-- > window_first;) {
             std::unique_ptr<Flight> f = std::move(slots[s]);
             if (!f || f.get() == cur) {
                 slots[s] = std::move(f);
@@ -366,13 +462,19 @@ struct PipeSim::Impl
                 pendingWrites.end());
             restoreFlight(*f, plan->restartStage);
             replayQueues[plan->restartStage].push_back(std::move(f));
+            --occupiedSlots;
+            ++replayCount;
         }
-        // Keep replay order deterministic: oldest first.
+        // Keep replay order deterministic: oldest first. The window was
+        // harvested oldest-first, so the queue is already sorted unless
+        // it held earlier flushes, and the check is cheaper than an
+        // unconditional sort.
         auto &queue = replayQueues[plan->restartStage];
-        std::sort(queue.begin(), queue.end(),
-                  [](const auto &a, const auto &b) {
-                      return a->seq < b->seq;
-                  });
+        const auto by_seq = [](const auto &a, const auto &b) {
+            return a->seq < b->seq;
+        };
+        if (!std::is_sorted(queue.begin(), queue.end(), by_seq))
+            std::sort(queue.begin(), queue.end(), by_seq);
         reloadStall = sim.config_.flushReloadCycles;
     }
 
@@ -380,13 +482,13 @@ struct PipeSim::Impl
     restoreFlight(Flight &flight, size_t restart_stage)
     {
         if (restart_stage == 0) {
-            // Full replay from the pipeline input.
-            flight.pkt = net::Packet(flight.pristineBytes);
+            // Full replay from the pipeline input. Reset the pooled
+            // ExecState in place instead of constructing a fresh one.
+            flight.pkt.assignBytes(flight.pristineBytes);
             flight.pkt.id = flight.id;
             flight.pkt.arrivalNs = flight.arrivalNs;
             flight.pkt.ingressIfindex = 1;
-            flight.state = std::make_unique<ExecState>(pipe.prog,
-                                                       &flight.pkt, &io);
+            flight.state->reset();
             flight.state->nowNs = flight.arrivalNs;
             flight.blockEnabled.assign(pipe.numBlocks(), false);
             flight.blockEnabled[entryBlock] = true;
@@ -395,20 +497,23 @@ struct PipeSim::Impl
             flight.trapReason.clear();
             flight.lastExecuted = -1;
             flight.reads.clear();
-            flight.checkpoints.clear();
+            for (Flight::Checkpoint &cp : flight.checkpoints)
+                cp.valid = false;
             return;
         }
-        auto it = flight.checkpoints.find(restart_stage);
-        if (it == flight.checkpoints.end())
+        const int idx = elasticIndex[restart_stage];
+        if (idx < 0 || !flight.checkpoints[idx].valid)
             panic("flush restart without checkpoint at stage ",
                   restart_stage);
-        const Flight::Checkpoint &cp = it->second;
-        flight.pkt = net::Packet(cp.pktBytes);
+        const Flight::Checkpoint &cp = flight.checkpoints[idx];
+        flight.pkt.assignBytes(cp.pktBytes);
         flight.pkt.id = flight.id;
         flight.pkt.arrivalNs = flight.arrivalNs;
         flight.pkt.ingressIfindex = 1;
-        flight.state = std::make_unique<ExecState>(pipe.prog, &flight.pkt,
-                                                   &io);
+        // Replay resumes from a deterministic reset state overlaid with
+        // the (liveness-pruned) checkpoint, exactly like the hardware
+        // reloading its pruned pipeline registers from the elastic buffer.
+        flight.state->reset();
         flight.state->nowNs = flight.arrivalNs;
         flight.state->restore(cp.state);
         flight.blockEnabled = cp.blockEnabled;
@@ -419,9 +524,9 @@ struct PipeSim::Impl
         flight.reads = cp.reads;
         flight.lastExecuted = static_cast<int64_t>(restart_stage);
         // Checkpoints deeper than the restart point are stale.
-        flight.checkpoints.erase(
-            flight.checkpoints.upper_bound(restart_stage),
-            flight.checkpoints.end());
+        for (Flight::Checkpoint &deep : flight.checkpoints)
+            if (deep.valid && deep.stage > restart_stage)
+                deep.valid = false;
     }
 
     // --- stage execution -------------------------------------------------
@@ -430,6 +535,8 @@ struct PipeSim::Impl
     executeStage(Flight &flight, size_t stage_idx)
     {
         const hdl::Stage &stage = pipe.stages[stage_idx];
+        // (Stages with nothing to do are skipped by the sweep in
+        // stepOnce, which inlines that fast path.)
         // Drain this packet's due delay buffers before the stage executes
         // (older packets ran their deeper stages earlier this cycle, so
         // every protected reader has already gone past).
@@ -452,18 +559,25 @@ struct PipeSim::Impl
             }
         }
         // Elastic buffers checkpoint the pipeline registers (appendix A.2).
-        if (std::binary_search(pipe.elasticBuffers.begin(),
-                               pipe.elasticBuffers.end(), stage_idx)) {
-            Flight::Checkpoint cp;
-            cp.state = flight.state->checkpoint();
-            cp.pktBytes = flight.pkt.bytes();
+        // Only the liveness-pruned state entering the next stage is saved,
+        // mirroring the pruned registers the hardware buffer carries, and
+        // the per-buffer storage slot is reused so no allocation happens
+        // once its vectors have grown.
+        const int eb = elasticIndex[stage_idx];
+        if (eb >= 0) {
+            Flight::Checkpoint &cp = flight.checkpoints[eb];
+            cp.valid = true;
+            cp.stage = stage_idx;
+            flight.state->checkpointInto(cp.state,
+                                         pipe.liveRegsAfter(stage_idx),
+                                         liveSlotsAfter[eb]);
+            flight.pkt.bytesInto(cp.pktBytes);
             cp.blockEnabled = flight.blockEnabled;
             cp.exited = flight.exited;
             cp.trapped = flight.trapped;
             cp.action = flight.action;
             cp.redirectIfindex = flight.redirectIfindex;
             cp.reads = flight.reads;
-            flight.checkpoints[stage_idx] = std::move(cp);
         }
         flight.lastExecuted = static_cast<int64_t>(stage_idx);
         cur = nullptr;
@@ -501,36 +615,114 @@ struct PipeSim::Impl
 
     // --- cycle loop --------------------------------------------------------
 
-    bool
-    stalled(size_t stage_idx) const
+    /**
+     * Deepest stage held by a pending replay: a replay at elastic buffer r
+     * holds stages <= r so the buffer can re-feed stage r+1 (restart 0
+     * re-enters through the pipeline input instead, so it stalls nothing).
+     * Computed once per cycle instead of per slot.
+     */
+    int64_t
+    stallBound() const
     {
-        // A pending replay at elastic buffer r holds stages <= r so the
-        // buffer can re-feed stage r+1. Restart 0 re-enters through the
-        // pipeline input instead, so it stalls nothing.
+        int64_t bound = -1;
         for (const auto &[restart, queue] : replayQueues)
-            if (!queue.empty() && restart > 0 && stage_idx <= restart)
-                return true;
-        return false;
+            if (!queue.empty() && restart > 0)
+                bound = std::max(bound, static_cast<int64_t>(restart));
+        return bound;
+    }
+
+    /** Admit the head-of-queue packet into stage 0. */
+    void
+    injectFront()
+    {
+        std::unique_ptr<Flight> f = std::move(inputQueue.front());
+        inputQueue.pop_front();
+        f->entryCycle = sim.stats_.cycles;
+        slots[0] = std::move(f);
+        ++occupiedSlots;
+        sweepBound = std::max<int64_t>(sweepBound, 0);
     }
 
     void
     stepOnce()
     {
         ++sim.stats_.cycles;
+
+        // Fast path: an empty pipeline only waits for the next arrival,
+        // so the clock can advance without sweeping any stage slot — and
+        // when the next arrival is still in the future, jump straight to
+        // its cycle in O(1) instead of idling one cycle per call.
+        if (occupiedSlots == 0 && replayCount == 0 &&
+            pendingWrites.empty()) {
+            if (reloadStall > 0) {
+                --reloadStall;
+                sim.stats_.stallCycles++;
+                return;
+            }
+            if (slots.empty() || inputQueue.empty())
+                return;
+            const uint64_t arrival = inputQueue.front()->arrivalNs;
+            uint64_t c = sim.stats_.cycles;
+            if (static_cast<uint64_t>(c * cycleNs) < arrival) {
+                // Find the first cycle whose timestamp covers the arrival,
+                // reproducing the exact rounding of the one-cycle loop
+                // (the estimate starts one cycle early to be immune to
+                // floating-point rounding of the division).
+                uint64_t est = static_cast<uint64_t>(arrival / cycleNs);
+                est = est > 0 ? est - 1 : 0;
+                c = std::max(c, est);
+                while (static_cast<uint64_t>(c * cycleNs) < arrival)
+                    ++c;
+                sim.stats_.cycles = c;
+            }
+            injectFront();
+            return;
+        }
+
         const uint64_t now_ns =
             static_cast<uint64_t>(sim.stats_.cycles * cycleNs);
 
         // 1. Execute, deepest stage first (older packets act earlier).
         // A flight held in place by an elastic-buffer stall has already
         // executed its stage and must not repeat its side effects.
-        for (size_t s = slots.size(); s-- > 0;) {
-            if (slots[s] &&
-                slots[s]->lastExecuted < static_cast<int64_t>(s))
-                executeStage(*slots[s], s);
+        //
+        // The sweep is bounded on both ends: it starts just past the
+        // deepest slot that could be occupied (flights advance at most
+        // one stage per cycle) and stops once every occupied slot has
+        // been visited, so a sparse pipeline — e.g. right after a flush
+        // drained it into the replay queues — costs O(occupancy), not
+        // O(stages). The fast path for stages with nothing to do — no
+        // ops (padding, or the packet already exited), no elastic buffer
+        // to checkpoint into, no parked writes to drain — is inlined to
+        // spare the call; hoisting the pendingWrites check out of the
+        // loop is safe because writes parked mid-sweep belong to deeper
+        // (older) flights, never to the flight being skipped.
+        const bool no_pending = pendingWrites.empty();
+        const int64_t sweep_top = std::min<int64_t>(
+            static_cast<int64_t>(slots.size()) - 1, sweepBound + 1);
+        int64_t deepest = -1;
+        size_t seen = 0;
+        for (int64_t s = sweep_top; s >= 0 && seen < occupiedSlots; --s) {
+            Flight *const f = slots[s].get();
+            if (f == nullptr)
+                continue;
+            ++seen;
+            if (deepest < 0)
+                deepest = s;
+            if (f->lastExecuted >= s)
+                continue;
+            if ((f->exited || !stageHasOps[s]) && elasticIndex[s] < 0 &&
+                no_pending) {
+                f->lastExecuted = s;
+                continue;
+            }
+            executeStage(*f, static_cast<size_t>(s));
         }
+        sweepBound = deepest;
 
         // 2. Commit WAR-delayed writes whose writer cleared the window.
-        commitPendingWrites();
+        if (!pendingWrites.empty())
+            commitPendingWrites();
 
         // 3. Retire from the last stage.
         if (!slots.empty() && slots.back()) {
@@ -551,54 +743,64 @@ struct PipeSim::Impl
             for (auto &pw : pendingWrites)
                 if (pw.writer == slots.back().get())
                     panic("pending WAR write outlived its writer");
-            slots.back().reset();
+            releaseFlight(std::move(slots.back()));
+            --occupiedSlots;
         }
 
         // 4. Advance the pipeline (respecting elastic-buffer stalls).
-        for (size_t s = slots.size(); s-- > 1;) {
-            if (!slots[s] && slots[s - 1] && !stalled(s - 1))
+        // Bounded like the execute sweep: nothing sits above sweepBound
+        // and once every occupied slot has been seen the rest is empty.
+        int64_t stall_bound = replayCount > 0 ? stallBound() : -1;
+        seen = 0;
+        for (int64_t s = std::min<int64_t>(
+                 static_cast<int64_t>(slots.size()) - 1, sweepBound + 1);
+             s >= 1 && seen < occupiedSlots; --s) {
+            if (slots[s]) {
+                ++seen;
+                continue;
+            }
+            if (slots[s - 1] && s - 1 > stall_bound) {
                 slots[s] = std::move(slots[s - 1]);
+                ++seen;
+            }
         }
-        if (!slots.empty() && stalled(0))
+        if (stall_bound >= 0)
             sim.stats_.stallCycles++;
 
         // 5. Re-inject flushed packets at their elastic buffers.
-        for (auto &[restart, queue] : replayQueues) {
-            if (queue.empty())
-                continue;
-            const size_t target = restart == 0 ? 0 : restart + 1;
-            if (target < slots.size() && !slots[target]) {
-                slots[target] = std::move(queue.front());
-                queue.pop_front();
+        if (replayCount > 0) {
+            for (auto &[restart, queue] : replayQueues) {
+                if (queue.empty())
+                    continue;
+                const size_t target = restart == 0 ? 0 : restart + 1;
+                if (target < slots.size() && !slots[target]) {
+                    slots[target] = std::move(queue.front());
+                    queue.pop_front();
+                    ++occupiedSlots;
+                    --replayCount;
+                    sweepBound = std::max<int64_t>(
+                        sweepBound, static_cast<int64_t>(target));
+                }
             }
+            stall_bound = replayCount > 0 ? stallBound() : -1;
         }
 
         // 6. Inject a fresh packet.
         if (reloadStall > 0) {
             --reloadStall;
             sim.stats_.stallCycles++;
-        } else if (!slots.empty() && !slots[0] && !stalled(0) &&
+        } else if (!slots.empty() && !slots[0] && stall_bound < 0 &&
                    !inputQueue.empty() &&
                    inputQueue.front()->arrivalNs <= now_ns) {
-            std::unique_ptr<Flight> f = std::move(inputQueue.front());
-            inputQueue.pop_front();
-            f->entryCycle = sim.stats_.cycles;
-            slots[0] = std::move(f);
+            injectFront();
         }
     }
 
     bool
     idle() const
     {
-        if (!inputQueue.empty() || !pendingWrites.empty())
-            return false;
-        for (const auto &slot : slots)
-            if (slot)
-                return false;
-        for (const auto &[restart, queue] : replayQueues)
-            if (!queue.empty())
-                return false;
-        return true;
+        return inputQueue.empty() && pendingWrites.empty() &&
+               occupiedSlots == 0 && replayCount == 0;
     }
 
     const Pipeline &pipe;
@@ -610,6 +812,29 @@ struct PipeSim::Impl
     std::deque<std::unique_ptr<Flight>> inputQueue;
     std::map<size_t, std::deque<std::unique_ptr<Flight>>> replayQueues;
     std::vector<PendingWrite> pendingWrites;
+
+    /** Retired flights recycled by acquireFlight (free-list pool). */
+    std::vector<std::unique_ptr<Flight>> flightPool;
+    /** Reused staging for store-to-load forwarding in readValue. */
+    std::vector<const PendingWrite *> fwdScratch;
+    /** Per-stage index into Pipeline::elasticBuffers (-1 = none). */
+    std::vector<int> elasticIndex;
+    /** Per-stage "has ops" flag for the inlined sweep fast path. */
+    std::vector<uint8_t> stageHasOps;
+    /** Per elastic buffer: live 8-byte stack slots to checkpoint. */
+    std::vector<std::vector<uint16_t>> liveSlotsAfter;
+    /** Per stage: indices into pipe.flushBlocks writing at that stage. */
+    std::vector<std::vector<uint16_t>> flushAtStage;
+    /**
+     * Conservative upper bound on the deepest occupied slot. Flights only
+     * move one stage per cycle, so the execute sweep can start at
+     * sweepBound + 1 and skip the empty tail of a sparse pipeline.
+     */
+    int64_t sweepBound = -1;
+    /** Flights currently occupying stage slots. */
+    size_t occupiedSlots = 0;
+    /** Flights parked in replay queues awaiting re-injection. */
+    size_t replayCount = 0;
 
     Flight *cur = nullptr;
     unsigned reloadStall = 0;
@@ -636,20 +861,15 @@ PipeSim::offer(net::Packet pkt)
         stats_.lost++;
         return false;
     }
-    auto flight = std::make_unique<Impl::Flight>();
-    flight->id = pkt.id;
-    flight->seq = impl_->nextSeq++;
-    flight->arrivalNs = pkt.arrivalNs;
-    flight->pristineBytes = pkt.bytes();
-    flight->pkt = std::move(pkt);
-    flight->state = std::make_unique<ExecState>(impl_->pipe.prog,
-                                                &flight->pkt, &impl_->io);
-    flight->state->nowNs = flight->arrivalNs;
-    flight->blockEnabled.assign(impl_->pipe.numBlocks(), false);
-    flight->blockEnabled[impl_->entryBlock] = true;
-    impl_->inputQueue.push_back(std::move(flight));
+    impl_->inputQueue.push_back(impl_->acquireFlight(std::move(pkt)));
     stats_.accepted++;
     return true;
+}
+
+bool
+PipeSim::idle() const
+{
+    return impl_->idle();
 }
 
 void

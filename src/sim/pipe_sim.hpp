@@ -105,6 +105,9 @@ class PipeSim
     /** Advance a single cycle. */
     void step();
 
+    /** True when no packet is queued, in flight, or awaiting replay. */
+    bool idle() const;
+
     const std::vector<PacketOutcome> &outcomes() const { return outcomes_; }
     const PipeSimStats &stats() const { return stats_; }
     const PipeSimConfig &config() const { return config_; }

@@ -129,6 +129,43 @@ TEST(ExecState, CheckpointRestoreRoundTrip)
     EXPECT_EQ(f.state.load(f.state.regs[10], -16, 8).bits, 0xabcdu);
 }
 
+TEST(ExecState, PrunedCheckpointOverloadsAgree)
+{
+    ExecFixture f;
+    f.state.regs[3] = VmValue::scalar(77);
+    f.state.regs[5] = VmValue::scalar(0xdead);
+    f.state.store(f.state.regs[10], -16, 8, VmValue::scalar(0xabcd));
+    f.state.store(f.state.regs[10], -64, 8, VmValue::scalar(0xfeed));
+
+    // Only r3 and slot -16 (slot index (512-16)/8 = 62) are "live".
+    const uint16_t live_regs = 1u << 3;
+    std::bitset<kStackSize> live_stack;
+    for (unsigned b = 0; b < 8; ++b)
+        live_stack[62 * 8 + b] = true;
+    const std::vector<uint16_t> live_slots = {62};
+
+    ExecState::Checkpoint by_bits, by_slots;
+    f.state.checkpointInto(by_bits, live_regs, live_stack);
+    f.state.checkpointInto(by_slots, live_regs, live_slots);
+
+    ASSERT_EQ(by_bits.stackSlots.size(), by_slots.stackSlots.size());
+    ASSERT_EQ(by_slots.stackSlots.size(), 1u);
+    EXPECT_EQ(by_bits.stackSlots[0].slot, by_slots.stackSlots[0].slot);
+    EXPECT_EQ(by_bits.stackSlots[0].bytes, by_slots.stackSlots[0].bytes);
+
+    // The pruned checkpoint restores the live subset...
+    f.state.regs[3] = VmValue::scalar(0);
+    f.state.store(f.state.regs[10], -16, 8, VmValue::scalar(0));
+    f.state.restore(by_slots);
+    EXPECT_EQ(f.state.regs[3].bits, 77u);
+    EXPECT_EQ(f.state.load(f.state.regs[10], -16, 8).bits, 0xabcdu);
+    // ...and nothing else: the dead register was not recorded.
+    EXPECT_EQ(f.state.regs[3].bits, 77u);
+    f.state.regs[5] = VmValue::scalar(1);
+    f.state.restore(by_slots);
+    EXPECT_EQ(f.state.regs[5].bits, 1u);
+}
+
 TEST(ExecState, MapValueBoundsEnforced)
 {
     ExecFixture f;

@@ -37,6 +37,7 @@
 #include "hdl/vhdl.hpp"
 #include "net/headers.hpp"
 #include "net/pcap.hpp"
+#include "sim/multi_pipe_sim.hpp"
 #include "sim/nic_shell.hpp"
 #include "sim/pipe_sim.hpp"
 #include "sim/traffic.hpp"
@@ -210,6 +211,8 @@ cmdSim(int argc, char **argv)
     std::string input;
     std::string pcap_in, pcap_out;
     int packets = 10000;
+    unsigned replicas = 1;
+    bool threaded = false;
     sim::TrafficConfig traffic;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -226,6 +229,10 @@ cmdSim(int argc, char **argv)
         else if (arg == "--len" && i + 1 < argc)
             traffic.packetLen =
                 static_cast<uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--replicas" && i + 1 < argc)
+            replicas = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--threaded")
+            threaded = true;
         else if (!arg.empty() && arg[0] != '-')
             input = arg;
         else
@@ -237,6 +244,42 @@ cmdSim(int argc, char **argv)
     const ebpf::Program prog = loadProgram(input);
     const hdl::Pipeline pipe = hdl::compile(prog);
     printReport(pipe);
+
+    if (replicas > 1) {
+        // Multi-queue mode: N sharded replicas behind the RSS dispatch.
+        ebpf::MapSet maps(prog.maps);
+        sim::MultiPipeSimConfig mconfig;
+        mconfig.numReplicas = replicas;
+        mconfig.threaded = threaded;
+        mconfig.pipe.inputQueueCapacity = 1u << 20;
+        sim::MultiPipeSim multi(pipe, maps, mconfig);
+        if (!pcap_in.empty()) {
+            const std::vector<net::Packet> replay = net::readPcap(pcap_in);
+            packets = static_cast<int>(replay.size());
+            for (const net::Packet &pkt : replay)
+                multi.offer(pkt);
+        } else {
+            sim::TrafficGen gen(traffic);
+            for (int i = 0; i < packets; ++i)
+                multi.offer(gen.next());
+        }
+        multi.drain();
+        const sim::PipeSimStats agg = multi.stats();
+        std::printf("\nsimulated %d packets across %u replicas:\n",
+                    packets, replicas);
+        std::printf("  modeled aggregate %.1f Mpps over %llu cycles\n",
+                    agg.throughputMpps(mconfig.pipe.clockHz),
+                    static_cast<unsigned long long>(agg.cycles));
+        for (size_t r = 0; r < multi.numReplicas(); ++r) {
+            const sim::PipeSimStats &s = multi.replica(r).stats();
+            std::printf("  queue %zu: %llu packets, %llu cycles, "
+                        "%llu flushes\n",
+                        r, static_cast<unsigned long long>(s.completed),
+                        static_cast<unsigned long long>(s.cycles),
+                        static_cast<unsigned long long>(s.flushEvents));
+        }
+        return 0;
+    }
 
     ebpf::MapSet maps(prog.maps);
     sim::PipeSimConfig config;
@@ -307,7 +350,7 @@ usage()
         "  ehdlc verify  <prog>\n"
         "  ehdlc report  <prog>\n"
         "  ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]\n"
-        "                [--pcap-in f] [--pcap-out f]\n"
+        "                [--pcap-in f] [--pcap-out f] [--replicas N] [--threaded]\n"
         "\n"
         "<prog>: textual assembly (.s), raw bytecode (.bin) or an ELF\n"
         "object built with clang -target bpf.\n");
