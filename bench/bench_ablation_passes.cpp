@@ -4,11 +4,18 @@
  * scheduling, instruction fusion, state pruning and the packet frame size
  * individually buy in pipeline depth, latency and area (paper sections
  * 3.2, 3.3, 4.2, 4.3).
+ *
+ * Every variant is compiled through hdl::compileWithReport, so the rows
+ * come straight from the instrumented pass pipeline's CompileReport
+ * (geometry + per-pass wall time) rather than being recomputed from the
+ * Pipeline by hand. Results are mirrored into BENCH_ablation.json.
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "hdl/resources.hpp"
 
@@ -22,57 +29,133 @@ struct Variant
     hdl::PipelineOptions options;
 };
 
+std::vector<Variant>
+variants()
+{
+    std::vector<Variant> out;
+    out.push_back({"full (defaults)", {}});
+    {
+        hdl::PipelineOptions o;
+        o.enableIlp = false;
+        out.push_back({"no ILP", o});
+    }
+    {
+        hdl::PipelineOptions o;
+        o.enableFusion = false;
+        out.push_back({"no fusion", o});
+    }
+    {
+        hdl::PipelineOptions o;
+        o.enablePruning = false;
+        out.push_back({"no pruning", o});
+    }
+    {
+        hdl::PipelineOptions o;
+        o.frameBytes = 32;
+        out.push_back({"32B frames", o});
+    }
+    return out;
+}
+
 }  // namespace
 
 int
 main()
 {
+    const bool quick = std::getenv("EHDL_BENCH_QUICK") != nullptr;
     std::printf("Ablation: compiler passes (toy + the five evaluation "
-                "programs)\n\n");
-
-    std::vector<Variant> variants;
-    variants.push_back({"full (defaults)", {}});
-    {
-        hdl::PipelineOptions o;
-        o.enableIlp = false;
-        variants.push_back({"no ILP", o});
-    }
-    {
-        hdl::PipelineOptions o;
-        o.enableFusion = false;
-        variants.push_back({"no fusion", o});
-    }
-    {
-        hdl::PipelineOptions o;
-        o.enablePruning = false;
-        variants.push_back({"no pruning", o});
-    }
-    {
-        hdl::PipelineOptions o;
-        o.frameBytes = 32;
-        variants.push_back({"32B frames", o});
-    }
+                "programs)%s\n\n",
+                quick ? " [quick]" : "");
 
     std::vector<bench::NamedApp> apps_list = bench::paperApps();
-    apps_list.insert(apps_list.begin(),
-                     {"Toy", apps::makeToyCounter()});
+    apps_list.insert(apps_list.begin(), {"Toy", apps::makeToyCounter()});
+    if (quick)
+        apps_list.resize(2);  // Toy + Firewall keep the smoke run tiny
+
+    bench::Json json;
+    json.set("bench", bench::Json::str("ablation"));
+    json.set("quick", bench::Json::boolean(quick));
+    bench::Json rows = bench::Json::array();
 
     for (const bench::NamedApp &app : apps_list) {
         std::printf("== %s (%zu instructions) ==\n", app.name.c_str(),
                     app.spec.prog.size());
-        TextTable table({"Variant", "Stages", "Latency (ns)", "LUT frac",
-                         "FF frac"});
-        for (const Variant &variant : variants) {
-            const hdl::Pipeline pipe =
-                hdl::compile(app.spec.prog, variant.options);
-            const hdl::ResourceReport report =
-                hdl::estimateResources(pipe, false);
-            table.addRow({variant.name, std::to_string(pipe.numStages()),
-                          fmtF(4.0 * pipe.numStages(), 0),
-                          fmtPct(report.total.luts / hdl::kU50Luts, 2),
-                          fmtPct(report.total.ffs / hdl::kU50Ffs, 2)});
+        TextTable table({"Variant", "Stages", "Pads", "Avg ILP",
+                         "Live regs", "Latency (ns)", "LUT frac", "FF frac",
+                         "Compile (ms)"});
+        for (const Variant &variant : variants()) {
+            const hdl::CompileResult compiled =
+                hdl::compileWithReport(app.spec.prog, variant.options);
+            const hdl::CompileReport &report = compiled.report;
+            if (!compiled.pipeline) {
+                table.addRow({variant.name, "-", "-", "-", "-", "-", "-",
+                              "-", "-"});
+                std::fprintf(stderr, "%s/%s failed to compile:\n%s\n",
+                             app.name.c_str(), variant.name,
+                             report.diags.render().c_str());
+                continue;
+            }
+            const hdl::ResourceReport resources =
+                hdl::estimateResources(*compiled.pipeline, false);
+
+            const unsigned pads = report.framingPads + report.helperPads;
+            table.addRow(
+                {variant.name, std::to_string(report.stages),
+                 std::to_string(pads), fmtF(report.avgIlp, 2),
+                 std::to_string(report.liveRegsTotal),
+                 fmtF(4.0 * static_cast<double>(report.stages), 0),
+                 fmtPct(resources.total.luts / hdl::kU50Luts, 2),
+                 fmtPct(resources.total.ffs / hdl::kU50Ffs, 2),
+                 fmtF(report.totalSeconds * 1e3, 2)});
+
+            bench::Json row;
+            row.set("app", bench::Json::str(app.name));
+            row.set("variant", bench::Json::str(variant.name));
+            row.set("stages", bench::Json::integer(report.stages));
+            row.set("framing_pads",
+                    bench::Json::integer(report.framingPads));
+            row.set("helper_pads",
+                    bench::Json::integer(report.helperPads));
+            row.set("max_ilp", bench::Json::integer(report.maxIlp));
+            row.set("avg_ilp", bench::Json::num(report.avgIlp, 3));
+            row.set("map_ports", bench::Json::integer(report.mapPorts));
+            row.set("war_buffers",
+                    bench::Json::integer(report.warBuffers));
+            row.set("flush_blocks",
+                    bench::Json::integer(report.flushBlocks));
+            row.set("max_flush_depth",
+                    bench::Json::integer(report.maxFlushDepth));
+            row.set("live_regs",
+                    bench::Json::integer(report.liveRegsTotal));
+            row.set("full_regs",
+                    bench::Json::integer(report.fullRegsTotal));
+            row.set("live_stack_bytes",
+                    bench::Json::integer(report.liveStackBytesTotal));
+            row.set("full_stack_bytes",
+                    bench::Json::integer(report.fullStackBytesTotal));
+            row.set("latency_ns",
+                    bench::Json::num(
+                        4.0 * static_cast<double>(report.stages), 1));
+            row.set("lut_frac", bench::Json::num(
+                                    resources.total.luts / hdl::kU50Luts, 4));
+            row.set("ff_frac", bench::Json::num(
+                                   resources.total.ffs / hdl::kU50Ffs, 4));
+            row.set("compile_seconds",
+                    bench::Json::num(report.totalSeconds, 6));
+            bench::Json timings = bench::Json::array();
+            for (const hdl::PassTiming &t : report.passes) {
+                bench::Json entry;
+                entry.set("pass", bench::Json::str(t.name));
+                entry.set("seconds", bench::Json::num(t.seconds, 6));
+                timings.push(std::move(entry));
+            }
+            row.set("passes", std::move(timings));
+            rows.push(std::move(row));
         }
         std::printf("%s\n", table.render().c_str());
     }
+
+    json.set("rows", std::move(rows));
+    bench::writeBenchJson("ablation", json);
     return 0;
 }

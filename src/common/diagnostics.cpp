@@ -1,0 +1,67 @@
+#include "common/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ehdl {
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << pass << "]";
+    if (pc != SIZE_MAX)
+        os << " insn " << pc;
+    if (stage != SIZE_MAX)
+        os << (pc != SIZE_MAX ? "," : "") << " stage " << stage;
+    os << ": " << message;
+    return os.str();
+}
+
+Diagnostic &
+Diagnostics::add(Severity severity, std::string pass, std::string message)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.pass = std::move(pass);
+    d.message = std::move(message);
+    all_.push_back(std::move(d));
+    return all_.back();
+}
+
+void
+Diagnostics::merge(const Diagnostics &other)
+{
+    all_.insert(all_.end(), other.all_.begin(), other.all_.end());
+}
+
+size_t
+Diagnostics::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : all_)
+        n += d.severity == severity ? 1 : 0;
+    return n;
+}
+
+const Diagnostic *
+Diagnostics::firstError() const
+{
+    for (const Diagnostic &d : all_)
+        if (d.severity == Severity::Error)
+            return &d;
+    return nullptr;
+}
+
+std::string
+Diagnostics::render() const
+{
+    std::string out;
+    for (size_t i = 0; i < all_.size(); ++i) {
+        out += all_[i].str();
+        if (i + 1 < all_.size())
+            out += "\n";
+    }
+    return out;
+}
+
+}  // namespace ehdl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structured, recoverable diagnostics. Where fatal() aborts the calling
+ * operation on the first problem, a Diagnostics sink accumulates every
+ * error/warning/note a multi-pass analysis finds — each one tagged with
+ * the pass that produced it and, when known, the instruction (pc) and
+ * hardware pipeline stage it refers to — so callers can report all of
+ * them at once and decide for themselves whether to continue.
+ *
+ * The eHDL compiler driver (hdl/compiler.hpp) threads one sink through
+ * its pass pipeline; compileWithReport() returns it inside the
+ * CompileReport instead of throwing.
+ */
+
+#ifndef EHDL_COMMON_DIAGNOSTICS_HPP_
+#define EHDL_COMMON_DIAGNOSTICS_HPP_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace ehdl {
+
+/** One reported problem, located as precisely as the producer can. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Pass (or subsystem) that raised it, e.g. "verify", "hazards". */
+    std::string pass;
+    std::string message;
+    /** Instruction index the problem refers to (SIZE_MAX = none). */
+    size_t pc = SIZE_MAX;
+    /** Hardware pipeline stage it refers to (SIZE_MAX = none). */
+    size_t stage = SIZE_MAX;
+
+    Diagnostic &
+    atPc(size_t at)
+    {
+        pc = at;
+        return *this;
+    }
+
+    Diagnostic &
+    atStage(size_t at)
+    {
+        stage = at;
+        return *this;
+    }
+
+    /** "error[hazards] stage 7: ..." single-line rendering. */
+    std::string str() const;
+};
+
+/** Accumulating sink. Cheap to copy (plain vector of diagnostics). */
+class Diagnostics
+{
+  public:
+    /** Append a diagnostic; returns it for atPc()/atStage() chaining. */
+    Diagnostic &add(Severity severity, std::string pass,
+                    std::string message);
+
+    template <typename... Args>
+    Diagnostic &
+    error(const std::string &pass, Args &&...args)
+    {
+        return add(Severity::Error, pass,
+                   detail::formatParts(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    Diagnostic &
+    warning(const std::string &pass, Args &&...args)
+    {
+        return add(Severity::Warning, pass,
+                   detail::formatParts(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    Diagnostic &
+    note(const std::string &pass, Args &&...args)
+    {
+        return add(Severity::Note, pass,
+                   detail::formatParts(std::forward<Args>(args)...));
+    }
+
+    /** Append every diagnostic of @p other. */
+    void merge(const Diagnostics &other);
+
+    bool hasErrors() const { return errorCount() > 0; }
+    size_t errorCount() const { return count(Severity::Error); }
+    size_t warningCount() const { return count(Severity::Warning); }
+    size_t count(Severity severity) const;
+
+    bool empty() const { return all_.empty(); }
+    size_t size() const { return all_.size(); }
+    const std::vector<Diagnostic> &all() const { return all_; }
+
+    /** First error, or nullptr when none. */
+    const Diagnostic *firstError() const;
+
+    /** One line per diagnostic (Diagnostic::str joined with '\n'). */
+    std::string render() const;
+
+    void clear() { all_.clear(); }
+
+  private:
+    std::vector<Diagnostic> all_;
+};
+
+}  // namespace ehdl
+
+#endif  // EHDL_COMMON_DIAGNOSTICS_HPP_

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * A deliberately tiny ordered-object JSON value — no external dependency,
+ * insertion order preserved so diffs are stable. Shared by the benchmark
+ * writers (bench/bench_json.hpp) and the compiler's CompileReport
+ * serialization (hdl/report.hpp).
+ */
+
+#ifndef EHDL_COMMON_JSON_HPP_
+#define EHDL_COMMON_JSON_HPP_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ehdl {
+
+/** An ordered JSON value (object keys keep insertion order). */
+class Json
+{
+  public:
+    Json() : kind_(Kind::Object) {}
+
+    static Json
+    object()
+    {
+        return Json();
+    }
+
+    static Json
+    array()
+    {
+        Json j;
+        j.kind_ = Kind::Array;
+        return j;
+    }
+
+    static Json
+    str(std::string s)
+    {
+        Json j;
+        j.kind_ = Kind::String;
+        j.str_ = std::move(s);
+        return j;
+    }
+
+    static Json
+    num(double v, int precision = 3)
+    {
+        Json j;
+        j.kind_ = Kind::Number;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+        j.str_ = buf;
+        return j;
+    }
+
+    static Json
+    integer(uint64_t v)
+    {
+        Json j;
+        j.kind_ = Kind::Number;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+        j.str_ = buf;
+        return j;
+    }
+
+    static Json
+    boolean(bool v)
+    {
+        Json j;
+        j.kind_ = Kind::Bool;
+        j.str_ = v ? "true" : "false";
+        return j;
+    }
+
+    /** Set an object member (insertion-ordered; replaces an equal key). */
+    Json &
+    set(const std::string &key, Json value)
+    {
+        for (auto &member : members_)
+            if (member.first == key) {
+                member.second = std::move(value);
+                return *this;
+            }
+        members_.emplace_back(key, std::move(value));
+        return *this;
+    }
+
+    /** Append an array element. */
+    Json &
+    push(Json value)
+    {
+        members_.emplace_back(std::string(), std::move(value));
+        return *this;
+    }
+
+    std::string
+    dump(int indent = 0) const
+    {
+        const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+        const std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+        switch (kind_) {
+        case Kind::String:
+            return quote(str_);
+        case Kind::Number:
+        case Kind::Bool:
+            return str_;
+        case Kind::Array: {
+            if (members_.empty())
+                return "[]";
+            std::string out = "[\n";
+            for (size_t i = 0; i < members_.size(); ++i) {
+                out += inner + members_[i].second.dump(indent + 1);
+                out += (i + 1 < members_.size()) ? ",\n" : "\n";
+            }
+            return out + pad + "]";
+        }
+        case Kind::Object: {
+            if (members_.empty())
+                return "{}";
+            std::string out = "{\n";
+            for (size_t i = 0; i < members_.size(); ++i) {
+                out += inner + quote(members_[i].first) + ": " +
+                       members_[i].second.dump(indent + 1);
+                out += (i + 1 < members_.size()) ? ",\n" : "\n";
+            }
+            return out + pad + "}";
+        }
+        }
+        return "null";
+    }
+
+  private:
+    enum class Kind : uint8_t { Object, Array, String, Number, Bool };
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (const char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out + "\"";
+    }
+
+    Kind kind_;
+    std::string str_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ehdl
+
+#endif  // EHDL_COMMON_JSON_HPP_

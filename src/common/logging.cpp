@@ -16,4 +16,15 @@ inform(const std::string &msg)
     std::cerr << "info: " << msg << "\n";
 }
 
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
 }  // namespace ehdl

@@ -8,6 +8,7 @@
 #ifndef EHDL_COMMON_LOGGING_HPP_
 #define EHDL_COMMON_LOGGING_HPP_
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -62,6 +63,16 @@ void warn(const std::string &msg);
 
 /** Print an informational message to stderr. */
 void inform(const std::string &msg);
+
+/**
+ * Message severity shared by the streaming loggers above and the
+ * structured Diagnostics sink (common/diagnostics.hpp). Errors make the
+ * producing operation fail; warnings and notes never do.
+ */
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/** Lower-case severity name ("note", "warning", "error"). */
+const char *severityName(Severity severity);
 
 }  // namespace ehdl
 

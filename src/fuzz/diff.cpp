@@ -151,18 +151,22 @@ runCase(const FuzzCase &c, const RunOptions &opts)
             // The baseline cannot build this program (same front end as
             // the pipeline compiler): fail-closed rejection.
             result.rejectReason = e.what();
+            result.rejectPass = "hxdp-frontend";
             return result;
         }
     }
 
     // Backend 3: the compiled pipeline under cycle-level simulation.
-    hdl::Pipeline pipe;
-    try {
-        pipe = hdl::compile(c.prog, c.options);
-    } catch (const FatalError &e) {
-        result.rejectReason = e.what();
+    // Rejections come back as structured diagnostics (never process
+    // death): the pass that raised the first error classifies the case.
+    hdl::CompileResult compiled = hdl::compileWithReport(c.prog, c.options);
+    if (!compiled.pipeline) {
+        result.rejectReason = compiled.report.diags.render();
+        const Diagnostic *first = compiled.report.diags.firstError();
+        result.rejectPass = first != nullptr ? first->pass : "unknown";
         return result;  // fail-closed rejection, not a divergence
     }
+    const hdl::Pipeline &pipe = *compiled.pipeline;
     result.compiled = true;
     result.numStages = pipe.numStages();
 

@@ -40,10 +40,18 @@ struct Divergence
 /** Outcome of running one case through the executor. */
 struct CaseResult
 {
-    /** hdl::compile accepted the program. */
+    /** hdl::compileWithReport accepted the program. */
     bool compiled = false;
-    /** FatalError message when !compiled. */
+    /** Rendered diagnostics when !compiled. */
     std::string rejectReason;
+    /**
+     * Pass that rejected the program ("" when compiled). Structured
+     * classification straight from the compiler's Diagnostics — the
+     * fuzzer aggregates rejection counts per pass with it. The special
+     * value "hxdp-frontend" marks rejections raised while building the
+     * hXDP baseline before the pipeline compiler ever ran.
+     */
+    std::string rejectPass;
 
     std::optional<Divergence> divergence;
 

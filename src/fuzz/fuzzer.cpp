@@ -73,10 +73,13 @@ runFuzz(const FuzzOptions &opts, std::ostream *log)
         ++stats.iterations;
         stats.packetsRun += c.packets.size();
         stats.vmInsns += r.vmInsns;
-        if (r.compiled)
+        if (r.compiled) {
             ++stats.compiled;
-        else if (!r.diverged())
+        } else if (!r.diverged()) {
             ++stats.rejected;
+            ++stats.rejectedByPass[r.rejectPass.empty() ? "unknown"
+                                                        : r.rejectPass];
+        }
 
         if (log && stats.iterations % 500 == 0) {
             *log << "[fuzz] " << stats.iterations << "/" << opts.iterations

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,10 +65,18 @@ struct FuzzStats
 {
     uint64_t iterations = 0;
     uint64_t compiled = 0;
-    uint64_t rejected = 0;   ///< fail-closed hdl::compile rejections
+    uint64_t rejected = 0;   ///< fail-closed compiler rejections
     uint64_t divergences = 0;
     uint64_t packetsRun = 0;
     uint64_t vmInsns = 0;
+    /**
+     * Rejections classified by the compiler pass whose diagnostics
+     * rejected the program (e.g. "verify", "hazards"); generator quality
+     * is judged by this breakdown — a healthy generator should be
+     * rejected almost exclusively by the hazard planner, not the
+     * verifier.
+     */
+    std::map<std::string, uint64_t> rejectedByPass;
     std::vector<DivergenceRecord> records;
 };
 

@@ -1,586 +1,73 @@
 #include "hdl/compiler.hpp"
 
-#include <algorithm>
-#include <map>
-#include <sstream>
+#include <chrono>
+#include <utility>
 
-#include "analysis/liveness.hpp"
-#include "analysis/unroll.hpp"
 #include "common/logging.hpp"
-#include "ebpf/helpers.hpp"
-#include "ebpf/verifier.hpp"
 
 namespace ehdl::hdl {
 
-using analysis::BlockSchedule;
-using analysis::Cfg;
-using analysis::Row;
-using ebpf::Insn;
-using ebpf::InsnLabel;
-using ebpf::MemRegion;
-using ebpf::Program;
-
-namespace {
-
-/** Classify one instruction into a hardware primitive. */
-StageOp
-classifyInsn(const Program &prog, size_t pc, const ebpf::AbsIntResult &ai,
-             const Cfg &cfg)
+CompileResult
+compileWithReport(const ebpf::Program &prog, const PipelineOptions &options,
+                  const PassObserver &observer)
 {
-    const Insn &insn = prog.insns[pc];
-    const InsnLabel &label = ai.labels[pc];
-    StageOp op;
-    op.pcs.push_back(pc);
-    op.blockId = cfg.blockOf(pc);
+    using Clock = std::chrono::steady_clock;
 
-    if (insn.isExit()) {
-        op.kind = OpKind::Exit;
-        return op;
-    }
-    if (insn.isUncondJmp()) {
-        op.kind = OpKind::Jump;
-        op.takenBlock = cfg.blockOf(prog.jumpTarget(pc));
-        return op;
-    }
-    if (insn.isCondJmp()) {
-        op.kind = OpKind::Branch;
-        op.takenBlock = cfg.blockOf(prog.jumpTarget(pc));
-        op.fallBlock = cfg.blockOf(pc + 1);
-        return op;
-    }
-    if (insn.isCall()) {
-        const ebpf::CallSite &site = ai.calls[pc];
-        op.helperId = site.helperId;
-        op.keyConst = site.keyConst;
-        op.mapId = site.mapId;
-        switch (site.helperId) {
-          case ebpf::kHelperMapLookup: op.kind = OpKind::MapLookup; break;
-          case ebpf::kHelperMapUpdate: op.kind = OpKind::MapUpdate; break;
-          case ebpf::kHelperMapDelete: op.kind = OpKind::MapDelete; break;
-          default: op.kind = OpKind::Helper; break;
+    CompileResult result;
+    result.report.program = prog.name;
+
+    CompileContext ctx;
+    ctx.options = options;
+    ctx.pipe.prog = prog;
+    ctx.pipe.options = options;
+
+    const Clock::time_point start = Clock::now();
+    for (const Pass &pass : compilerPasses()) {
+        const Clock::time_point t0 = Clock::now();
+        bool keep_going;
+        try {
+            keep_going = pass.run(ctx);
+        } catch (const FatalError &e) {
+            // Safety net: no fatal() may escape the pass pipeline. A
+            // pass that still throws gets its message recorded like any
+            // other rejection.
+            ctx.diags.error(pass.name, e.what());
+            keep_going = false;
         }
-        return op;
-    }
-    if (insn.isAlu()) {
-        op.kind = OpKind::Alu;
-        return op;
-    }
-    if (insn.isLddw()) {
-        op.kind = OpKind::LoadConst;
-        return op;
-    }
-    if (insn.isAtomic()) {
-        if (label.region == MemRegion::Map) {
-            op.kind = OpKind::MapAtomic;
-            op.mapId = label.mapId;
-        } else if (label.region == MemRegion::Stack) {
-            op.kind = OpKind::StoreStack;
-        } else {
-            fatal("insn ", pc, ": atomic on unlabeled memory");
-        }
-        return op;
-    }
-    if (insn.isLoad()) {
-        switch (label.region) {
-          case MemRegion::Ctx: op.kind = OpKind::CtxLoad; break;
-          case MemRegion::Packet: op.kind = OpKind::LoadPacket; break;
-          case MemRegion::Stack: op.kind = OpKind::LoadStack; break;
-          case MemRegion::Map:
-            op.kind = OpKind::MapLoad;
-            op.mapId = label.mapId;
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        result.report.passes.push_back({pass.name, seconds});
+
+        if (observer)
+            observer(pass.name, ctx);
+        if (!checkInvariants(pass, ctx))
+            keep_going = false;
+        if (!keep_going)
             break;
-          default:
-            fatal("insn ", pc,
-                  ": load from unlabeled memory region; eHDL requires "
-                  "statically classifiable accesses");
-        }
-        return op;
     }
-    if (insn.isStore()) {
-        switch (label.region) {
-          case MemRegion::Packet: op.kind = OpKind::StorePacket; break;
-          case MemRegion::Stack: op.kind = OpKind::StoreStack; break;
-          case MemRegion::Map:
-            op.kind = OpKind::MapStore;
-            op.mapId = label.mapId;
-            break;
-          default:
-            fatal("insn ", pc, ": store to unlabeled memory region");
-        }
-        return op;
+    result.report.totalSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    result.report.loopsUnrolled = ctx.loopsUnrolled;
+    result.report.diags = ctx.diags;
+    result.report.ok = !ctx.diags.hasErrors();
+    if (result.report.ok) {
+        result.report.captureGeometry(ctx.pipe);
+        result.pipeline = std::move(ctx.pipe);
     }
-    fatal("insn ", pc, ": unsupported instruction");
+    return result;
 }
-
-/** Fill in the static packet-frame range an op touches. */
-void
-annotateFrames(StageOp &op, const Program &prog,
-               const ebpf::AbsIntResult &ai, const PipelineOptions &opts)
-{
-    if (op.kind != OpKind::LoadPacket && op.kind != OpKind::StorePacket)
-        return;
-    const size_t pc = op.pcs.front();
-    const InsnLabel &label = ai.labels[pc];
-    const unsigned fbytes = opts.frameBytes;
-    if (label.offKnown && label.staticOff >= 0) {
-        const int64_t first = label.staticOff;
-        const int64_t last = label.staticOff +
-                             ebpf::memSizeBytes(prog.insns[pc].memSize()) - 1;
-        op.minFrame = static_cast<int32_t>(first / fbytes);
-        op.maxFrame = static_cast<int32_t>(last / fbytes);
-    } else {
-        // Dynamic offset: assume the configured parse depth (section 4.2
-        // notes real functions rarely reach deep into the payload).
-        op.minFrame = 0;
-        op.maxFrame = static_cast<int32_t>(
-            (opts.assumedParseDepthBytes - 1) / fbytes);
-    }
-}
-
-/** Number of pipeline stages a primitive occupies (helper latency). */
-unsigned
-opStages(const StageOp &op)
-{
-    switch (op.kind) {
-      case OpKind::MapLookup:
-      case OpKind::MapUpdate:
-      case OpKind::MapDelete:
-      case OpKind::Helper: {
-        const ebpf::HelperInfo *info = ebpf::helperInfo(op.helperId);
-        return info != nullptr ? info->hwStages : 1;
-      }
-      default:
-        return 1;
-    }
-}
-
-/** Append the map port(s) implied by @p op at final stage @p stage. */
-void
-recordMapPort(Pipeline &pipe, const StageOp &op, size_t stage)
-{
-    MapPort port;
-    port.mapId = op.mapId;
-    port.stage = stage;
-    port.pc = op.pcs.empty() ? SIZE_MAX : op.pcs.front();
-    port.keyConst = op.keyConst;
-    switch (op.kind) {
-      case OpKind::MapLookup:
-        port.readsIndex = true;
-        break;
-      case OpKind::MapUpdate:
-        port.writesIndex = true;
-        port.writesValue = true;
-        break;
-      case OpKind::MapDelete:
-        port.writesIndex = true;
-        break;
-      case OpKind::MapLoad:
-        port.readsValue = true;
-        break;
-      case OpKind::MapStore:
-        port.writesValue = true;
-        break;
-      case OpKind::MapAtomic:
-        port.readsValue = true;
-        port.writesValue = true;
-        port.isAtomic = true;
-        break;
-      default:
-        return;
-    }
-    pipe.mapPorts.push_back(port);
-}
-
-/** Plan WAR buffers, flush blocks and elastic buffers (section 4.1). */
-void
-planHazards(Pipeline &pipe)
-{
-    std::map<uint32_t, std::vector<const MapPort *>> by_map;
-    for (const MapPort &port : pipe.mapPorts)
-        by_map[port.mapId].push_back(&port);
-
-    auto hazard_pair = [](const MapPort &read, const MapPort &write) {
-        if (write.isAtomic && read.isAtomic)
-            return false;  // atomic blocks serialize internally
-        const bool index_level = read.readsIndex && write.writesIndex;
-        const bool value_level = read.readsValue && write.writesValue;
-        return index_level || value_level;
-    };
-
-    // Pass 1: WAR delay buffers for every map (flush-block planning below
-    // needs the full buffer set to place replay barriers across maps).
-    for (auto &[map_id, ports] : by_map) {
-        // Deepest (non-atomic) write stage of this map: a write issued
-        // earlier is speculative until its packet clears this stage,
-        // because a flush raised by the later write must be able to
-        // discard it (otherwise the replay re-reads self-polluted state).
-        size_t deepest_write = 0;
-        for (const MapPort *port : ports)
-            if (port->anyWrite() && !port->isAtomic)
-                deepest_write = std::max(deepest_write, port->stage);
-
-        // WAR delay buffers double as the speculation parking: the write
-        // commits when its packet reaches the commit stage, which is the
-        // deepest of (a) any later read of the same data (figure 6) and
-        // (b) the map's deepest write stage (flush discard window).
-        for (const MapPort *write : ports) {
-            if (!write->anyWrite())
-                continue;
-            size_t commit = write->stage;
-            size_t last_read = 0;
-            for (const MapPort *read : ports) {
-                if ((read->readsIndex || read->readsValue) &&
-                    read->stage > write->stage &&
-                    hazard_pair(*read, *write)) {
-                    commit = std::max(commit, read->stage);
-                    last_read = std::max(last_read, read->stage);
-                }
-            }
-            if (!write->isAtomic)
-                commit = std::max(commit, deepest_write);
-            if (commit == write->stage)
-                continue;
-            if (write->writesIndex || write->isAtomic) {
-                // Parking index mutations or atomics would need
-                // speculative map versioning; none of the paper's
-                // workloads require it, so eHDL rejects the pattern
-                // instead of miscompiling it.
-                fatal("map ", map_id, ": index/atomic write at stage ",
-                      write->stage,
-                      " would need speculative buffering (later access at "
-                      "stage ", std::max(commit, last_read),
-                      "); unsupported access pattern");
-            }
-            WarBufferPlan buf;
-            buf.mapId = map_id;
-            buf.writeStage = write->stage;
-            buf.lastReadStage = commit;
-            buf.depth = static_cast<unsigned>(commit - write->stage);
-            pipe.warBuffers.push_back(buf);
-        }
-    }
-
-    // Path co-occurrence over the CFG DAG: two predicated blocks can both
-    // execute for one packet iff one reaches the other (mutually
-    // exclusive branch arms never co-occur, so a side effect on one arm
-    // cannot pollute a replay that only runs the other).
-    const auto &cfg_blocks = pipe.cfg.blocks();
-    const size_t nblocks = cfg_blocks.size();
-    std::vector<std::vector<uint8_t>> reach(
-        nblocks, std::vector<uint8_t>(nblocks, 0));
-    const std::vector<size_t> &topo = pipe.cfg.topoOrder();
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-        const size_t b = *it;
-        reach[b][b] = 1;
-        for (size_t s : cfg_blocks[b].succs)
-            for (size_t t = 0; t < nblocks; ++t)
-                reach[b][t] |= reach[s][t];
-    }
-    auto co_occur = [&](size_t pc_a, size_t pc_b) {
-        const size_t a = pipe.cfg.blockOf(pc_a);
-        const size_t b = pipe.cfg.blockOf(pc_b);
-        return reach[a][b] != 0 || reach[b][a] != 0;
-    };
-
-    for (auto &[map_id, ports] : by_map) {
-        // RAW: a read at stage r < w returns stale data when an older
-        // packet has not yet written at w -> flush evaluation block per
-        // write (appendix A.1.3 requires one per map write instruction).
-        for (const MapPort *write : ports) {
-            if (!write->anyWrite() || write->isAtomic)
-                continue;
-            size_t first_read = SIZE_MAX;
-            size_t last_read = 0;
-            for (const MapPort *read : ports) {
-                if ((read->readsIndex || read->readsValue) &&
-                    read->stage < write->stage &&
-                    hazard_pair(*read, *write)) {
-                    first_read = std::min(first_read, read->stage);
-                    last_read = std::max(last_read, read->stage);
-                }
-            }
-            if (first_read == SIZE_MAX)
-                continue;
-            (void)last_read;
-            FlushBlockPlan fb;
-            fb.mapId = map_id;
-            fb.writeStage = write->stage;
-            fb.firstReadStage = first_read;
-            // Elastic-buffer restart: after the deepest replay barrier
-            // strictly before this write (appendix A.2). Barriers are
-            // stages whose side effects a replayed packet must not re-run
-            // or re-observe:
-            //   (a) atomic read-modify-writes — replaying double-counts;
-            //   (b) map writes a flushed packet may already have made
-            //       architecturally visible (index writes and direct
-            //       value stores at their own stage, parked stores at
-            //       their commit stage) when an earlier read of the same
-            //       map is replayed: the packet would observe its own
-            //       write, which sequentially happens after that read.
-            // Writes still parked at flush time simply replay (they are
-            // un-committed and re-executed), as do visible writes nobody
-            // upstream reads back: re-execution recomputes the same
-            // sequential outcome.
-            fb.restartStage = 0;
-            for (const MapPort &eff : pipe.mapPorts) {
-                if (eff.stage >= write->stage)
-                    continue;
-                if (eff.isAtomic) {
-                    fb.restartStage = std::max(fb.restartStage, eff.stage);
-                    continue;
-                }
-                if (!eff.anyWrite())
-                    continue;
-                // Stage at which this write lands in map memory: parked
-                // stores surface at their commit stage, everything else
-                // at its own stage (index writes are never parked).
-                size_t visible = eff.stage;
-                for (const WarBufferPlan &buf : pipe.warBuffers)
-                    if (buf.mapId == eff.mapId &&
-                        buf.writeStage == eff.stage)
-                        visible = std::max(visible, buf.lastReadStage);
-                if (visible >= write->stage)
-                    continue;
-                // A packet flushed by this block read the block's map
-                // somewhere in the window; only a path doing that can
-                // carry the side effect into a replay.
-                bool flushable = false;
-                for (const MapPort &rf : pipe.mapPorts) {
-                    if (rf.mapId == map_id &&
-                        (rf.readsIndex || rf.readsValue) &&
-                        rf.stage < write->stage &&
-                        co_occur(rf.pc, eff.pc)) {
-                        flushable = true;
-                        break;
-                    }
-                }
-                if (!flushable)
-                    continue;
-                // ...and the pollution is observable only through an
-                // earlier read of the written map that the replay
-                // re-executes (index mutations show through lookups too,
-                // value stores only through value reads).
-                for (const MapPort &rb : pipe.mapPorts) {
-                    const bool observes =
-                        eff.writesIndex ? (rb.readsIndex || rb.readsValue)
-                                        : rb.readsValue;
-                    if (rb.mapId == eff.mapId && observes &&
-                        rb.stage < eff.stage && co_occur(rb.pc, eff.pc)) {
-                        fb.restartStage =
-                            std::max(fb.restartStage, visible);
-                        break;
-                    }
-                }
-            }
-            if (fb.restartStage >= fb.firstReadStage) {
-                fatal("map ", map_id, ": a non-replayable side effect "
-                      "(atomic, map insert/delete or committed store) at "
-                      "stage ", fb.restartStage,
-                      " sits between a protected read (stage ",
-                      fb.firstReadStage, ") and a write (stage ",
-                      fb.writeStage,
-                      "); flush recovery cannot replay it");
-            }
-            pipe.flushBlocks.push_back(fb);
-            if (fb.restartStage > 0)
-                pipe.elasticBuffers.push_back(fb.restartStage);
-        }
-    }
-
-    std::sort(pipe.elasticBuffers.begin(), pipe.elasticBuffers.end());
-    pipe.elasticBuffers.erase(
-        std::unique(pipe.elasticBuffers.begin(), pipe.elasticBuffers.end()),
-        pipe.elasticBuffers.end());
-
-    // Safety: when a flush block can discard another map's parked write
-    // (the writer sits inside its window), every reader that may have
-    // consumed the parked value by forwarding must also be in the window,
-    // i.e. the block's restart point must precede those reads.
-    for (const FlushBlockPlan &fb : pipe.flushBlocks) {
-        for (const WarBufferPlan &buf : pipe.warBuffers) {
-            const bool writer_in_window =
-                buf.writeStage < fb.writeStage &&
-                buf.writeStage + buf.depth > fb.restartStage;
-            if (!writer_in_window)
-                continue;
-            for (const MapPort &port : pipe.mapPorts) {
-                if (port.mapId == buf.mapId && port.readsValue &&
-                    port.stage < buf.writeStage &&
-                    port.stage <= fb.restartStage) {
-                    fatal("flush block at stage ", fb.writeStage,
-                          " (restart ", fb.restartStage,
-                          ") cannot revoke values forwarded from the "
-                          "parked write at stage ", buf.writeStage,
-                          " to the read at stage ", port.stage,
-                          "; unsupported access pattern");
-                }
-            }
-        }
-    }
-}
-
-}  // namespace
 
 Pipeline
-compile(const Program &input, const PipelineOptions &options)
+compile(const ebpf::Program &prog, const PipelineOptions &options)
 {
-    // Step 0: bounded-loop unrolling to obtain a DAG.
-    Program prog = input;
-    {
-        ebpf::VerifyResult probe = ebpf::verify(prog, true);
-        if (probe.hasBackwardJumps)
-            prog = analysis::unrollLoops(prog, options.maxLoopTrips).prog;
+    CompileResult result = compileWithReport(prog, options);
+    if (!result.pipeline) {
+        fatal("program '", prog.name, "' failed to compile (",
+              result.report.diags.errorCount(), " errors):\n",
+              result.report.diags.render());
     }
-
-    // Step 1: verification + memory labeling.
-    ebpf::VerifyResult vr = ebpf::verify(prog);
-    if (!vr.ok) {
-        std::ostringstream os;
-        os << "program '" << prog.name << "' failed verification:";
-        for (const std::string &e : vr.errors)
-            os << "\n  " << e;
-        fatal(os.str());
-    }
-
-    Pipeline pipe;
-    pipe.prog = std::move(prog);
-    pipe.options = options;
-    pipe.analysis = std::move(vr.analysis);
-    pipe.cfg = Cfg::build(pipe.prog);
-
-    // Step 2: parallelization.
-    analysis::ScheduleOptions sopts;
-    sopts.enableIlp = options.enableIlp;
-    sopts.enableFusion = options.enableFusion;
-    pipe.schedule = analysis::buildSchedule(pipe.prog, pipe.cfg,
-                                            pipe.analysis, sopts);
-    const analysis::Liveness live = analysis::computeLiveness(
-        pipe.prog, pipe.cfg, pipe.schedule, pipe.analysis);
-
-    // Step 3: primitive mapping, block by block in pipeline order.
-    struct BodyStage
-    {
-        Stage stage;
-        size_t blockIdx;  // index into schedule.blocks
-        size_t rowIdx;
-    };
-    std::vector<BodyStage> body;
-
-    for (size_t bi = 0; bi < pipe.schedule.blocks.size(); ++bi) {
-        const BlockSchedule &bs = pipe.schedule.blocks[bi];
-        const analysis::BasicBlock &bb = pipe.cfg.blocks()[bs.blockId];
-        for (size_t ri = 0; ri < bs.rows.size(); ++ri) {
-            const Row &row = bs.rows[ri];
-            BodyStage entry;
-            entry.blockIdx = bi;
-            entry.rowIdx = ri;
-            entry.stage.blockId = bs.blockId;
-
-            unsigned extra_stages = 0;
-            for (size_t k = 0; k < row.ops.size(); ++k) {
-                const size_t pc = row.ops[k];
-                if (pipe.schedule.fusion.isFollower(pc))
-                    continue;  // folded into the leader's StageOp
-                StageOp op = classifyInsn(pipe.prog, pc, pipe.analysis,
-                                          pipe.cfg);
-                auto fol = pipe.schedule.fusion.followerOf.find(pc);
-                if (fol != pipe.schedule.fusion.followerOf.end()) {
-                    // Leader+follower share this stage.
-                    op.pcs.push_back(fol->second);
-                }
-                annotateFrames(op, pipe.prog, pipe.analysis, options);
-                extra_stages = std::max(extra_stages, opStages(op) - 1);
-                entry.stage.ops.push_back(std::move(op));
-            }
-
-            // Implicit fallthrough at the end of a block whose terminator
-            // is not a jump/exit: propagate the enable signal.
-            const Insn &term = pipe.prog.insns[bb.last];
-            const bool needs_continue =
-                !term.isExit() && !term.isUncondJmp() && !term.isCondJmp();
-            if (ri + 1 == bs.rows.size() && needs_continue) {
-                StageOp cont;
-                cont.kind = OpKind::Jump;
-                cont.blockId = bs.blockId;
-                cont.takenBlock = pipe.cfg.blockOf(bb.last + 1);
-                entry.stage.ops.push_back(std::move(cont));
-            }
-
-            body.push_back(std::move(entry));
-            // Helper blocks longer than one stage extend the pipeline
-            // in-line (the paper's "eHDL might add stages to implement
-            // helper functions").
-            for (unsigned e = 0; e < extra_stages; ++e) {
-                BodyStage pad;
-                pad.blockIdx = bi;
-                pad.rowIdx = ri;
-                pad.stage.blockId = bs.blockId;
-                pad.stage.isPad = true;
-                body.push_back(std::move(pad));
-            }
-        }
-    }
-
-    // Step 4: packet framing — NOP padding so every statically known frame
-    // access finds its frame already inside the pipeline (section 4.2).
-    unsigned pad = 0;
-    for (size_t s = 0; s < body.size(); ++s)
-        for (const StageOp &op : body[s].stage.ops)
-            if (op.maxFrame > static_cast<int32_t>(s) + static_cast<int32_t>(pad))
-                pad = static_cast<unsigned>(op.maxFrame - s);
-    pipe.padStages = pad;
-
-    for (unsigned p = 0; p < pad; ++p) {
-        Stage nop;
-        nop.isPad = true;
-        pipe.stages.push_back(std::move(nop));
-    }
-    for (BodyStage &entry : body)
-        pipe.stages.push_back(std::move(entry.stage));
-
-    // Step 5: state pruning (section 4.3).
-    for (size_t s = 0; s < pipe.stages.size(); ++s) {
-        Stage &stage = pipe.stages[s];
-        if (!options.enablePruning) {
-            stage.liveRegs = 0x7ff;
-            stage.liveStack.set();
-        }
-    }
-    if (options.enablePruning) {
-        // Body stages take their row's live-in set.
-        size_t idx = pad;
-        for (const BodyStage &entry : body) {
-            Stage &stage = pipe.stages[idx++];
-            const auto &rows = live.blockRows[entry.blockIdx];
-            if (entry.rowIdx < rows.size()) {
-                stage.liveRegs = rows[entry.rowIdx].regsIn;
-                stage.liveStack = rows[entry.rowIdx].stackIn;
-            }
-        }
-        // Padding stages carry the state the next real stage needs.
-        for (size_t s = pipe.stages.size(); s-- > 0;) {
-            if (!pipe.stages[s].isPad)
-                continue;
-            if (s + 1 < pipe.stages.size()) {
-                pipe.stages[s].liveRegs = pipe.stages[s + 1].liveRegs;
-                pipe.stages[s].liveStack = pipe.stages[s + 1].liveStack;
-            }
-        }
-    }
-
-    // Step 6: map ports + hazard machinery (section 4.1).
-    for (size_t s = 0; s < pipe.stages.size(); ++s)
-        for (const StageOp &op : pipe.stages[s].ops)
-            recordMapPort(pipe, op, s);
-    planHazards(pipe);
-
-    // Fault injection for the differential fuzzer (see PipelineOptions).
-    if (options.unsafeDisableWarBuffers)
-        pipe.warBuffers.clear();
-    if (options.unsafeDisableFlushBlocks)
-        pipe.flushBlocks.clear();
-
-    return pipe;
+    return std::move(*result.pipeline);
 }
 
 }  // namespace ehdl::hdl

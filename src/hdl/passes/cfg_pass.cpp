@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Pass "cfg": basic-block construction (paper section 3.1). Produces the
+ * whole-program CFG and its topological order — the order in which later
+ * passes lay blocks into the pipeline. Malformed control flow is reported
+ * as a diagnostic rather than aborting the compiler.
+ */
+
+#include "analysis/cfg.hpp"
+
+#include "common/logging.hpp"
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runCfg(CompileContext &ctx)
+{
+    try {
+        ctx.pipe.cfg = analysis::Cfg::build(ctx.pipe.prog);
+    } catch (const FatalError &e) {
+        ctx.diags.error("cfg", e.what());
+        return false;
+    }
+    ctx.haveCfg = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Pass "framing": packet framing (paper section 4.2). Every statically
+ * known frame access must find its frame already inside the pipeline, so
+ * the pass prepends NOP padding stages until the deepest frame index any
+ * op touches is covered, then materializes the final stage vector from
+ * the primitive-mapped body.
+ */
+
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runFraming(CompileContext &ctx)
+{
+    Pipeline &pipe = ctx.pipe;
+
+    unsigned pad = 0;
+    for (size_t s = 0; s < ctx.body.size(); ++s)
+        for (const StageOp &op : ctx.body[s].stage.ops)
+            if (op.maxFrame >
+                static_cast<int32_t>(s) + static_cast<int32_t>(pad))
+                pad = static_cast<unsigned>(op.maxFrame - s);
+    pipe.padStages = pad;
+
+    for (unsigned p = 0; p < pad; ++p) {
+        Stage nop;
+        nop.isPad = true;
+        pipe.stages.push_back(std::move(nop));
+    }
+    for (const BodyStage &entry : ctx.body)
+        pipe.stages.push_back(entry.stage);
+
+    ctx.haveStages = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Pass "hazards": map ports and the consistency machinery of paper
+ * section 4.1 / appendix A.2. Records every stage<->eHDLmap connection,
+ * then plans WAR/speculation delay buffers, RAW flush-evaluation blocks
+ * and elastic-buffer restart points so the parallel pipeline preserves
+ * the program's sequential map semantics.
+ *
+ * Access patterns the hardware cannot make sequentially consistent
+ * (index mutations needing speculative buffering, atomics inside hazard
+ * windows, forwarding a flush could not revoke) are rejected — one
+ * diagnostic per offending pattern, each carrying the stages involved,
+ * instead of a single fatal() on the first.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+namespace {
+
+/** Append the map port(s) implied by @p op at final stage @p stage. */
+void
+recordMapPort(Pipeline &pipe, const StageOp &op, size_t stage)
+{
+    MapPort port;
+    port.mapId = op.mapId;
+    port.stage = stage;
+    port.pc = op.pcs.empty() ? SIZE_MAX : op.pcs.front();
+    port.keyConst = op.keyConst;
+    switch (op.kind) {
+      case OpKind::MapLookup:
+        port.readsIndex = true;
+        break;
+      case OpKind::MapUpdate:
+        port.writesIndex = true;
+        port.writesValue = true;
+        break;
+      case OpKind::MapDelete:
+        port.writesIndex = true;
+        break;
+      case OpKind::MapLoad:
+        port.readsValue = true;
+        break;
+      case OpKind::MapStore:
+        port.writesValue = true;
+        break;
+      case OpKind::MapAtomic:
+        port.readsValue = true;
+        port.writesValue = true;
+        port.isAtomic = true;
+        break;
+      default:
+        return;
+    }
+    pipe.mapPorts.push_back(port);
+}
+
+/** Plan WAR buffers, flush blocks and elastic buffers (section 4.1). */
+void
+planHazards(Pipeline &pipe, Diagnostics &diags)
+{
+    std::map<uint32_t, std::vector<const MapPort *>> by_map;
+    for (const MapPort &port : pipe.mapPorts)
+        by_map[port.mapId].push_back(&port);
+
+    auto hazard_pair = [](const MapPort &read, const MapPort &write) {
+        if (write.isAtomic && read.isAtomic)
+            return false;  // atomic blocks serialize internally
+        const bool index_level = read.readsIndex && write.writesIndex;
+        const bool value_level = read.readsValue && write.writesValue;
+        return index_level || value_level;
+    };
+
+    // Pass 1: WAR delay buffers for every map (flush-block planning below
+    // needs the full buffer set to place replay barriers across maps).
+    for (auto &[map_id, ports] : by_map) {
+        // Deepest (non-atomic) write stage of this map: a write issued
+        // earlier is speculative until its packet clears this stage,
+        // because a flush raised by the later write must be able to
+        // discard it (otherwise the replay re-reads self-polluted state).
+        size_t deepest_write = 0;
+        for (const MapPort *port : ports)
+            if (port->anyWrite() && !port->isAtomic)
+                deepest_write = std::max(deepest_write, port->stage);
+
+        // WAR delay buffers double as the speculation parking: the write
+        // commits when its packet reaches the commit stage, which is the
+        // deepest of (a) any later read of the same data (figure 6) and
+        // (b) the map's deepest write stage (flush discard window).
+        for (const MapPort *write : ports) {
+            if (!write->anyWrite())
+                continue;
+            size_t commit = write->stage;
+            size_t last_read = 0;
+            for (const MapPort *read : ports) {
+                if ((read->readsIndex || read->readsValue) &&
+                    read->stage > write->stage &&
+                    hazard_pair(*read, *write)) {
+                    commit = std::max(commit, read->stage);
+                    last_read = std::max(last_read, read->stage);
+                }
+            }
+            if (!write->isAtomic)
+                commit = std::max(commit, deepest_write);
+            if (commit == write->stage)
+                continue;
+            if (write->writesIndex || write->isAtomic) {
+                // Parking index mutations or atomics would need
+                // speculative map versioning; none of the paper's
+                // workloads require it, so eHDL rejects the pattern
+                // instead of miscompiling it.
+                diags
+                    .error("hazards", "map ", map_id,
+                           ": index/atomic write at stage ", write->stage,
+                           " would need speculative buffering (later "
+                           "access at stage ",
+                           std::max(commit, last_read),
+                           "); unsupported access pattern")
+                    .atPc(write->pc)
+                    .atStage(write->stage);
+                continue;
+            }
+            WarBufferPlan buf;
+            buf.mapId = map_id;
+            buf.writeStage = write->stage;
+            buf.lastReadStage = commit;
+            buf.depth = static_cast<unsigned>(commit - write->stage);
+            pipe.warBuffers.push_back(buf);
+        }
+    }
+
+    // Path co-occurrence over the CFG DAG: two predicated blocks can both
+    // execute for one packet iff one reaches the other (mutually
+    // exclusive branch arms never co-occur, so a side effect on one arm
+    // cannot pollute a replay that only runs the other).
+    const auto &cfg_blocks = pipe.cfg.blocks();
+    const size_t nblocks = cfg_blocks.size();
+    std::vector<std::vector<uint8_t>> reach(
+        nblocks, std::vector<uint8_t>(nblocks, 0));
+    const std::vector<size_t> &topo = pipe.cfg.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const size_t b = *it;
+        reach[b][b] = 1;
+        for (size_t s : cfg_blocks[b].succs)
+            for (size_t t = 0; t < nblocks; ++t)
+                reach[b][t] |= reach[s][t];
+    }
+    auto co_occur = [&](size_t pc_a, size_t pc_b) {
+        const size_t a = pipe.cfg.blockOf(pc_a);
+        const size_t b = pipe.cfg.blockOf(pc_b);
+        return reach[a][b] != 0 || reach[b][a] != 0;
+    };
+
+    for (auto &[map_id, ports] : by_map) {
+        // RAW: a read at stage r < w returns stale data when an older
+        // packet has not yet written at w -> flush evaluation block per
+        // write (appendix A.1.3 requires one per map write instruction).
+        for (const MapPort *write : ports) {
+            if (!write->anyWrite() || write->isAtomic)
+                continue;
+            size_t first_read = SIZE_MAX;
+            size_t last_read = 0;
+            for (const MapPort *read : ports) {
+                if ((read->readsIndex || read->readsValue) &&
+                    read->stage < write->stage &&
+                    hazard_pair(*read, *write)) {
+                    first_read = std::min(first_read, read->stage);
+                    last_read = std::max(last_read, read->stage);
+                }
+            }
+            if (first_read == SIZE_MAX)
+                continue;
+            (void)last_read;
+            FlushBlockPlan fb;
+            fb.mapId = map_id;
+            fb.writeStage = write->stage;
+            fb.firstReadStage = first_read;
+            // Elastic-buffer restart: after the deepest replay barrier
+            // strictly before this write (appendix A.2). Barriers are
+            // stages whose side effects a replayed packet must not re-run
+            // or re-observe:
+            //   (a) atomic read-modify-writes — replaying double-counts;
+            //   (b) map writes a flushed packet may already have made
+            //       architecturally visible (index writes and direct
+            //       value stores at their own stage, parked stores at
+            //       their commit stage) when an earlier read of the same
+            //       map is replayed: the packet would observe its own
+            //       write, which sequentially happens after that read.
+            // Writes still parked at flush time simply replay (they are
+            // un-committed and re-executed), as do visible writes nobody
+            // upstream reads back: re-execution recomputes the same
+            // sequential outcome.
+            fb.restartStage = 0;
+            for (const MapPort &eff : pipe.mapPorts) {
+                if (eff.stage >= write->stage)
+                    continue;
+                if (eff.isAtomic) {
+                    fb.restartStage = std::max(fb.restartStage, eff.stage);
+                    continue;
+                }
+                if (!eff.anyWrite())
+                    continue;
+                // Stage at which this write lands in map memory: parked
+                // stores surface at their commit stage, everything else
+                // at its own stage (index writes are never parked).
+                size_t visible = eff.stage;
+                for (const WarBufferPlan &buf : pipe.warBuffers)
+                    if (buf.mapId == eff.mapId &&
+                        buf.writeStage == eff.stage)
+                        visible = std::max(visible, buf.lastReadStage);
+                if (visible >= write->stage)
+                    continue;
+                // A packet flushed by this block read the block's map
+                // somewhere in the window; only a path doing that can
+                // carry the side effect into a replay.
+                bool flushable = false;
+                for (const MapPort &rf : pipe.mapPorts) {
+                    if (rf.mapId == map_id &&
+                        (rf.readsIndex || rf.readsValue) &&
+                        rf.stage < write->stage &&
+                        co_occur(rf.pc, eff.pc)) {
+                        flushable = true;
+                        break;
+                    }
+                }
+                if (!flushable)
+                    continue;
+                // ...and the pollution is observable only through an
+                // earlier read of the written map that the replay
+                // re-executes (index mutations show through lookups too,
+                // value stores only through value reads).
+                for (const MapPort &rb : pipe.mapPorts) {
+                    const bool observes =
+                        eff.writesIndex ? (rb.readsIndex || rb.readsValue)
+                                        : rb.readsValue;
+                    if (rb.mapId == eff.mapId && observes &&
+                        rb.stage < eff.stage && co_occur(rb.pc, eff.pc)) {
+                        fb.restartStage =
+                            std::max(fb.restartStage, visible);
+                        break;
+                    }
+                }
+            }
+            if (fb.restartStage >= fb.firstReadStage) {
+                diags
+                    .error("hazards", "map ", map_id,
+                           ": a non-replayable side effect (atomic, map "
+                           "insert/delete or committed store) at stage ",
+                           fb.restartStage,
+                           " sits between a protected read (stage ",
+                           fb.firstReadStage, ") and a write (stage ",
+                           fb.writeStage,
+                           "); flush recovery cannot replay it")
+                    .atPc(write->pc)
+                    .atStage(fb.writeStage);
+                continue;
+            }
+            pipe.flushBlocks.push_back(fb);
+            if (fb.restartStage > 0)
+                pipe.elasticBuffers.push_back(fb.restartStage);
+        }
+    }
+
+    std::sort(pipe.elasticBuffers.begin(), pipe.elasticBuffers.end());
+    pipe.elasticBuffers.erase(
+        std::unique(pipe.elasticBuffers.begin(), pipe.elasticBuffers.end()),
+        pipe.elasticBuffers.end());
+
+    // Safety: when a flush block can discard another map's parked write
+    // (the writer sits inside its window), every reader that may have
+    // consumed the parked value by forwarding must also be in the window,
+    // i.e. the block's restart point must precede those reads.
+    for (const FlushBlockPlan &fb : pipe.flushBlocks) {
+        for (const WarBufferPlan &buf : pipe.warBuffers) {
+            const bool writer_in_window =
+                buf.writeStage < fb.writeStage &&
+                buf.writeStage + buf.depth > fb.restartStage;
+            if (!writer_in_window)
+                continue;
+            for (const MapPort &port : pipe.mapPorts) {
+                if (port.mapId == buf.mapId && port.readsValue &&
+                    port.stage < buf.writeStage &&
+                    port.stage <= fb.restartStage) {
+                    diags
+                        .error("hazards", "flush block at stage ",
+                               fb.writeStage, " (restart ",
+                               fb.restartStage,
+                               ") cannot revoke values forwarded from "
+                               "the parked write at stage ",
+                               buf.writeStage, " to the read at stage ",
+                               port.stage, "; unsupported access pattern")
+                        .atPc(port.pc)
+                        .atStage(fb.writeStage);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+bool
+runHazards(CompileContext &ctx)
+{
+    Pipeline &pipe = ctx.pipe;
+    const size_t errors_before = ctx.diags.errorCount();
+
+    for (size_t s = 0; s < pipe.stages.size(); ++s)
+        for (const StageOp &op : pipe.stages[s].ops)
+            recordMapPort(pipe, op, s);
+    planHazards(pipe, ctx.diags);
+    if (ctx.diags.errorCount() > errors_before)
+        return false;
+
+    // Fault injection for the differential fuzzer (see PipelineOptions).
+    if (ctx.options.unsafeDisableWarBuffers)
+        pipe.warBuffers.clear();
+    if (ctx.options.unsafeDisableFlushBlocks)
+        pipe.flushBlocks.clear();
+
+    ctx.haveHazards = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

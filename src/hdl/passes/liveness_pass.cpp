@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Pass "liveness": row-granular liveness over the scheduled program
+ * (paper section 4.3). Computes which registers and stack bytes are live
+ * on entry to every scheduled row; the pruning pass later uses this to
+ * shrink the per-stage state replicas.
+ */
+
+#include "analysis/liveness.hpp"
+
+#include "common/logging.hpp"
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runLiveness(CompileContext &ctx)
+{
+    try {
+        ctx.live = analysis::computeLiveness(ctx.pipe.prog, ctx.pipe.cfg,
+                                             ctx.pipe.schedule,
+                                             ctx.pipe.analysis);
+    } catch (const FatalError &e) {
+        ctx.diags.error("liveness", e.what());
+        return false;
+    }
+    ctx.haveLiveness = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

@@ -1,0 +1,300 @@
+#include "hdl/passes/pass.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "ebpf/disasm.hpp"
+
+namespace ehdl::hdl {
+
+const std::vector<Pass> &
+compilerPasses()
+{
+    static const std::vector<Pass> kPasses = {
+        {"unroll", "bounded-loop unrolling to a DAG program",
+         passes::runUnroll},
+        {"verify", "verification + memory labeling", passes::runVerify},
+        {"cfg", "basic blocks + topological pipeline order",
+         passes::runCfg},
+        {"schedule", "ILP rows + instruction fusion", passes::runSchedule},
+        {"liveness", "row-granular register/stack liveness",
+         passes::runLiveness},
+        {"primitive-map", "instruction to hardware-primitive mapping",
+         passes::runPrimitiveMap},
+        {"framing", "packet-frame NOP padding", passes::runFraming},
+        {"pruning", "per-stage live-state pruning", passes::runPruning},
+        {"hazards", "map ports, WAR buffers, flush blocks",
+         passes::runHazards},
+    };
+    return kPasses;
+}
+
+std::vector<std::string>
+passNames()
+{
+    std::vector<std::string> names;
+    for (const Pass &pass : compilerPasses())
+        names.emplace_back(pass.name);
+    return names;
+}
+
+const Pass *
+findPass(const std::string &name)
+{
+    for (const Pass &pass : compilerPasses())
+        if (name == pass.name)
+            return &pass;
+    return nullptr;
+}
+
+namespace {
+
+/** Count how often each reachable instruction is scheduled/mapped. */
+std::vector<int>
+countPcs(const CompileContext &ctx,
+         const std::function<void(const std::function<void(size_t)> &)>
+             &forEachPc)
+{
+    std::vector<int> seen(ctx.pipe.prog.size(), 0);
+    forEachPc([&seen](size_t pc) {
+        if (pc < seen.size())
+            ++seen[pc];
+    });
+    return seen;
+}
+
+bool
+checkMappedExactlyOnce(const Pass &pass, CompileContext &ctx,
+                       const std::vector<int> &seen)
+{
+    bool ok = true;
+    for (size_t pc = 0; pc < ctx.pipe.prog.size(); ++pc) {
+        const bool reachable = pc < ctx.pipe.analysis.reachable.size() &&
+                               ctx.pipe.analysis.reachable[pc];
+        const int expected = reachable ? 1 : 0;
+        if (seen[pc] != expected) {
+            ctx.diags
+                .error("invariant", "after pass '", pass.name, "': insn ",
+                       pc, " is ", reachable ? "reachable" : "unreachable",
+                       " but appears ", seen[pc], " times (expected ",
+                       expected, ")")
+                .atPc(pc);
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+}  // namespace
+
+bool
+checkInvariants(const Pass &pass, CompileContext &ctx)
+{
+    const std::string name = pass.name;
+    const Pipeline &pipe = ctx.pipe;
+    const size_t before = ctx.diags.errorCount();
+    auto fail = [&](auto &&...parts) -> Diagnostic & {
+        return ctx.diags.error("invariant", "after pass '", name, "': ",
+                               std::forward<decltype(parts)>(parts)...);
+    };
+
+    if (name == "unroll") {
+        // The verify pass requires a forward-only (loop-free) program.
+        for (size_t pc = 0; pc < pipe.prog.size(); ++pc) {
+            const ebpf::Insn &insn = pipe.prog.insns[pc];
+            if (insn.isJmp() && !insn.isExit() &&
+                static_cast<int64_t>(pc) + 1 + insn.off <=
+                    static_cast<int64_t>(pc)) {
+                fail("backward jump survived unrolling").atPc(pc);
+            }
+        }
+    }
+
+    if (ctx.haveAnalysis) {
+        if (pipe.analysis.labels.size() != pipe.prog.size() ||
+            pipe.analysis.reachable.size() != pipe.prog.size()) {
+            fail("analysis arrays not aligned with the program (",
+                 pipe.analysis.labels.size(), " labels, ",
+                 pipe.analysis.reachable.size(), " reachable flags, ",
+                 pipe.prog.size(), " insns)");
+        }
+    }
+
+    if (ctx.haveCfg) {
+        if (!pipe.cfg.isDag())
+            fail("CFG is not a DAG");
+        if (pipe.cfg.topoOrder().size() != pipe.cfg.blocks().size())
+            fail("topological order covers ", pipe.cfg.topoOrder().size(),
+                 " of ", pipe.cfg.blocks().size(), " blocks");
+        for (const analysis::BasicBlock &bb : pipe.cfg.blocks()) {
+            if (bb.last >= pipe.prog.size() || bb.first > bb.last)
+                fail("block ", bb.id, " has invalid range [", bb.first,
+                     ", ", bb.last, "]");
+            for (size_t succ : bb.succs)
+                if (succ >= pipe.cfg.blocks().size())
+                    fail("block ", bb.id, " has out-of-range successor ",
+                         succ);
+        }
+    }
+
+    if (ctx.haveSchedule && ctx.haveAnalysis) {
+        // Every reachable instruction scheduled into exactly one row.
+        const std::vector<int> seen = countPcs(
+            ctx, [&](const std::function<void(size_t)> &visit) {
+                for (const analysis::BlockSchedule &bs :
+                     pipe.schedule.blocks)
+                    for (const analysis::Row &row : bs.rows)
+                        for (size_t pc : row.ops)
+                            visit(pc);
+            });
+        checkMappedExactlyOnce(pass, ctx, seen);
+    }
+
+    if (ctx.haveLiveness) {
+        if (ctx.live.blockRows.size() != pipe.schedule.blocks.size())
+            fail("liveness covers ", ctx.live.blockRows.size(), " of ",
+                 pipe.schedule.blocks.size(), " scheduled blocks");
+    }
+
+    if (ctx.haveBody && !ctx.haveStages && ctx.haveAnalysis) {
+        // Primitive mapping preserves the exactly-once property (fused
+        // followers fold into their leader's StageOp pcs).
+        const std::vector<int> seen = countPcs(
+            ctx, [&](const std::function<void(size_t)> &visit) {
+                for (const BodyStage &entry : ctx.body)
+                    for (const StageOp &op : entry.stage.ops)
+                        for (size_t pc : op.pcs)
+                            visit(pc);
+            });
+        checkMappedExactlyOnce(pass, ctx, seen);
+    }
+
+    if (ctx.haveStages) {
+        if (pipe.stages.size() != pipe.padStages + ctx.body.size())
+            fail("stage count ", pipe.stages.size(), " != ",
+                 pipe.padStages, " framing pads + ", ctx.body.size(),
+                 " body stages");
+        for (size_t s = 0; s < pipe.padStages && s < pipe.stages.size();
+             ++s)
+            if (!pipe.stages[s].isPad)
+                fail("framing stage is not a pad").atStage(s);
+    }
+
+    if (name == "pruning" && ctx.haveStages) {
+        if (!ctx.options.enablePruning) {
+            for (size_t s = 0; s < pipe.stages.size(); ++s)
+                if (pipe.stages[s].liveRegs != 0x7ff)
+                    fail("pruning disabled but stage carries a pruned "
+                         "register set")
+                        .atStage(s);
+        } else {
+            // Padding stages must forward exactly what the next stage
+            // needs (they hold no ops of their own).
+            for (size_t s = 0; s + 1 < pipe.stages.size(); ++s) {
+                const Stage &stage = pipe.stages[s];
+                if (!stage.isPad || !stage.ops.empty())
+                    continue;
+                if (stage.liveRegs != pipe.stages[s + 1].liveRegs ||
+                    stage.liveStack != pipe.stages[s + 1].liveStack)
+                    fail("pad stage does not carry its successor's live "
+                         "state")
+                        .atStage(s);
+            }
+        }
+    }
+
+    if (ctx.haveHazards) {
+        for (const MapPort &port : pipe.mapPorts)
+            if (port.stage >= pipe.stages.size())
+                fail("map port beyond the last stage").atStage(port.stage);
+        for (const WarBufferPlan &buf : pipe.warBuffers) {
+            if (buf.lastReadStage <= buf.writeStage ||
+                buf.depth != buf.lastReadStage - buf.writeStage)
+                fail("WAR buffer geometry inconsistent (write ",
+                     buf.writeStage, ", last read ", buf.lastReadStage,
+                     ", depth ", buf.depth, ")");
+        }
+        for (const FlushBlockPlan &fb : pipe.flushBlocks) {
+            if (fb.firstReadStage >= fb.writeStage)
+                fail("flush block protects no earlier read (write ",
+                     fb.writeStage, ", first read ", fb.firstReadStage,
+                     ")");
+            if (fb.restartStage >= fb.firstReadStage)
+                fail("flush restart stage ", fb.restartStage,
+                     " does not precede the protected read at stage ",
+                     fb.firstReadStage);
+        }
+        for (size_t i = 1; i < pipe.elasticBuffers.size(); ++i)
+            if (pipe.elasticBuffers[i - 1] >= pipe.elasticBuffers[i])
+                fail("elastic buffer list is not sorted/unique");
+    }
+
+    return ctx.diags.errorCount() == before;
+}
+
+std::string
+CompileContext::dump() const
+{
+    std::ostringstream os;
+    os << "program '" << pipe.prog.name << "': " << pipe.prog.size()
+       << " instructions, " << pipe.prog.maps.size() << " maps";
+    if (loopsUnrolled > 0)
+        os << " (" << loopsUnrolled << " loops unrolled)";
+    os << "\n";
+
+    if (haveStages) {
+        os << pipe.describe();
+    } else if (haveBody) {
+        os << "body (pre-framing): " << body.size() << " stages\n";
+        for (size_t s = 0; s < body.size(); ++s) {
+            const Stage &stage = body[s].stage;
+            os << "  body " << s << " [block " << stage.blockId
+               << (stage.isPad ? ", pad" : "") << "]";
+            for (const StageOp &op : stage.ops) {
+                os << " {" << opKindName(op.kind);
+                for (size_t pc : op.pcs)
+                    os << " " << pc;
+                os << "}";
+            }
+            os << "\n";
+        }
+    } else if (haveSchedule) {
+        os << "schedule: " << pipe.schedule.totalRows << " rows, max ILP "
+           << pipe.schedule.maxIlp << "\n";
+        for (const analysis::BlockSchedule &bs : pipe.schedule.blocks) {
+            os << "  block " << bs.blockId << ":";
+            for (const analysis::Row &row : bs.rows) {
+                os << " [";
+                for (size_t i = 0; i < row.ops.size(); ++i)
+                    os << (i ? " " : "") << row.ops[i];
+                os << "]";
+            }
+            os << "\n";
+        }
+    } else if (haveCfg) {
+        os << "cfg: " << pipe.cfg.blocks().size() << " blocks"
+           << (pipe.cfg.isDag() ? " (DAG)" : " (cyclic)") << "\n";
+        for (const analysis::BasicBlock &bb : pipe.cfg.blocks()) {
+            os << "  B" << bb.id << " [" << bb.first << ".." << bb.last
+               << "] ->";
+            for (size_t succ : bb.succs)
+                os << " B" << succ;
+            os << "\n";
+        }
+    } else {
+        os << ebpf::disasm(pipe.prog);
+    }
+
+    if (haveLiveness && !haveStages) {
+        os << "liveness: " << live.blockRows.size() << " blocks\n";
+    }
+    if (haveHazards) {
+        os << "hazards: " << pipe.mapPorts.size() << " map ports, "
+           << pipe.warBuffers.size() << " WAR buffers, "
+           << pipe.flushBlocks.size() << " flush blocks, "
+           << pipe.elasticBuffers.size() << " elastic buffers\n";
+    }
+    return os.str();
+}
+
+}  // namespace ehdl::hdl

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The eHDL compiler's pass pipeline. hdl::compile() used to be one
+ * monolithic function; it is now a fixed sequence of named passes, each a
+ * small unit that transforms a shared CompileContext:
+ *
+ *   unroll        bounded-loop unrolling to a DAG program
+ *   verify        verification + memory labeling (abstract interpretation)
+ *   cfg           basic blocks + topological pipeline order
+ *   schedule      ILP rows + instruction fusion (paper section 3.2-3.3)
+ *   liveness      row-granular register/stack liveness (section 4.3)
+ *   primitive-map instruction -> hardware primitive stages (section 3.4)
+ *   framing       packet-frame NOP padding (section 4.2)
+ *   pruning       per-stage live-state pruning (section 4.3)
+ *   hazards       map ports, WAR buffers, flush blocks, elastic buffers
+ *                 (section 4.1, appendix A.2)
+ *
+ * Passes report problems through the CompileContext's Diagnostics sink
+ * instead of aborting: a pass that finds unsupported constructs records
+ * one error per construct (with pc/stage locations) and returns false,
+ * and the driver stops the pipeline there. After every pass the driver
+ * runs an inter-pass IR invariant checker (checkInvariants); violations
+ * are compiler bugs and surface as "invariant" diagnostics rather than
+ * process death, so fuzzing harnesses can classify them.
+ *
+ * docs/COMPILER.md documents each pass's inputs, outputs, invariants and
+ * ablation toggle.
+ */
+
+#ifndef EHDL_HDL_PASSES_PASS_HPP_
+#define EHDL_HDL_PASSES_PASS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "analysis/liveness.hpp"
+#include "common/diagnostics.hpp"
+#include "hdl/pipeline.hpp"
+
+namespace ehdl::hdl {
+
+/** One primitive-mapped stage before framing assigns final positions. */
+struct BodyStage
+{
+    Stage stage;
+    size_t blockIdx = 0;  ///< index into schedule.blocks
+    size_t rowIdx = 0;
+};
+
+/**
+ * Everything the passes read and write. The Pipeline member is the final
+ * product; the other members are inter-pass scratch state that later
+ * passes consume (and the --dump-after observer can render).
+ */
+struct CompileContext
+{
+    /** Compiler knobs (also copied into pipe.options). */
+    PipelineOptions options;
+
+    /** Accumulated errors/warnings/notes from every pass so far. */
+    Diagnostics diags;
+
+    /** The pipeline under construction (prog starts as the input copy). */
+    Pipeline pipe;
+
+    /** Row-granular liveness (liveness pass -> pruning pass). */
+    analysis::Liveness live;
+
+    /** Primitive-mapped stages (primitive-map pass -> framing pass). */
+    std::vector<BodyStage> body;
+
+    /** Loops the unroll pass expanded. */
+    unsigned loopsUnrolled = 0;
+
+    // Which context members are populated (drives dump() and invariants).
+    bool haveAnalysis = false;
+    bool haveCfg = false;
+    bool haveSchedule = false;
+    bool haveLiveness = false;
+    bool haveBody = false;
+    bool haveStages = false;
+    bool haveHazards = false;
+
+    /** Render every populated IR layer (the --dump-after payload). */
+    std::string dump() const;
+};
+
+/** One named compiler pass. */
+struct Pass
+{
+    const char *name;
+    const char *summary;
+    /** Transform @p ctx; false stops the pipeline (errors in diags). */
+    bool (*run)(CompileContext &ctx);
+};
+
+/** The fixed pass sequence, in execution order. */
+const std::vector<Pass> &compilerPasses();
+
+/** Names of all passes, in order (CLI validation, docs). */
+std::vector<std::string> passNames();
+
+/** Look up a pass by name (nullptr when unknown). */
+const Pass *findPass(const std::string &name);
+
+/**
+ * Inter-pass IR invariant checker: structural properties every pass must
+ * leave intact (program/label alignment, DAG-ness, exactly-once
+ * instruction mapping, pad liveness propagation, hazard-plan geometry).
+ * Violations are recorded as errors under the pass name "invariant" —
+ * they flag a bug in eHDL itself, never bad user input.
+ *
+ * @return true when all invariants hold.
+ */
+bool checkInvariants(const Pass &pass, CompileContext &ctx);
+
+namespace passes {
+
+bool runUnroll(CompileContext &ctx);
+bool runVerify(CompileContext &ctx);
+bool runCfg(CompileContext &ctx);
+bool runSchedule(CompileContext &ctx);
+bool runLiveness(CompileContext &ctx);
+bool runPrimitiveMap(CompileContext &ctx);
+bool runFraming(CompileContext &ctx);
+bool runPruning(CompileContext &ctx);
+bool runHazards(CompileContext &ctx);
+
+}  // namespace passes
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_PASSES_PASS_HPP_

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Pass "primitive-map": hardware-primitive mapping (paper section 3.4).
+ * Walks the scheduled rows in pipeline order and classifies each
+ * instruction into a StageOp (ALU, packet/stack/map access, helper
+ * block, branch enable logic), annotates the static packet-frame range
+ * each access touches, and extends helper blocks that occupy more than
+ * one clock cycle with in-line pad stages.
+ *
+ * Unsupported instructions — accesses to memory the abstract
+ * interpreter could not statically classify — are collected as one
+ * diagnostic per instruction, so a rejected program reports every
+ * offending access at once instead of dying on the first.
+ */
+
+#include <algorithm>
+#include <optional>
+
+#include "ebpf/helpers.hpp"
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+namespace {
+
+using analysis::BlockSchedule;
+using analysis::Cfg;
+using analysis::Row;
+using ebpf::Insn;
+using ebpf::InsnLabel;
+using ebpf::MemRegion;
+using ebpf::Program;
+
+/** Classify one instruction into a hardware primitive. */
+std::optional<StageOp>
+classifyInsn(const Program &prog, size_t pc, const ebpf::AbsIntResult &ai,
+             const Cfg &cfg, Diagnostics &diags)
+{
+    const Insn &insn = prog.insns[pc];
+    const InsnLabel &label = ai.labels[pc];
+    StageOp op;
+    op.pcs.push_back(pc);
+    op.blockId = cfg.blockOf(pc);
+
+    if (insn.isExit()) {
+        op.kind = OpKind::Exit;
+        return op;
+    }
+    if (insn.isUncondJmp()) {
+        op.kind = OpKind::Jump;
+        op.takenBlock = cfg.blockOf(prog.jumpTarget(pc));
+        return op;
+    }
+    if (insn.isCondJmp()) {
+        op.kind = OpKind::Branch;
+        op.takenBlock = cfg.blockOf(prog.jumpTarget(pc));
+        op.fallBlock = cfg.blockOf(pc + 1);
+        return op;
+    }
+    if (insn.isCall()) {
+        const ebpf::CallSite &site = ai.calls[pc];
+        op.helperId = site.helperId;
+        op.keyConst = site.keyConst;
+        op.mapId = site.mapId;
+        switch (site.helperId) {
+          case ebpf::kHelperMapLookup: op.kind = OpKind::MapLookup; break;
+          case ebpf::kHelperMapUpdate: op.kind = OpKind::MapUpdate; break;
+          case ebpf::kHelperMapDelete: op.kind = OpKind::MapDelete; break;
+          default: op.kind = OpKind::Helper; break;
+        }
+        return op;
+    }
+    if (insn.isAlu()) {
+        op.kind = OpKind::Alu;
+        return op;
+    }
+    if (insn.isLddw()) {
+        op.kind = OpKind::LoadConst;
+        return op;
+    }
+    if (insn.isAtomic()) {
+        if (label.region == MemRegion::Map) {
+            op.kind = OpKind::MapAtomic;
+            op.mapId = label.mapId;
+        } else if (label.region == MemRegion::Stack) {
+            op.kind = OpKind::StoreStack;
+        } else {
+            diags.error("primitive-map", "atomic on unlabeled memory")
+                .atPc(pc);
+            return std::nullopt;
+        }
+        return op;
+    }
+    if (insn.isLoad()) {
+        switch (label.region) {
+          case MemRegion::Ctx: op.kind = OpKind::CtxLoad; break;
+          case MemRegion::Packet: op.kind = OpKind::LoadPacket; break;
+          case MemRegion::Stack: op.kind = OpKind::LoadStack; break;
+          case MemRegion::Map:
+            op.kind = OpKind::MapLoad;
+            op.mapId = label.mapId;
+            break;
+          default:
+            diags
+                .error("primitive-map",
+                       "load from unlabeled memory region; eHDL requires "
+                       "statically classifiable accesses")
+                .atPc(pc);
+            return std::nullopt;
+        }
+        return op;
+    }
+    if (insn.isStore()) {
+        switch (label.region) {
+          case MemRegion::Packet: op.kind = OpKind::StorePacket; break;
+          case MemRegion::Stack: op.kind = OpKind::StoreStack; break;
+          case MemRegion::Map:
+            op.kind = OpKind::MapStore;
+            op.mapId = label.mapId;
+            break;
+          default:
+            diags
+                .error("primitive-map",
+                       "store to unlabeled memory region")
+                .atPc(pc);
+            return std::nullopt;
+        }
+        return op;
+    }
+    diags.error("primitive-map", "unsupported instruction").atPc(pc);
+    return std::nullopt;
+}
+
+/** Fill in the static packet-frame range an op touches. */
+void
+annotateFrames(StageOp &op, const Program &prog,
+               const ebpf::AbsIntResult &ai, const PipelineOptions &opts)
+{
+    if (op.kind != OpKind::LoadPacket && op.kind != OpKind::StorePacket)
+        return;
+    const size_t pc = op.pcs.front();
+    const InsnLabel &label = ai.labels[pc];
+    const unsigned fbytes = opts.frameBytes;
+    if (label.offKnown && label.staticOff >= 0) {
+        const int64_t first = label.staticOff;
+        const int64_t last = label.staticOff +
+                             ebpf::memSizeBytes(prog.insns[pc].memSize()) - 1;
+        op.minFrame = static_cast<int32_t>(first / fbytes);
+        op.maxFrame = static_cast<int32_t>(last / fbytes);
+    } else {
+        // Dynamic offset: assume the configured parse depth (section 4.2
+        // notes real functions rarely reach deep into the payload).
+        op.minFrame = 0;
+        op.maxFrame = static_cast<int32_t>(
+            (opts.assumedParseDepthBytes - 1) / fbytes);
+    }
+}
+
+/** Number of pipeline stages a primitive occupies (helper latency). */
+unsigned
+opStages(const StageOp &op)
+{
+    switch (op.kind) {
+      case OpKind::MapLookup:
+      case OpKind::MapUpdate:
+      case OpKind::MapDelete:
+      case OpKind::Helper: {
+        const ebpf::HelperInfo *info = ebpf::helperInfo(op.helperId);
+        return info != nullptr ? info->hwStages : 1;
+      }
+      default:
+        return 1;
+    }
+}
+
+}  // namespace ehdl::hdl::passes (anonymous)
+
+bool
+runPrimitiveMap(CompileContext &ctx)
+{
+    Pipeline &pipe = ctx.pipe;
+    const size_t errors_before = ctx.diags.errorCount();
+
+    for (size_t bi = 0; bi < pipe.schedule.blocks.size(); ++bi) {
+        const BlockSchedule &bs = pipe.schedule.blocks[bi];
+        const analysis::BasicBlock &bb = pipe.cfg.blocks()[bs.blockId];
+        for (size_t ri = 0; ri < bs.rows.size(); ++ri) {
+            const Row &row = bs.rows[ri];
+            BodyStage entry;
+            entry.blockIdx = bi;
+            entry.rowIdx = ri;
+            entry.stage.blockId = bs.blockId;
+
+            unsigned extra_stages = 0;
+            for (size_t k = 0; k < row.ops.size(); ++k) {
+                const size_t pc = row.ops[k];
+                if (pipe.schedule.fusion.isFollower(pc))
+                    continue;  // folded into the leader's StageOp
+                std::optional<StageOp> op = classifyInsn(
+                    pipe.prog, pc, pipe.analysis, pipe.cfg, ctx.diags);
+                if (!op)
+                    continue;  // diagnosed; keep scanning for more
+                auto fol = pipe.schedule.fusion.followerOf.find(pc);
+                if (fol != pipe.schedule.fusion.followerOf.end()) {
+                    // Leader+follower share this stage.
+                    op->pcs.push_back(fol->second);
+                }
+                annotateFrames(*op, pipe.prog, pipe.analysis, ctx.options);
+                extra_stages = std::max(extra_stages, opStages(*op) - 1);
+                entry.stage.ops.push_back(std::move(*op));
+            }
+
+            // Implicit fallthrough at the end of a block whose terminator
+            // is not a jump/exit: propagate the enable signal.
+            const Insn &term = pipe.prog.insns[bb.last];
+            const bool needs_continue =
+                !term.isExit() && !term.isUncondJmp() && !term.isCondJmp();
+            if (ri + 1 == bs.rows.size() && needs_continue) {
+                StageOp cont;
+                cont.kind = OpKind::Jump;
+                cont.blockId = bs.blockId;
+                cont.takenBlock = pipe.cfg.blockOf(bb.last + 1);
+                entry.stage.ops.push_back(std::move(cont));
+            }
+
+            ctx.body.push_back(std::move(entry));
+            // Helper blocks longer than one stage extend the pipeline
+            // in-line (the paper's "eHDL might add stages to implement
+            // helper functions").
+            for (unsigned e = 0; e < extra_stages; ++e) {
+                BodyStage pad;
+                pad.blockIdx = bi;
+                pad.rowIdx = ri;
+                pad.stage.blockId = bs.blockId;
+                pad.stage.isPad = true;
+                ctx.body.push_back(std::move(pad));
+            }
+        }
+    }
+
+    if (ctx.diags.errorCount() > errors_before)
+        return false;
+    ctx.haveBody = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Pass "pruning": state pruning (paper section 4.3). Each stage
+ * replicates only the registers and stack bytes live on entry to its
+ * row; padding stages forward whatever the next real stage needs. With
+ * the toggle off, every stage carries the full 11-register file and the
+ * whole 512B stack (the paper's "no pruning" ablation baseline).
+ */
+
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runPruning(CompileContext &ctx)
+{
+    Pipeline &pipe = ctx.pipe;
+
+    if (!ctx.options.enablePruning) {
+        for (Stage &stage : pipe.stages) {
+            stage.liveRegs = 0x7ff;
+            stage.liveStack.set();
+        }
+        return true;
+    }
+
+    // Body stages take their row's live-in set.
+    size_t idx = pipe.padStages;
+    for (const BodyStage &entry : ctx.body) {
+        Stage &stage = pipe.stages[idx++];
+        const auto &rows = ctx.live.blockRows[entry.blockIdx];
+        if (entry.rowIdx < rows.size()) {
+            stage.liveRegs = rows[entry.rowIdx].regsIn;
+            stage.liveStack = rows[entry.rowIdx].stackIn;
+        }
+    }
+    // Padding stages carry the state the next real stage needs.
+    for (size_t s = pipe.stages.size(); s-- > 0;) {
+        if (!pipe.stages[s].isPad)
+            continue;
+        if (s + 1 < pipe.stages.size()) {
+            pipe.stages[s].liveRegs = pipe.stages[s + 1].liveRegs;
+            pipe.stages[s].liveStack = pipe.stages[s + 1].liveStack;
+        }
+    }
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

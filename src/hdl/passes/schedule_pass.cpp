@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pass "schedule": instruction parallelization (paper sections 3.2-3.3).
+ * Packs mutually independent instructions of each basic block into
+ * parallel rows (one row = one pipeline stage) and plans ALU fusion; the
+ * enableIlp/enableFusion toggles drive the paper's ablations.
+ */
+
+#include "analysis/schedule.hpp"
+
+#include "common/logging.hpp"
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runSchedule(CompileContext &ctx)
+{
+    analysis::ScheduleOptions sopts;
+    sopts.enableIlp = ctx.options.enableIlp;
+    sopts.enableFusion = ctx.options.enableFusion;
+    try {
+        ctx.pipe.schedule = analysis::buildSchedule(
+            ctx.pipe.prog, ctx.pipe.cfg, ctx.pipe.analysis, sopts);
+    } catch (const FatalError &e) {
+        ctx.diags.error("schedule", e.what());
+        return false;
+    }
+    ctx.haveSchedule = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Pass "unroll": bounded-loop unrolling (paper section 2.2). Probes the
+ * program for backward jumps and, when present, rewrites each bounded
+ * loop into maxLoopTrips forward copies so the rest of the compiler sees
+ * a strictly forward-feeding DAG program. Irreducible loops are reported
+ * as diagnostics (the unroller rejects them).
+ */
+
+#include "analysis/unroll.hpp"
+
+#include "common/logging.hpp"
+#include "ebpf/verifier.hpp"
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runUnroll(CompileContext &ctx)
+{
+    const ebpf::VerifyResult probe = ebpf::verify(ctx.pipe.prog, true);
+    if (!probe.hasBackwardJumps)
+        return true;
+    try {
+        analysis::UnrollResult unrolled =
+            analysis::unrollLoops(ctx.pipe.prog, ctx.options.maxLoopTrips);
+        ctx.pipe.prog = std::move(unrolled.prog);
+        ctx.loopsUnrolled = unrolled.loopsUnrolled;
+    } catch (const FatalError &e) {
+        ctx.diags.error("unroll", e.what());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

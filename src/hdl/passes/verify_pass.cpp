@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Pass "verify": verification + memory labeling. Runs the structural
+ * verifier and the abstract-interpretation pass (paper section 2.2); the
+ * resulting per-instruction memory labels are what make the hardware
+ * translation sound. Every verifier error becomes one diagnostic, so an
+ * invalid program reports all of its problems at once.
+ */
+
+#include "ebpf/verifier.hpp"
+
+#include "hdl/passes/pass.hpp"
+
+namespace ehdl::hdl::passes {
+
+bool
+runVerify(CompileContext &ctx)
+{
+    ebpf::VerifyResult vr = ebpf::verify(ctx.pipe.prog);
+    if (!vr.ok) {
+        for (const std::string &e : vr.errors)
+            ctx.diags.error("verify", e);
+        return false;
+    }
+    ctx.pipe.analysis = std::move(vr.analysis);
+    ctx.haveAnalysis = true;
+    return true;
+}
+
+}  // namespace ehdl::hdl::passes

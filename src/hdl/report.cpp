@@ -1,0 +1,101 @@
+#include "hdl/report.hpp"
+
+#include <algorithm>
+
+#include "hdl/pipeline.hpp"
+
+namespace ehdl::hdl {
+
+void
+CompileReport::captureGeometry(const Pipeline &pipe)
+{
+    insns = pipe.prog.size();
+    blocks = pipe.numBlocks();
+    stages = pipe.numStages();
+    framingPads = pipe.padStages;
+    unsigned pads = 0;
+    for (const Stage &stage : pipe.stages)
+        pads += stage.isPad ? 1 : 0;
+    helperPads = pads >= framingPads ? pads - framingPads : 0;
+    maxIlp = pipe.schedule.maxIlp;
+    avgIlp = pipe.schedule.avgIlp;
+    mapPorts = pipe.mapPorts.size();
+    warBuffers = pipe.warBuffers.size();
+    flushBlocks = pipe.flushBlocks.size();
+    elasticBuffers = pipe.elasticBuffers.size();
+    maxFlushDepth = pipe.maxFlushDepth();
+    maxWarDepth = 0;
+    for (const WarBufferPlan &buf : pipe.warBuffers)
+        maxWarDepth = std::max(maxWarDepth, buf.depth);
+
+    liveRegsTotal = 0;
+    liveStackBytesTotal = 0;
+    for (const Stage &stage : pipe.stages) {
+        liveRegsTotal += stage.numLiveRegs();
+        liveStackBytesTotal += stage.liveStack.count();
+    }
+    fullRegsTotal = static_cast<uint64_t>(ebpf::kNumRegs) * stages;
+    fullStackBytesTotal = static_cast<uint64_t>(ebpf::kStackSize) * stages;
+}
+
+Json
+CompileReport::toJson() const
+{
+    Json root = Json::object();
+    root.set("program", Json::str(program));
+    root.set("ok", Json::boolean(ok));
+
+    Json timing = Json::array();
+    for (const PassTiming &pass : passes) {
+        Json one = Json::object();
+        one.set("name", Json::str(pass.name));
+        one.set("seconds", Json::num(pass.seconds, 6));
+        timing.push(std::move(one));
+    }
+    root.set("passes", std::move(timing));
+    root.set("total_seconds", Json::num(totalSeconds, 6));
+
+    Json diag_list = Json::array();
+    for (const Diagnostic &d : diags.all()) {
+        Json one = Json::object();
+        one.set("severity", Json::str(severityName(d.severity)));
+        one.set("pass", Json::str(d.pass));
+        if (d.pc != SIZE_MAX)
+            one.set("pc", Json::integer(d.pc));
+        if (d.stage != SIZE_MAX)
+            one.set("stage", Json::integer(d.stage));
+        one.set("message", Json::str(d.message));
+        diag_list.push(std::move(one));
+    }
+    root.set("diagnostics", std::move(diag_list));
+
+    Json geo = Json::object();
+    geo.set("insns", Json::integer(insns));
+    geo.set("blocks", Json::integer(blocks));
+    geo.set("stages", Json::integer(stages));
+    geo.set("framing_pads", Json::integer(framingPads));
+    geo.set("helper_pads", Json::integer(helperPads));
+    geo.set("loops_unrolled", Json::integer(loopsUnrolled));
+    geo.set("max_ilp", Json::integer(maxIlp));
+    geo.set("avg_ilp", Json::num(avgIlp));
+    geo.set("map_ports", Json::integer(mapPorts));
+    geo.set("war_buffers", Json::integer(warBuffers));
+    geo.set("flush_blocks", Json::integer(flushBlocks));
+    geo.set("elastic_buffers", Json::integer(elasticBuffers));
+    geo.set("max_flush_depth", Json::integer(maxFlushDepth));
+    geo.set("max_war_depth", Json::integer(maxWarDepth));
+
+    Json pruning = Json::object();
+    pruning.set("live_regs_total", Json::integer(liveRegsTotal));
+    pruning.set("live_stack_bytes_total",
+                Json::integer(liveStackBytesTotal));
+    pruning.set("full_regs_total", Json::integer(fullRegsTotal));
+    pruning.set("full_stack_bytes_total",
+                Json::integer(fullStackBytesTotal));
+    geo.set("pruning", std::move(pruning));
+
+    root.set("geometry", std::move(geo));
+    return root;
+}
+
+}  // namespace ehdl::hdl

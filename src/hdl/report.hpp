@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CompileReport: the instrumented record of one run through the eHDL
+ * pass pipeline — per-pass wall time, accumulated diagnostics, and the
+ * pipeline geometry (stage/pad counts, ILP, hazard depths, pruning
+ * savings) that benches and CI previously recomputed by hand from the
+ * Pipeline. Serializes to JSON via the shared common/json.hpp value
+ * (ehdlc --report=<file>, bench_ablation_passes).
+ */
+
+#ifndef EHDL_HDL_REPORT_HPP_
+#define EHDL_HDL_REPORT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "common/json.hpp"
+
+namespace ehdl::hdl {
+
+struct Pipeline;
+
+/** Wall time of one executed pass. */
+struct PassTiming
+{
+    std::string name;
+    double seconds = 0.0;
+};
+
+/** Record of one compileWithReport() run. */
+struct CompileReport
+{
+    std::string program;
+    /** True when every pass ran without errors (a Pipeline exists). */
+    bool ok = false;
+
+    /** Executed passes in order (stops at the first failing pass). */
+    std::vector<PassTiming> passes;
+    double totalSeconds = 0.0;
+
+    /** Everything the passes reported. */
+    Diagnostics diags;
+
+    unsigned loopsUnrolled = 0;
+
+    // ---- pipeline geometry (valid when ok) ----
+    size_t insns = 0;   ///< post-unroll instruction count
+    size_t blocks = 0;
+    size_t stages = 0;
+    unsigned framingPads = 0;   ///< NOP stages at the pipeline head
+    unsigned helperPads = 0;    ///< in-line helper-latency pad stages
+    unsigned maxIlp = 0;
+    double avgIlp = 0.0;
+    size_t mapPorts = 0;
+    size_t warBuffers = 0;
+    size_t flushBlocks = 0;
+    size_t elasticBuffers = 0;
+    size_t maxFlushDepth = 0;   ///< the paper's K
+    unsigned maxWarDepth = 0;
+
+    // Pruning savings (section 4.3): live state actually replicated vs
+    // the full 11-register/512B-stack replica per stage.
+    uint64_t liveRegsTotal = 0;
+    uint64_t liveStackBytesTotal = 0;
+    uint64_t fullRegsTotal = 0;
+    uint64_t fullStackBytesTotal = 0;
+
+    /** Fill the geometry block from a finished pipeline. */
+    void captureGeometry(const Pipeline &pipe);
+
+    /** Whole report as an ordered JSON object. */
+    Json toJson() const;
+};
+
+}  // namespace ehdl::hdl
+
+#endif  // EHDL_HDL_REPORT_HPP_

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "apps/apps.hpp"
 #include "common/logging.hpp"
@@ -351,6 +354,48 @@ TEST(Compiler, DescribeListsStages)
     EXPECT_NE(text.find("stage 0"), std::string::npos);
     EXPECT_NE(text.find("maplookup"), std::string::npos);
     EXPECT_NE(text.find("mapatomic"), std::string::npos);
+}
+
+TEST(Compiler, CompileIsDeterministic)
+{
+    // Two independent compilations of the same program must produce the
+    // same stage layout — the scheduler and hazard planner contain no
+    // iteration-order or address-dependent choices.
+    for (const AppSpec &spec : apps::paperApps()) {
+        const Pipeline first = compile(spec.prog);
+        const Pipeline second = compile(spec.prog);
+        EXPECT_EQ(first.describe(), second.describe()) << spec.prog.name;
+    }
+}
+
+TEST(Compiler, GoldenStageLayouts)
+{
+    // Full describe() snapshots for the five evaluation programs, pinned
+    // under tests/golden/. Any intentional change to scheduling, framing,
+    // pruning or hazard planning shows up as a readable diff; regenerate
+    // with EHDL_UPDATE_GOLDEN=1.
+    const bool update = std::getenv("EHDL_UPDATE_GOLDEN") != nullptr;
+    for (const AppSpec &spec : apps::paperApps()) {
+        const std::string path = std::string(EHDL_GOLDEN_DIR) + "/" +
+                                 spec.prog.name + ".txt";
+        const std::string text = compile(spec.prog).describe();
+        if (update) {
+            std::ofstream out(path);
+            ASSERT_TRUE(out.good()) << "cannot write " << path;
+            out << text;
+            continue;
+        }
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good())
+            << "missing golden file " << path
+            << " (regenerate with EHDL_UPDATE_GOLDEN=1)";
+        std::ostringstream want;
+        want << in.rdbuf();
+        EXPECT_EQ(text, want.str())
+            << spec.prog.name << ": stage layout diverged from " << path
+            << " (EHDL_UPDATE_GOLDEN=1 regenerates after intentional "
+               "changes)";
+    }
 }
 
 TEST(Compiler, MaxFlushDepthReflectsPlan)

@@ -1,0 +1,36 @@
+# Negative CLI test driver: run `ehdlc compile` on a program that must be
+# rejected, and check that it (a) exits nonzero, (b) prints the failure
+# summary, and (c) lists EVERY diagnostic — at least MIN_ERRORS lines
+# matching ERROR_REGEX — rather than stopping at the first problem.
+#
+# Usage:
+#   cmake -DEHDLC=<path> -DPROG=<file.s> [-DMIN_ERRORS=2]
+#         [-DERROR_REGEX=...] -P cli_expect_fail.cmake
+
+if(NOT DEFINED MIN_ERRORS)
+    set(MIN_ERRORS 2)
+endif()
+if(NOT DEFINED ERROR_REGEX)
+    set(ERROR_REGEX "error\\[[a-z-]+\\]")
+endif()
+
+execute_process(COMMAND "${EHDLC}" compile "${PROG}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+set(all "${out}${err}")
+
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected nonzero exit for ${PROG}, got 0; output:\n${all}")
+endif()
+if(NOT all MATCHES "failed to compile")
+    message(FATAL_ERROR "missing failure summary; output:\n${all}")
+endif()
+string(REGEX MATCHALL "${ERROR_REGEX}" matches "${all}")
+list(LENGTH matches n)
+if(n LESS ${MIN_ERRORS})
+    message(FATAL_ERROR
+            "expected at least ${MIN_ERRORS} diagnostics matching "
+            "'${ERROR_REGEX}', got ${n}; output:\n${all}")
+endif()

@@ -151,6 +151,11 @@ run(int argc, char **argv)
               << " rejected, " << stats.divergences << " divergences ("
               << stats.packetsRun << " packets, " << stats.vmInsns
               << " vm insns)\n";
+    if (!stats.rejectedByPass.empty()) {
+        std::cout << "rejections by pass:\n";
+        for (const auto &[pass, count] : stats.rejectedByPass)
+            std::cout << "  " << pass << ": " << count << "\n";
+    }
     for (const fuzz::DivergenceRecord &rec : stats.records) {
         std::cout << "divergence at iteration " << rec.iteration << ": "
                   << rec.divergence.describe() << "\n  shrunk to "

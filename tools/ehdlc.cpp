@@ -8,15 +8,22 @@
  *
  * Usage:
  *   ehdlc compile <prog> [-o out.vhd] [--frame N] [--no-ilp]
- *                 [--no-fusion] [--no-pruning] [--report]
+ *                 [--no-fusion] [--no-pruning] [--report[=out.json]]
+ *                 [--dump-after=<pass>] [--list-passes]
  *   ehdlc disasm  <prog>
  *   ehdlc verify  <prog>
  *   ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]
  *   ehdlc report  <prog>            # pipeline + resource summary
  *
  * <prog> is a textual assembly file (see ebpf/asm.hpp for the syntax), a
- * raw bytecode file (.bin, 8-byte wire slots), or an ELF relocatable
- * object (.o) produced by clang -target bpf.
+ * raw bytecode file (.bin, 8-byte wire slots), an ELF relocatable
+ * object (.o) produced by clang -target bpf, or app:<name> for one of
+ * the built-in evaluation applications (app:firewall, app:router, ...).
+ *
+ * A program the compiler rejects prints *every* verifier/classification
+ * diagnostic (not just the first) and exits nonzero. --report=<file>
+ * writes the CompileReport JSON — per-pass wall times, diagnostics and
+ * pipeline geometry — whether or not compilation succeeded.
  */
 
 #include <cstdio>
@@ -25,6 +32,7 @@
 #include <sstream>
 #include <string>
 
+#include "apps/apps.hpp"
 #include "common/logging.hpp"
 #include "ebpf/asm.hpp"
 #include "ebpf/codec.hpp"
@@ -57,10 +65,36 @@ readFile(const std::string &path)
     return body.str();
 }
 
-/** Load a program from assembly, raw bytecode or an ELF object. */
+/** Resolve an app:<name> reference to a built-in evaluation program. */
+ebpf::Program
+loadBuiltinApp(const std::string &name)
+{
+    static const std::pair<const char *, apps::AppSpec (*)()> kApps[] = {
+        {"toy", apps::makeToyCounter},
+        {"firewall", apps::makeSimpleFirewall},
+        {"router", apps::makeRouterIpv4},
+        {"tunnel", apps::makeTxIpTunnel},
+        {"dnat", apps::makeDnat},
+        {"suricata", apps::makeSuricataFilter},
+        {"leaky_bucket", apps::makeLeakyBucket},
+        {"lb", apps::makeL4LoadBalancer},
+        {"monitor", apps::makeMonitorSampler},
+    };
+    for (const auto &[key, make] : kApps)
+        if (name == key)
+            return make().prog;
+    std::string known;
+    for (const auto &[key, make] : kApps)
+        known += std::string(known.empty() ? "" : ", ") + key;
+    fatal("unknown built-in app '", name, "' (known: ", known, ")");
+}
+
+/** Load a program from assembly, raw bytecode, an ELF object or app:. */
 ebpf::Program
 loadProgram(const std::string &path)
 {
+    if (path.rfind("app:", 0) == 0)
+        return loadBuiltinApp(path.substr(4));
     const std::string body = readFile(path);
     const std::string name = [&path] {
         const size_t slash = path.find_last_of('/');
@@ -115,10 +149,20 @@ printReport(const hdl::Pipeline &pipe)
                 report.bramFrac * 100);
 }
 
+void
+listPasses()
+{
+    std::printf("compiler passes, in order:\n");
+    for (const hdl::Pass &pass : hdl::compilerPasses())
+        std::printf("  %-14s %s\n", pass.name, pass.summary);
+}
+
 int
 cmdCompile(int argc, char **argv)
 {
     std::string out_path;
+    std::string report_json;
+    std::string dump_after;
     bool report = false;
     bool testbench = false;
     hdl::PipelineOptions options;
@@ -140,16 +184,66 @@ cmdCompile(int argc, char **argv)
             options.enablePruning = false;
         else if (arg == "--report")
             report = true;
-        else if (!arg.empty() && arg[0] != '-')
+        else if (arg.rfind("--report=", 0) == 0)
+            report_json = arg.substr(9);
+        else if (arg == "--dump-after" && i + 1 < argc)
+            dump_after = argv[++i];
+        else if (arg.rfind("--dump-after=", 0) == 0)
+            dump_after = arg.substr(13);
+        else if (arg == "--list-passes") {
+            listPasses();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-')
             input = arg;
         else
             fatal("unknown option '", arg, "'");
     }
     if (input.empty())
         fatal("compile: missing input file");
+    if (!dump_after.empty() && hdl::findPass(dump_after) == nullptr) {
+        std::string names;
+        for (const std::string &n : hdl::passNames())
+            names += (names.empty() ? "" : ", ") + n;
+        fatal("--dump-after: unknown pass '", dump_after, "' (passes: ",
+              names, ")");
+    }
 
     const ebpf::Program prog = loadProgram(input);
-    const hdl::Pipeline pipe = hdl::compile(prog, options);
+    hdl::PassObserver observer;
+    if (!dump_after.empty()) {
+        observer = [&dump_after](const std::string &pass,
+                                 const hdl::CompileContext &ctx) {
+            if (pass == dump_after)
+                std::printf("== after pass '%s' ==\n%s", pass.c_str(),
+                            ctx.dump().c_str());
+        };
+    }
+    hdl::CompileResult result =
+        hdl::compileWithReport(prog, options, observer);
+
+    if (!report_json.empty()) {
+        std::ofstream json_out(report_json, std::ios::binary);
+        if (!json_out)
+            fatal("cannot write '", report_json, "'");
+        json_out << result.report.toJson().dump() << "\n";
+        std::printf("wrote compile report to %s\n", report_json.c_str());
+    }
+    for (const Diagnostic &d : result.report.diags.all()) {
+        if (d.severity != Severity::Error)
+            std::fprintf(stderr, "ehdlc: %s\n", d.str().c_str());
+    }
+    if (!result.pipeline) {
+        std::fprintf(stderr,
+                     "ehdlc: program '%s' failed to compile with %zu "
+                     "error(s):\n",
+                     prog.name.c_str(),
+                     result.report.diags.errorCount());
+        for (const Diagnostic &d : result.report.diags.all())
+            if (d.severity == Severity::Error)
+                std::fprintf(stderr, "  %s\n", d.str().c_str());
+        return 1;
+    }
+    const hdl::Pipeline &pipe = *result.pipeline;
     if (report)
         printReport(pipe);
     const std::string vhdl = hdl::generateVhdl(pipe);
@@ -345,15 +439,22 @@ usage()
         "\n"
         "usage:\n"
         "  ehdlc compile <prog> [-o out.vhd] [--frame N] [--no-ilp]\n"
-        "                [--no-fusion] [--no-pruning] [--report] [--testbench]\n"
+        "                [--no-fusion] [--no-pruning] [--report[=out.json]]\n"
+        "                [--dump-after=<pass>] [--list-passes] [--testbench]\n"
         "  ehdlc disasm  <prog>\n"
         "  ehdlc verify  <prog>\n"
         "  ehdlc report  <prog>\n"
         "  ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]\n"
         "                [--pcap-in f] [--pcap-out f] [--replicas N] [--threaded]\n"
         "\n"
-        "<prog>: textual assembly (.s), raw bytecode (.bin) or an ELF\n"
-        "object built with clang -target bpf.\n");
+        "<prog>: textual assembly (.s), raw bytecode (.bin), an ELF object\n"
+        "built with clang -target bpf, or app:<name> for a built-in\n"
+        "evaluation program (app:firewall, app:router, app:tunnel,\n"
+        "app:dnat, app:suricata, app:toy, ...).\n"
+        "\n"
+        "compile exits nonzero listing every diagnostic when the program\n"
+        "is rejected; --report=<file> writes per-pass timings, diagnostics\n"
+        "and pipeline geometry as JSON.\n");
 }
 
 }  // namespace

@@ -1,0 +1,7 @@
+; Deliberately invalid: reads two uninitialized registers. Used by the
+; cli_compile_invalid_lists_all_errors test to check that ehdlc prints
+; every verifier diagnostic (not just the first) and exits nonzero.
+r2 = r5
+r3 = r7
+r0 = 2
+exit
