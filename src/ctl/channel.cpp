@@ -1,0 +1,44 @@
+#include "ctl/channel.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace ehdl::ctl {
+
+CtlChannel::CtlChannel(CtlChannelConfig config) : config_(config)
+{
+    if (config_.roundTripCycles < 2)
+        fatal("ctl channel round trip must be at least 2 cycles");
+    if (config_.maxInFlight == 0)
+        fatal("ctl channel needs at least one in-flight transaction");
+    if (config_.maxBatchOps == 0)
+        fatal("ctl channel needs a nonzero batch limit");
+}
+
+uint64_t
+CtlChannel::submit(uint64_t want_cycle)
+{
+    uint64_t cycle = want_cycle;
+    if (anySubmitted_)
+        cycle = std::max(cycle, lastSubmit_);
+    if (window_.size() >= config_.maxInFlight) {
+        // Ring full: wait for the oldest in-flight transaction's
+        // completion to reach the host.
+        cycle = std::max(cycle, window_.front());
+        window_.pop_front();
+    }
+    lastSubmit_ = cycle;
+    anySubmitted_ = true;
+    return cycle;
+}
+
+uint64_t
+CtlChannel::complete(uint64_t apply_cycle)
+{
+    const uint64_t host_cycle = apply_cycle + downLatency();
+    window_.push_back(host_cycle);
+    return host_cycle;
+}
+
+}  // namespace ehdl::ctl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Timing model of the host↔NIC control mailbox.
+ *
+ * Commands reach the device over PCIe, modeled as a mailbox with a fixed
+ * round-trip latency in shell cycles and a bounded number of in-flight
+ * transactions (the depth of the mailbox ring). The model is deliberately
+ * simple and deterministic:
+ *
+ *   submit(want)  — the transaction leaves the host at max(want, previous
+ *                   submit, completion of the transaction maxInFlight back)
+ *                   — i.e. a full ring backpressures the host, and the
+ *                   mailbox serializes submissions.
+ *   device side   — the command is visible to the device upLatency cycles
+ *                   after submit; the controller then applies it at the
+ *                   next packet-boundary quiescence point.
+ *   complete(c)   — the device's completion at cycle c is visible to the
+ *                   host downLatency cycles later, freeing a ring slot.
+ *
+ * A batch (map_batch) costs one transaction regardless of how many map
+ * primitives it carries (up to maxBatchOps), which is exactly why batched
+ * updates amortize the round trip.
+ */
+
+#ifndef EHDL_CTL_CHANNEL_HPP_
+#define EHDL_CTL_CHANNEL_HPP_
+
+#include <cstdint>
+#include <deque>
+
+namespace ehdl::ctl {
+
+/** Mailbox/channel parameters. */
+struct CtlChannelConfig
+{
+    /**
+     * Host→device→host round trip in shell cycles. 700 cycles at the
+     * 250 MHz shell clock is 2.8 µs — a typical small-transfer PCIe
+     * round trip (two DMA/MMIO crossings plus doorbell processing).
+     */
+    uint64_t roundTripCycles = 700;
+    /** Mailbox ring depth: transactions in flight before backpressure. */
+    unsigned maxInFlight = 8;
+    /** Largest number of map primitives one map_batch may carry. */
+    unsigned maxBatchOps = 128;
+};
+
+/** Deterministic transaction-timing calculator for one mailbox. */
+class CtlChannel
+{
+  public:
+    explicit CtlChannel(CtlChannelConfig config);
+
+    const CtlChannelConfig &config() const { return config_; }
+
+    /** Host→device command latency (half the round trip). */
+    uint64_t upLatency() const { return config_.roundTripCycles / 2; }
+    /** Device→host completion latency (the other half). */
+    uint64_t
+    downLatency() const
+    {
+        return config_.roundTripCycles - upLatency();
+    }
+
+    /**
+     * Submit the next transaction, wanting to leave the host at
+     * @p want_cycle. Returns the actual (backpressured, serialized)
+     * submit cycle; the device sees the command at submit + upLatency().
+     */
+    uint64_t submit(uint64_t want_cycle);
+
+    /**
+     * Record the device-side completion of the oldest unfinished
+     * transaction at @p apply_cycle. Returns the cycle the host observes
+     * the completion (apply + downLatency()), which is when its ring
+     * slot frees.
+     */
+    uint64_t complete(uint64_t apply_cycle);
+
+  private:
+    CtlChannelConfig config_;
+    /** Host-visible completion cycles of the last maxInFlight txns. */
+    std::deque<uint64_t> window_;
+    uint64_t lastSubmit_ = 0;
+    bool anySubmitted_ = false;
+};
+
+}  // namespace ehdl::ctl
+
+#endif  // EHDL_CTL_CHANNEL_HPP_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Host control-plane command set and the scripted-schedule text format.
+ *
+ * The paper's deployments assume a host control plane (section 6): eBPF
+ * maps are shared with userspace, which reads counters and installs rules
+ * over PCIe while the pipeline forwards packets. A CtlSchedule is the
+ * host-side script of that interaction — a list of timed transactions,
+ * each carrying one command from a small set mirroring the bpf() syscall
+ * surface plus device management:
+ *
+ *   map_lookup    read one entry (value travels back over the channel)
+ *   map_update    insert/replace one entry (BPF_ANY/NOEXIST/EXIST flags)
+ *   map_delete    remove one entry
+ *   map_batch     several lookup/update/delete primitives in one mailbox
+ *                 transaction (one channel round trip, one quiescence)
+ *   stats_read    sample the datapath counters (side-band: no quiescence)
+ *   drain         block until every packet offered so far has retired
+ *   swap_program  quiesce, hot-swap the compiled pipeline, keep the maps
+ *
+ * Schedules serialize to a line-oriented text format (`*.ctl`) consumed
+ * by tools/ehdl-ctl and embedded in fuzz cases:
+ *
+ *   # comment
+ *   @120 update counters 01000000 0a00000000000000 any
+ *   @140 delete flows deadbeef00000000
+ *   @200 lookup counters 01000000
+ *   @300 stats
+ *   @400 drain
+ *   @500 swap alt
+ *   @600 batch update m 01000000 aa00000000000000 any ; delete m 02000000
+ *
+ * `@<cycle>` is the host submit time in shell cycles; keys/values are hex
+ * byte strings sized to the map's declaration; the update flags word is
+ * one of any|noexist|exist (default any). Parsing stable-sorts by cycle,
+ * so a schedule replays identically regardless of line order.
+ */
+
+#ifndef EHDL_CTL_COMMAND_HPP_
+#define EHDL_CTL_COMMAND_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/maps.hpp"
+
+namespace ehdl::ctl {
+
+/** The control-plane command set. */
+enum class CtlOpKind : uint8_t {
+    MapLookup,
+    MapUpdate,
+    MapDelete,
+    MapBatch,
+    StatsRead,
+    Drain,
+    SwapProgram,
+};
+
+/** Wire-format name of a command ("map_update", "stats_read", ...). */
+std::string ctlOpKindName(CtlOpKind kind);
+
+/** One map primitive (the payload of map_* transactions). */
+struct CtlMapOp
+{
+    /** MapLookup, MapUpdate or MapDelete only. */
+    CtlOpKind kind = CtlOpKind::MapUpdate;
+    std::string map;             ///< map declaration name
+    std::vector<uint8_t> key;    ///< keySize bytes
+    std::vector<uint8_t> value;  ///< valueSize bytes (update only)
+    uint64_t flags = ebpf::kBpfAny;  ///< update only
+
+    bool operator==(const CtlMapOp &) const = default;
+};
+
+/** One timed mailbox transaction. */
+struct CtlTxn
+{
+    /** Requested host submit time, in shell cycles. */
+    uint64_t cycle = 0;
+    CtlOpKind kind = CtlOpKind::StatsRead;
+    /** Exactly one op for map_lookup/update/delete; 1..N for map_batch. */
+    std::vector<CtlMapOp> ops;
+    /** swap_program: label of a pipeline registered with the controller. */
+    std::string program;
+
+    bool operator==(const CtlTxn &) const = default;
+};
+
+/** A host-side script: transactions in non-decreasing cycle order. */
+struct CtlSchedule
+{
+    std::vector<CtlTxn> txns;
+
+    bool empty() const { return txns.empty(); }
+    bool operator==(const CtlSchedule &) const = default;
+};
+
+/** Render @p sched in the `.ctl` text format (round-trips via parse). */
+std::string serializeSchedule(const CtlSchedule &sched);
+
+/**
+ * Parse the `.ctl` text format; transactions are stable-sorted by cycle.
+ * @throw FatalError on malformed input.
+ */
+CtlSchedule parseSchedule(const std::string &text);
+
+/** Load a schedule from @p path. @throw FatalError on I/O/parse errors. */
+CtlSchedule loadSchedule(const std::string &path);
+
+}  // namespace ehdl::ctl
+
+#endif  // EHDL_CTL_COMMAND_HPP_

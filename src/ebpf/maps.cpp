@@ -121,6 +121,14 @@ ArrayMap::snapshot() const
     return out;
 }
 
+void
+ArrayMap::copyFrom(const Map &other)
+{
+    const auto &src = static_cast<const ArrayMap &>(other);
+    values_ = src.values_;
+    generation_ = src.generation_;
+}
+
 // ---------------------------------------------------------------------
 // HashMap
 // ---------------------------------------------------------------------
@@ -227,6 +235,21 @@ HashMap::snapshot() const
                     std::vector<uint8_t>(v, v + def_.valueSize));
     }
     return out;
+}
+
+void
+HashMap::copyFrom(const Map &other)
+{
+    // Also covers LruHashMap (kind-checked by the caller): the LRU
+    // bookkeeping lives in Slot::lastUse and useClock_, both copied, so
+    // the replica evicts the same victims as the source would.
+    const auto &src = static_cast<const HashMap &>(other);
+    slots_ = src.slots_;
+    values_ = src.values_;
+    index_ = src.index_;
+    freeList_ = src.freeList_;
+    useClock_ = src.useClock_;
+    generation_ = src.generation_;
 }
 
 // ---------------------------------------------------------------------
@@ -396,6 +419,15 @@ LpmTrieMap::snapshot() const
     return out;
 }
 
+void
+LpmTrieMap::copyFrom(const Map &other)
+{
+    const auto &src = static_cast<const LpmTrieMap &>(other);
+    entries_ = src.entries_;
+    values_ = src.values_;
+    generation_ = src.generation_;
+}
+
 // ---------------------------------------------------------------------
 // MapSet
 // ---------------------------------------------------------------------
@@ -466,19 +498,16 @@ MapSet::copyContentsFrom(const MapSet &src)
         const Map &from = *src.maps_[i];
         if (dst.def().kind != from.def().kind ||
             dst.def().keySize != from.def().keySize ||
-            dst.def().valueSize != from.def().valueSize)
+            dst.def().valueSize != from.def().valueSize ||
+            dst.def().maxEntries != from.def().maxEntries)
             panic("copyContentsFrom: map ", i, " definition mismatch");
-        // Drop entries the source does not have (array entries always
-        // exist on both sides and are simply overwritten below).
-        if (dst.def().kind != MapKind::Array) {
-            const auto mine = dst.snapshot();
-            const auto theirs = from.snapshot();
-            for (const auto &[key, value] : mine)
-                if (theirs.find(key) == theirs.end())
-                    dst.erase(key.data());
-        }
-        for (const auto &[key, value] : from.snapshot())
-            dst.update(key.data(), value.data(), kBpfAny);
+        // Deep structural copy, NOT re-insertion of a snapshot: replaying
+        // sorted snapshot keys through update() would assign fresh slot
+        // indices and a fresh LRU clock, so a seeded shard would pick
+        // different eviction victims than the source under the same later
+        // operations (the seeding asymmetry between Shared and Sharded
+        // replica modes).
+        dst.copyFrom(from);
     }
 }
 

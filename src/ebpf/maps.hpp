@@ -92,6 +92,37 @@ class Map
     virtual std::map<std::vector<uint8_t>, std::vector<uint8_t>>
     snapshot() const = 0;
 
+    /**
+     * Make this map a deep copy of @p other, which must have an
+     * identical definition (kind, keySize, valueSize, maxEntries —
+     * the caller validates; implementations downcast). Unlike
+     * re-inserting a snapshot, this replicates *internal* state — slot
+     * assignment, entry indices, LRU use ordering and the generation
+     * counter — so subsequent identical operation sequences on copy and
+     * source behave identically (same eviction victims, same stable
+     * entry indices). This is the seeding contract MultiPipeSim's
+     * sharded mode and the host control plane rely on.
+     */
+    virtual void copyFrom(const Map &other) = 0;
+
+    // ------------------------------------------------------------------
+    // Host-update epoch (generation) counter.
+    // ------------------------------------------------------------------
+
+    /**
+     * Number of host-side (control-plane) write transactions applied to
+     * this map. The ctl subsystem bumps it once per applied update /
+     * delete / batch at a packet-boundary quiescence point, so a
+     * changed generation between two packets tells tests the second
+     * packet ran in a new update epoch. Not part of snapshot() or
+     * MapSet::equal (the reference VM replays host ops through the same
+     * helper, but equality is defined over contents).
+     */
+    uint64_t generation() const { return generation_; }
+
+    /** Record one applied host write transaction. */
+    void bumpGeneration() { ++generation_; }
+
     // ------------------------------------------------------------------
     // Host-side (userspace) convenience API.
     // ------------------------------------------------------------------
@@ -110,6 +141,7 @@ class Map
 
   protected:
     MapDef def_;
+    uint64_t generation_ = 0;
 };
 
 /** Vector-of-bytes hasher for key lookup tables. */
@@ -132,6 +164,7 @@ class ArrayMap : public Map
     uint32_t count() const override { return def_.maxEntries; }
     std::map<std::vector<uint8_t>, std::vector<uint8_t>>
     snapshot() const override;
+    void copyFrom(const Map &other) override;
 
   private:
     std::vector<uint8_t> values_;
@@ -151,6 +184,7 @@ class HashMap : public Map
     uint32_t count() const override;
     std::map<std::vector<uint8_t>, std::vector<uint8_t>>
     snapshot() const override;
+    void copyFrom(const Map &other) override;
 
   protected:
     /** Allocate a slot for @p key; returns -1 when full. */
@@ -205,6 +239,7 @@ class LpmTrieMap : public Map
     uint32_t count() const override;
     std::map<std::vector<uint8_t>, std::vector<uint8_t>>
     snapshot() const override;
+    void copyFrom(const Map &other) override;
 
   private:
     struct Entry
@@ -247,9 +282,18 @@ class MapSet
 
     /**
      * Replace this set's contents with a deep copy of @p src (which must
-     * have the same map definitions). Used to seed per-replica map shards
-     * in the multi-queue pipeline simulator, mirroring how per-CPU map
-     * instances each start from the loaded program's initial state.
+     * have identical map definitions, maxEntries included). Used to seed
+     * per-replica map shards in the multi-queue pipeline simulator,
+     * mirroring how per-CPU map instances each start from the loaded
+     * program's initial state.
+     *
+     * Contract (see Map::copyFrom): the copy replicates internal state —
+     * stable entry indices, LRU use ordering, generation counters — not
+     * just the key→value relation, so a shard seeded from @p src and
+     * @p src itself respond identically to any subsequent identical
+     * operation sequence (including LRU evictions under host batch
+     * updates). @p src is untouched; the sets share no storage
+     * afterwards.
      */
     void copyContentsFrom(const MapSet &src);
 

@@ -125,6 +125,14 @@ serializeCase(const FuzzCase &c)
         os << "packet " << p.id << " " << p.arrivalNs << " "
            << toHex(p.bytes) << "\n";
     }
+    if (!c.ctl.txns.empty()) {
+        // One `ctl` directive per schedule line, reusing the `.ctl`
+        // format verbatim after the directive word.
+        std::istringstream cs(ctl::serializeSchedule(c.ctl));
+        std::string line;
+        while (std::getline(cs, line))
+            os << "ctl " << line << "\n";
+    }
     os << "end\n";
     return os.str();
 }
@@ -135,6 +143,7 @@ parseCase(const std::string &text)
     FuzzCase c;
     c.prog.maps.clear();
     std::vector<uint8_t> wire;
+    std::string ctl_text;
     bool saw_format = false;
     bool saw_end = false;
 
@@ -231,6 +240,15 @@ parseCase(const std::string &text)
             p.arrivalNs = parseU64(ns, lineno);
             p.bytes = fromHex(hex, lineno);
             c.packets.push_back(std::move(p));
+        } else if (key == "ctl") {
+            std::string rest;
+            std::getline(ls, rest);
+            if (!rest.empty() && rest[0] == ' ')
+                rest.erase(0, 1);
+            if (rest.empty())
+                fatal("ehdlcase line ", lineno, ": empty ctl directive");
+            ctl_text += rest;
+            ctl_text += '\n';
         } else if (key == "end") {
             saw_end = true;
         } else {
@@ -244,6 +262,8 @@ parseCase(const std::string &text)
         fatal("ehdlcase: missing 'end' line (truncated file?)");
     if (wire.empty())
         fatal("ehdlcase: no instructions");
+    if (!ctl_text.empty())
+        c.ctl = ctl::parseSchedule(ctl_text);
     c.prog.insns = ebpf::decode(wire);
     c.prog.name = c.name;
     return c;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ctl/command.hpp"
 #include "ebpf/program.hpp"
 #include "hdl/pipeline.hpp"
 #include "net/packet.hpp"
@@ -39,6 +40,12 @@ struct FuzzCase
     std::vector<CasePacket> packets;
     /** Compiler configuration, including injected-fault knobs. */
     hdl::PipelineOptions options;
+    /**
+     * Interleaved host control-plane schedule (empty for pure datapath
+     * cases; `ctl` lines appear in the serialization only when present,
+     * so pre-ctl corpus files round-trip unchanged).
+     */
+    ctl::CtlSchedule ctl;
 
     /** Provenance (informational; replay does not re-generate). */
     uint64_t programSeed = 0;

@@ -4,9 +4,11 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "ctl/controller.hpp"
 #include "ebpf/vm.hpp"
 #include "hdl/compiler.hpp"
 #include "sim/baselines.hpp"
+#include "sim/multi_pipe_sim.hpp"
 
 namespace ehdl::fuzz {
 
@@ -85,6 +87,146 @@ wholeRun(const std::string &backend, const std::string &field,
     return d;
 }
 
+/** RefOutcome view of one VM-replay outcome (for comparePacket). */
+RefOutcome
+replayRef(const ctl::CtlVmOutcome &o)
+{
+    RefOutcome r;
+    r.result.action = o.action;
+    r.result.trapped = o.trapped;
+    r.result.redirectIfindex = o.redirectIfindex;
+    r.result.insnsExecuted = o.insnsExecuted;
+    r.bytes = o.bytes;
+    return r;
+}
+
+/**
+ * Compare one replica's simulator outcomes and final maps against the VM
+ * replay of the same packet stream + apply log. @p mine is the replica's
+ * packet stream in offer order; returns the first divergence.
+ */
+std::optional<Divergence>
+compareCtlReplica(const std::string &backend, const FuzzCase &c,
+                  const std::vector<net::Packet> &mine,
+                  const ctl::CtlRunReport &report, unsigned replica,
+                  const std::vector<sim::PacketOutcome> &outcomes,
+                  const ebpf::MapSet &dev_maps, uint64_t *vm_insns)
+{
+    ebpf::MapSet vm_maps(c.prog.maps);
+    const ctl::CtlVmReplayResult replay = ctl::replayScheduleOnVm(
+        c.prog, {}, mine, report, replica, vm_maps);
+
+    if (outcomes.size() != mine.size())
+        return wholeRun(backend, "completion",
+                        std::to_string(outcomes.size()) + " of " +
+                            std::to_string(mine.size()) +
+                            " packets completed");
+    // The pipeline retires in offer order, so outcomes align with the
+    // replay positionally.
+    for (size_t i = 0; i < mine.size(); ++i) {
+        const ctl::CtlVmOutcome &ref = replay.outcomes[i];
+        const sim::PacketOutcome &out = outcomes[i];
+        if (vm_insns != nullptr)
+            *vm_insns += ref.insnsExecuted;
+        if (out.id != ref.id)
+            return wholeRun(backend, "completion",
+                            "retirement order: packet " +
+                                std::to_string(out.id) + " where " +
+                                std::to_string(ref.id) + " expected");
+        if (auto d = comparePacket(backend, ref.id, replayRef(ref),
+                                   out.action, out.trapped,
+                                   out.redirectIfindex, out.bytes))
+            return d;
+    }
+    for (size_t t = 0; t < report.txns.size(); ++t) {
+        if (report.txns[t].results[replica] != replay.txnResults[t]) {
+            Divergence d = wholeRun(
+                backend, "ctl-op",
+                "txn " + std::to_string(t) + " (" +
+                    ctl::ctlOpKindName(report.txns[t].txn.kind) +
+                    ") device and VM host-op results differ");
+            return d;
+        }
+    }
+    if (!ebpf::MapSet::equal(vm_maps, dev_maps)) {
+        return wholeRun(backend, "maps",
+                        "final map state differs\nvm:\n" +
+                            vm_maps.dump().substr(0, 400) + "\ndevice:\n" +
+                            dev_maps.dump().substr(0, 400));
+    }
+    return std::nullopt;
+}
+
+/**
+ * The control-plane variant of the executor: the compiled pipeline runs
+ * under PipeSim and a sharded MultiPipeSim with the case's ctl schedule
+ * interleaved, each differentially checked against the VM replay of its
+ * recorded apply log.
+ */
+void
+runCtlBackends(const FuzzCase &c, const RunOptions &opts,
+               const hdl::Pipeline &pipe,
+               const std::vector<net::Packet> &packets, CaseResult &result)
+{
+    // Backend: single pipeline.
+    {
+        ebpf::MapSet pipe_maps(c.prog.maps);
+        sim::PipeSimConfig sim_config;
+        sim_config.inputQueueCapacity = opts.inputQueueCapacity;
+        try {
+            sim::PipeSim sim(pipe, pipe_maps, sim_config);
+            for (const net::Packet &pkt : packets)
+                sim.offer(pkt);
+            ctl::CtlController ctrl(sim, pipe_maps, opts.ctlChannel);
+            const ctl::CtlRunReport report = ctrl.run(c.ctl);
+            sim.drain();
+            result.flushEvents = sim.stats().flushEvents;
+            if (auto d = compareCtlReplica("pipeline", c, packets, report,
+                                           0, sim.outcomes(), pipe_maps,
+                                           &result.vmInsns)) {
+                result.divergence = std::move(d);
+                return;
+            }
+        } catch (const PanicError &e) {
+            result.divergence = wholeRun("pipeline", "panic", e.what());
+            return;
+        }
+    }
+
+    // Backend: multi-queue replication, sharded maps, mutations fanned
+    // out to every replica at its own quiescence boundary.
+    if (opts.ctlReplicas >= 2) {
+        ebpf::MapSet seed_maps(c.prog.maps);
+        sim::MultiPipeSimConfig mc;
+        mc.numReplicas = opts.ctlReplicas;
+        mc.mapMode = sim::MapMode::Sharded;
+        mc.pipe.inputQueueCapacity = opts.inputQueueCapacity;
+        try {
+            sim::MultiPipeSim multi(pipe, seed_maps, mc);
+            std::vector<std::vector<net::Packet>> streams(mc.numReplicas);
+            for (const net::Packet &pkt : packets)
+                streams[multi.dispatch(pkt)].push_back(pkt);
+            for (const net::Packet &pkt : packets)
+                multi.offer(pkt);
+            ctl::CtlController ctrl(multi, opts.ctlChannel);
+            const ctl::CtlRunReport report = ctrl.run(c.ctl);
+            multi.drain();
+            for (unsigned r = 0; r < mc.numReplicas; ++r) {
+                if (auto d = compareCtlReplica(
+                        "multi", c, streams[r], report, r,
+                        multi.replica(r).outcomes(), multi.replicaMaps(r),
+                        nullptr)) {
+                    result.divergence = std::move(d);
+                    return;
+                }
+            }
+        } catch (const PanicError &e) {
+            result.divergence = wholeRun("multi", "panic", e.what());
+            return;
+        }
+    }
+}
+
 }  // namespace
 
 std::string
@@ -104,6 +246,24 @@ runCase(const FuzzCase &c, const RunOptions &opts)
 {
     CaseResult result;
     const std::vector<net::Packet> packets = c.materializePackets();
+
+    // Cases with an interleaved control-plane schedule take the ctl
+    // executor: the VM reference is the replay of the recorded apply log,
+    // so the plain run-everything-first golden pass does not apply.
+    if (!c.ctl.txns.empty()) {
+        hdl::CompileResult compiled =
+            hdl::compileWithReport(c.prog, c.options);
+        if (!compiled.pipeline) {
+            result.rejectReason = compiled.report.diags.render();
+            const Diagnostic *first = compiled.report.diags.firstError();
+            result.rejectPass = first != nullptr ? first->pass : "unknown";
+            return result;
+        }
+        result.compiled = true;
+        result.numStages = compiled.pipeline->numStages();
+        runCtlBackends(c, opts, *compiled.pipeline, packets, result);
+        return result;
+    }
 
     // Golden model: the sequential VM, packets in arrival order.
     ebpf::MapSet vm_maps(c.prog.maps);

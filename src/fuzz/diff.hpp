@@ -10,6 +10,14 @@
  * whatever hdl::compile accepts must be observationally equal to the VM.
  * Compiler rejections (fail-closed unsupported patterns) are reported as
  * non-divergent "rejected" results so the fuzzer can count and skip them.
+ *
+ * Cases carrying a host control-plane schedule (FuzzCase::ctl) exercise the
+ * src/ctl subsystem instead of the plain drain: the schedule runs against
+ * PipeSim and a sharded MultiPipeSim through CtlController, and the VM
+ * reference comes from replaying the recorded apply log at the same packet
+ * boundaries (ctl::replayScheduleOnVm) — verdicts, rewritten bytes, host
+ * op results and final map state must all agree. The hXDP backend is
+ * skipped for such cases (its sequential engine has no update timing).
  */
 
 #ifndef EHDL_FUZZ_DIFF_HPP_
@@ -19,6 +27,7 @@
 #include <optional>
 #include <string>
 
+#include "ctl/channel.hpp"
 #include "fuzz/case.hpp"
 #include "sim/pipe_sim.hpp"
 
@@ -71,6 +80,14 @@ struct RunOptions
     bool runHxdp = true;
     /** Input queue depth for the pipeline simulator (large: no losses). */
     size_t inputQueueCapacity = 1u << 20;
+    /**
+     * Replica count of the MultiPipeSim (sharded maps) cross-check run
+     * for cases carrying a ctl schedule; < 2 disables the multi-queue
+     * backend for those cases.
+     */
+    unsigned ctlReplicas = 2;
+    /** Mailbox timing for cases carrying a ctl schedule. */
+    ctl::CtlChannelConfig ctlChannel;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "fuzz/fuzzer.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/rng.hpp"
@@ -17,6 +18,84 @@ mix(uint64_t seed, uint64_t iter, uint64_t stream)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+}
+
+/**
+ * Bytes that collide with datapath keys often: packet-derived keys are
+ * dominated by small field values, so bias each byte toward [0, 4).
+ */
+std::vector<uint8_t>
+smallBiasedBytes(Rng &rng, size_t n)
+{
+    std::vector<uint8_t> out(n);
+    for (uint8_t &b : out)
+        b = rng.chance(0.7) ? static_cast<uint8_t>(rng.below(4))
+                            : static_cast<uint8_t>(rng.below(256));
+    return out;
+}
+
+/** One random map primitive against a random declared map. */
+ctl::CtlMapOp
+randomMapOp(Rng &rng, const std::vector<ebpf::MapDef> &maps)
+{
+    const ebpf::MapDef &def = maps[rng.below(maps.size())];
+    ctl::CtlMapOp op;
+    op.map = def.name;
+    op.key = smallBiasedBytes(rng, def.keySize);
+    const uint64_t roll = rng.below(10);
+    if (roll < 6) {
+        op.kind = ctl::CtlOpKind::MapUpdate;
+        op.value = smallBiasedBytes(rng, def.valueSize);
+        op.flags = rng.chance(0.8)
+                       ? ebpf::kBpfAny
+                       : (rng.chance(0.5) ? ebpf::kBpfNoExist
+                                          : ebpf::kBpfExist);
+    } else if (roll < 8) {
+        op.kind = ctl::CtlOpKind::MapDelete;
+    } else {
+        op.kind = ctl::CtlOpKind::MapLookup;
+    }
+    return op;
+}
+
+/**
+ * A random timed control-plane schedule over the case's maps. Cycles span
+ * the workload (arrivals are in nanoseconds, 4 ns per 250 MHz cycle) plus
+ * slack past the last arrival so some transactions land on a draining or
+ * empty pipeline.
+ */
+ctl::CtlSchedule
+makeCtlSchedule(uint64_t seed, const FuzzCase &c, const FuzzOptions &opts)
+{
+    Rng rng(seed);
+    const uint64_t last_ns =
+        c.packets.empty() ? 0 : c.packets.back().arrivalNs;
+    const uint64_t max_cycle = last_ns / 4 + 2000;
+    ctl::CtlSchedule sched;
+    const unsigned count =
+        1 + static_cast<unsigned>(rng.below(opts.ctlMaxTxns));
+    for (unsigned i = 0; i < count; ++i) {
+        ctl::CtlTxn txn;
+        txn.cycle = rng.below(max_cycle + 1);
+        const uint64_t roll = rng.below(10);
+        if (roll < 7) {
+            txn.ops.push_back(randomMapOp(rng, c.prog.maps));
+            txn.kind = txn.ops[0].kind;
+        } else if (roll < 9) {
+            txn.kind = ctl::CtlOpKind::MapBatch;
+            const unsigned n = 2 + static_cast<unsigned>(rng.below(3));
+            for (unsigned j = 0; j < n; ++j)
+                txn.ops.push_back(randomMapOp(rng, c.prog.maps));
+        } else {
+            txn.kind = ctl::CtlOpKind::StatsRead;
+        }
+        sched.txns.push_back(std::move(txn));
+    }
+    std::stable_sort(sched.txns.begin(), sched.txns.end(),
+                     [](const ctl::CtlTxn &a, const ctl::CtlTxn &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return sched;
 }
 
 }  // namespace
@@ -58,6 +137,8 @@ makeCase(uint64_t seed, uint64_t iter, const FuzzOptions &opts)
 
     c.options.unsafeDisableWarBuffers = opts.injectWarBug;
     c.options.unsafeDisableFlushBlocks = opts.injectFlushBug;
+    if (opts.ctl && !c.prog.maps.empty())
+        c.ctl = makeCtlSchedule(mix(seed, iter, 3), c, opts);
     c.expectDivergence = false;
     return c;
 }

@@ -39,6 +39,16 @@ struct FuzzOptions
     bool injectWarBug = false;
     bool injectFlushBug = false;
 
+    /**
+     * Interleave a random host control-plane schedule (map updates,
+     * deletes, lookups, batches, stats reads at random cycles) into every
+     * case, cross-checking VM vs PipeSim vs sharded MultiPipeSim with the
+     * src/ctl quiescence semantics.
+     */
+    bool ctl = false;
+    /** Most transactions a generated ctl schedule may carry. */
+    unsigned ctlMaxTxns = 8;
+
     bool shrink = true;
     /** Directory for shrunk reproducers ("" = don't save). */
     std::string corpusDir;

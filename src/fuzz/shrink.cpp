@@ -134,6 +134,40 @@ constantizeInsns(FuzzCase &best, Divergence &div, Oracle &oracle)
     return any;
 }
 
+/** Drop control-plane transactions one at a time, scanning from the end. */
+bool
+shrinkCtl(FuzzCase &best, Divergence &div, Oracle &oracle)
+{
+    bool any = false;
+    bool progress = true;
+    while (progress && !oracle.exhausted()) {
+        progress = false;
+        for (size_t i = best.ctl.txns.size(); i-- > 0;) {
+            if (oracle.exhausted())
+                break;
+            FuzzCase candidate = best;
+            candidate.ctl.txns.erase(candidate.ctl.txns.begin() + i);
+            if (oracle.stillFails(candidate, &div)) {
+                best = std::move(candidate);
+                progress = true;
+                any = true;
+            }
+        }
+    }
+    return any;
+}
+
+/** True when some op in @p sched addresses map name @p name. */
+bool
+ctlReferencesMap(const ctl::CtlSchedule &sched, const std::string &name)
+{
+    for (const ctl::CtlTxn &txn : sched.txns)
+        for (const ctl::CtlMapOp &op : txn.ops)
+            if (op.map == name)
+                return true;
+    return false;
+}
+
 /** Drop map declarations no lddw map-load references any more. */
 bool
 dropUnusedMaps(FuzzCase &best, Divergence &div, Oracle &oracle)
@@ -152,6 +186,12 @@ dropUnusedMaps(FuzzCase &best, Divergence &div, Oracle &oracle)
                 break;
             }
         }
+        // Host schedules address maps by name; dropping a map that a
+        // surviving ctl op still targets would make the case invalid
+        // (CtlController rejects unknown map names) rather than smaller.
+        if (!referenced &&
+            ctlReferencesMap(best.ctl, best.prog.maps[last].name))
+            referenced = true;
         if (referenced)
             break;
         FuzzCase candidate = best;
@@ -178,12 +218,14 @@ shrinkCase(const FuzzCase &c, const ShrinkOptions &opts)
     if (!oracle.stillFails(c, &result.divergence))
         panic("shrinkCase called on a non-diverging case '", c.name, "'");
 
-    // Alternate the passes until none of them makes progress: packet
-    // reduction first (it makes every subsequent run cheaper), then
-    // deletion, then constantization (which unlocks further deletion).
+    // Alternate the passes until none of them makes progress: control-plane
+    // transactions first (each drop removes a quiesce/drain from every
+    // subsequent run), then packet reduction (it makes every run cheaper),
+    // then deletion, then constantization (which unlocks further deletion).
     bool progress = true;
     while (progress && !oracle.exhausted()) {
         progress = false;
+        progress |= shrinkCtl(result.best, result.divergence, oracle);
         progress |= shrinkPackets(result.best, result.divergence, oracle);
         progress |= shrinkInsns(result.best, result.divergence, oracle);
         progress |=

@@ -105,6 +105,13 @@ class MultiPipeSim
     static uint32_t symmetricFlowHash(const net::Packet &pkt);
 
     size_t numReplicas() const { return replicas_.size(); }
+
+    /**
+     * Direct replica access. The host control plane (src/ctl) drives
+     * quiesced map updates and program swaps through each replica's
+     * PipeSim control hooks (holdInjection / pipelineEmpty /
+     * swapPipeline); datapath users only need offer() and drain().
+     */
     PipeSim &replica(size_t i) { return *replicas_[i]; }
     const PipeSim &replica(size_t i) const { return *replicas_[i]; }
 

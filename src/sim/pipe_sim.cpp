@@ -11,6 +11,7 @@
 namespace ehdl::sim {
 
 using ebpf::ExecState;
+using ebpf::MapDef;
 using ebpf::MapSet;
 using ebpf::VmTrap;
 using ebpf::XdpAction;
@@ -659,8 +660,17 @@ struct PipeSim::Impl
                 sim.stats_.stallCycles++;
                 return;
             }
-            if (slots.empty() || inputQueue.empty())
+            if (slots.empty())
                 return;
+            if (inputQueue.empty() || injectHold) {
+                // Nothing can enter the pipeline before the fast-forward
+                // cap, so an armed cap is reached directly — the control
+                // plane advances an idle (or held) pipeline to its next
+                // mailbox event this way in O(1).
+                if (ffLimit != UINT64_MAX && ffLimit > sim.stats_.cycles)
+                    sim.stats_.cycles = ffLimit;
+                return;
+            }
             const uint64_t arrival = inputQueue.front()->arrivalNs;
             uint64_t c = sim.stats_.cycles;
             if (static_cast<uint64_t>(c * cycleNs) < arrival) {
@@ -673,6 +683,14 @@ struct PipeSim::Impl
                 c = std::max(c, est);
                 while (static_cast<uint64_t>(c * cycleNs) < arrival)
                     ++c;
+                // A control-plane event sits between now and the arrival:
+                // park at the cap instead of jumping past it, without
+                // injecting (the packet is still in the future). Stale
+                // caps at or before the current cycle are inert.
+                if (c > ffLimit && ffLimit > sim.stats_.cycles) {
+                    sim.stats_.cycles = ffLimit;
+                    return;
+                }
                 sim.stats_.cycles = c;
             }
             injectFront();
@@ -785,12 +803,13 @@ struct PipeSim::Impl
             stall_bound = replayCount > 0 ? stallBound() : -1;
         }
 
-        // 6. Inject a fresh packet.
+        // 6. Inject a fresh packet (unless the control plane holds the
+        // input while it quiesces the pipeline).
         if (reloadStall > 0) {
             --reloadStall;
             sim.stats_.stallCycles++;
-        } else if (!slots.empty() && !slots[0] && stall_bound < 0 &&
-                   !inputQueue.empty() &&
+        } else if (!injectHold && !slots.empty() && !slots[0] &&
+                   stall_bound < 0 && !inputQueue.empty() &&
                    inputQueue.front()->arrivalNs <= now_ns) {
             injectFront();
         }
@@ -841,6 +860,10 @@ struct PipeSim::Impl
     double cycleNs = 4.0;
     size_t entryBlock = 0;
     uint64_t nextSeq = 0;
+    /** Control plane: injection held while quiescing (src/ctl). */
+    bool injectHold = false;
+    /** Control plane: idle fast-forward never jumps past this cycle. */
+    uint64_t ffLimit = UINT64_MAX;
 };
 
 PipeSim::PipeSim(const Pipeline &pipe, MapSet &maps, PipeSimConfig config)
@@ -889,6 +912,82 @@ void
 PipeSim::step()
 {
     impl_->stepOnce();
+}
+
+void
+PipeSim::holdInjection(bool hold)
+{
+    impl_->injectHold = hold;
+}
+
+bool
+PipeSim::injectionHeld() const
+{
+    return impl_->injectHold;
+}
+
+bool
+PipeSim::pipelineEmpty() const
+{
+    return impl_->occupiedSlots == 0 && impl_->replayCount == 0 &&
+           impl_->pendingWrites.empty();
+}
+
+size_t
+PipeSim::queuedInput() const
+{
+    return impl_->inputQueue.size();
+}
+
+void
+PipeSim::setFastForwardLimit(uint64_t cycle_limit)
+{
+    impl_->ffLimit = cycle_limit;
+}
+
+const hdl::Pipeline &
+PipeSim::pipeline() const
+{
+    return impl_->pipe;
+}
+
+void
+PipeSim::swapPipeline(const Pipeline &next)
+{
+    if (!pipelineEmpty())
+        panic("swapPipeline called with packets in flight");
+    if (next.numStages() == 0)
+        fatal("cannot swap in an empty pipeline");
+    const std::vector<MapDef> &cur_defs = impl_->pipe.prog.maps;
+    const std::vector<MapDef> &next_defs = next.prog.maps;
+    if (cur_defs.size() != next_defs.size())
+        fatal("swapPipeline: incoming program declares ", next_defs.size(),
+              " maps, running program has ", cur_defs.size());
+    for (size_t i = 0; i < cur_defs.size(); ++i) {
+        const MapDef &a = cur_defs[i];
+        const MapDef &b = next_defs[i];
+        if (a.kind != b.kind || a.keySize != b.keySize ||
+            a.valueSize != b.valueSize || a.maxEntries != b.maxEntries)
+            fatal("swapPipeline: map ", i, " (", a.name,
+                  ") changes shape; live map carry-over requires identical "
+                  "kind/keySize/valueSize/maxEntries");
+    }
+    // The maps, statistics, and outcomes live outside Impl and survive the
+    // rebuild; queued packets have executed nothing, so their raw frames
+    // move into the new program's input queue unchanged (and keep their
+    // offered/accepted accounting — re-admission is not a new arrival).
+    MapSet &maps = impl_->maps;
+    const bool hold = impl_->injectHold;
+    const uint64_t ff_limit = impl_->ffLimit;
+    std::vector<net::Packet> queued;
+    queued.reserve(impl_->inputQueue.size());
+    for (auto &flight : impl_->inputQueue)
+        queued.push_back(std::move(flight->pkt));
+    impl_ = std::make_unique<Impl>(next, maps, *this);
+    impl_->injectHold = hold;
+    impl_->ffLimit = ff_limit;
+    for (net::Packet &pkt : queued)
+        impl_->inputQueue.push_back(impl_->acquireFlight(std::move(pkt)));
 }
 
 double

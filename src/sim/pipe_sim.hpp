@@ -108,6 +108,58 @@ class PipeSim
     /** True when no packet is queued, in flight, or awaiting replay. */
     bool idle() const;
 
+    // ------------------------------------------------------------------
+    // Host control-plane hooks (src/ctl). The controller steps the
+    // simulator cycle by cycle and uses these to realize packet-boundary
+    // quiescence: injection is held, in-flight packets drain into
+    // outcomes, queued arrivals wait unharmed, and host-side map writes
+    // or a program swap apply against an empty pipeline.
+    // ------------------------------------------------------------------
+
+    /**
+     * While held, step() admits no queued packet into stage 0; arrivals
+     * keep accumulating in the input queue (the NIC keeps receiving).
+     */
+    void holdInjection(bool hold);
+    bool injectionHeld() const;
+
+    /**
+     * True when no packet occupies a pipeline stage, awaits flush
+     * replay, or holds a parked WAR write — i.e. every admitted packet
+     * has retired and map state is architecturally settled. Queued
+     * (not-yet-admitted) packets do not count: they have executed
+     * nothing.
+     */
+    bool pipelineEmpty() const;
+
+    /** Current simulated cycle (stats().cycles). */
+    uint64_t cycle() const { return stats_.cycles; }
+
+    /** Packets waiting in the input queue (admitted by offer()). */
+    size_t queuedInput() const;
+
+    /**
+     * Cap the idle fast-forward: step() never jumps the cycle counter
+     * past @p cycle_limit (it parks there instead of injecting), so a
+     * controller with an event scheduled at that cycle observes it on
+     * time. UINT64_MAX (the default) disables the cap.
+     */
+    void setFastForwardLimit(uint64_t cycle_limit);
+
+    /**
+     * Replace the compiled pipeline under the running simulator with
+     * @p next, carrying over map contents (same MapSet), statistics,
+     * outcomes, and every queued input packet. The pipeline must be
+     * empty (pipelineEmpty()) — the control plane drains in-flight
+     * packets first — and @p next must declare maps identical in shape
+     * to the current program's (the control plane checks before
+     * submitting). @p next must outlive the simulator.
+     */
+    void swapPipeline(const hdl::Pipeline &next);
+
+    /** The pipeline currently executing (changes across swapPipeline). */
+    const hdl::Pipeline &pipeline() const;
+
     const std::vector<PacketOutcome> &outcomes() const { return outcomes_; }
     const PipeSimStats &stats() const { return stats_; }
     const PipeSimConfig &config() const { return config_; }

@@ -271,5 +271,89 @@ TEST(MapFactory, RejectsBadConfigs)
     EXPECT_THROW(makeMap({"l", MapKind::LpmTrie, 4, 8, 2}), FatalError);
 }
 
+TEST(MapSetCopy, DeepCopyPreservesContentsAndGeneration)
+{
+    const std::vector<MapDef> defs = {
+        {"h", MapKind::Hash, 4, 8, 8},
+        {"a", MapKind::Array, 4, 8, 4},
+        {"r", MapKind::LpmTrie, 8, 8, 8},
+    };
+    MapSet src(defs);
+    ASSERT_EQ(src.byName("h")->hostUpdate(key32(1), val64(10)), 0);
+    ASSERT_EQ(src.byName("a")->hostUpdate(key32(2), val64(20)), 0);
+    ASSERT_EQ(src.byName("r")->hostUpdate(lpmKey(16, 0xc0a80000),
+                                          val64(30)),
+              0);
+    src.byName("h")->bumpGeneration();
+    src.byName("h")->bumpGeneration();
+
+    MapSet dst(defs);
+    dst.copyContentsFrom(src);
+    EXPECT_TRUE(MapSet::equal(src, dst));
+    // The epoch counter travels with the contents; the source keeps its
+    // own storage (mutating the copy must not leak back).
+    EXPECT_EQ(dst.byName("h")->generation(),
+              src.byName("h")->generation());
+    ASSERT_EQ(dst.byName("h")->hostUpdate(key32(5), val64(50)), 0);
+    EXPECT_FALSE(src.byName("h")->hostLookup(key32(5)).has_value());
+}
+
+TEST(MapSetCopy, LruCopyEvictsSameVictimAsSource)
+{
+    // The copy must replicate LRU recency, not just the key→value view:
+    // after identical subsequent updates, source and copy evict the same
+    // victim. This is what lets a sharded replica seeded from the loaded
+    // state stay bit-identical to the reference under host churn.
+    const std::vector<MapDef> defs = {{"l", MapKind::LruHash, 4, 8, 3}};
+    MapSet src(defs);
+    Map *sl = src.byName("l");
+    for (uint32_t i = 1; i <= 3; ++i)
+        ASSERT_EQ(sl->hostUpdate(key32(i), val64(i)), 0);
+    // Touch 1 and 2 so key 3 is the LRU victim in the source.
+    ASSERT_TRUE(sl->hostLookup(key32(1)).has_value());
+    ASSERT_TRUE(sl->hostLookup(key32(2)).has_value());
+
+    MapSet dst(defs);
+    dst.copyContentsFrom(src);
+    Map *dl = dst.byName("l");
+    ASSERT_EQ(sl->hostUpdate(key32(4), val64(4)), 0);
+    ASSERT_EQ(dl->hostUpdate(key32(4), val64(4)), 0);
+    // Both evicted key 3, neither evicted anything else.
+    EXPECT_FALSE(sl->hostLookup(key32(3)).has_value());
+    EXPECT_FALSE(dl->hostLookup(key32(3)).has_value());
+    for (uint32_t k : {1u, 2u, 4u}) {
+        EXPECT_TRUE(sl->hostLookup(key32(k)).has_value()) << k;
+        EXPECT_TRUE(dl->hostLookup(key32(k)).has_value()) << k;
+    }
+    EXPECT_TRUE(MapSet::equal(src, dst));
+}
+
+TEST(MapSetCopy, CopiesAreIdenticalUnderIdenticalBatches)
+{
+    // Shared-mode (one set) and sharded-mode (per-replica copies) must
+    // expose identical contents after the same host batch lands on each.
+    const std::vector<MapDef> defs = {{"h", MapKind::Hash, 4, 8, 8}};
+    MapSet shared(defs);
+    ASSERT_EQ(shared.byName("h")->hostUpdate(key32(1), val64(1)), 0);
+
+    std::vector<MapSet> shards(3);
+    for (MapSet &shard : shards) {
+        shard = MapSet(defs);
+        shard.copyContentsFrom(shared);
+    }
+    const auto batch = [](MapSet &m) {
+        ASSERT_EQ(m.byName("h")->hostUpdate(key32(2), val64(2)), 0);
+        ASSERT_EQ(m.byName("h")->hostDelete(key32(1)), 0);
+        ASSERT_EQ(m.byName("h")->hostUpdate(key32(3), val64(3),
+                                            kBpfNoExist),
+                  0);
+    };
+    batch(shared);
+    for (MapSet &shard : shards) {
+        batch(shard);
+        EXPECT_TRUE(MapSet::equal(shared, shard));
+    }
+}
+
 }  // namespace
 }  // namespace ehdl::ebpf

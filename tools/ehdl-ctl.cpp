@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Host control-plane driver: runs a scripted `.ctl` schedule (see
+ * src/ctl/command.hpp for the format) against a built-in application
+ * compiled and running under PipeSim or MultiPipeSim, over the modeled
+ * PCIe mailbox channel.
+ *
+ *   ehdl-ctl run SCHEDULE.ctl [options]
+ *
+ * The workload is generated traffic (line rate, flow count and protocol
+ * from the app's suggested parameters unless overridden). The apply log —
+ * per-transaction submit/device/complete cycles, per-replica op results
+ * and polled stats snapshots — is printed as a table and optionally
+ * written to a JSON file for scripts (--stats-out). `--poll-stats N`
+ * injects a periodic stats_read every N cycles on top of the schedule,
+ * which costs the datapath nothing (stats reads are side-band).
+ *
+ * `--verify` replays the recorded apply log against the sequential
+ * reference VM (ctl::replayScheduleOnVm) and cross-checks per-packet
+ * verdicts, host op results, and final map state; it is available for the
+ * single-pipeline and sharded multi-queue backends (shared-map mode has no
+ * global sequential packet order to replay).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "ctl/controller.hpp"
+#include "ebpf/vm.hpp"
+#include "hdl/compiler.hpp"
+#include "sim/multi_pipe_sim.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace ehdl;
+
+/** Built-in application registry (accepts the ehdlc names + aliases). */
+apps::AppSpec
+resolveApp(const std::string &ref)
+{
+    const std::string name =
+        ref.rfind("app:", 0) == 0 ? ref.substr(4) : ref;
+    static const std::pair<const char *, apps::AppSpec (*)()> kApps[] = {
+        {"toy", apps::makeToyCounter},
+        {"firewall", apps::makeSimpleFirewall},
+        {"router", apps::makeRouterIpv4},
+        {"router_ipv4", apps::makeRouterIpv4},
+        {"tunnel", apps::makeTxIpTunnel},
+        {"dnat", apps::makeDnat},
+        {"suricata", apps::makeSuricataFilter},
+        {"leaky_bucket", apps::makeLeakyBucket},
+        {"lb", apps::makeL4LoadBalancer},
+        {"monitor", apps::makeMonitorSampler},
+    };
+    for (const auto &[key, make] : kApps)
+        if (name == key)
+            return make();
+    std::string known;
+    for (const auto &[key, make] : kApps)
+        known += std::string(known.empty() ? "" : ", ") + key;
+    fatal("unknown app '", ref, "' (known: ", known, ")");
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: ehdl-ctl run SCHEDULE.ctl [options]\n"
+          "\n"
+          "Runs a host control-plane schedule against a built-in app\n"
+          "compiled and simulated under generated line-rate traffic.\n"
+          "\n"
+          "options:\n"
+          "  --app NAME        application (default router_ipv4; accepts\n"
+          "                    the app: prefix and ehdlc names)\n"
+          "  --swap L=NAME     register app NAME as swap_program target L\n"
+          "  --replicas N      pipeline replicas (default 1 = single\n"
+          "                    PipeSim; >= 2 uses MultiPipeSim)\n"
+          "  --map-mode M      sharded|shared replica maps (default\n"
+          "                    sharded)\n"
+          "  --threaded        drain sharded replicas on worker threads\n"
+          "  --packets N       workload packets (default 2000)\n"
+          "  --flows N         workload flows (default 64)\n"
+          "  --rate GBPS       line rate in Gbps (default 100)\n"
+          "  --rtt N           mailbox round-trip latency, shell cycles\n"
+          "                    (default 700 ~= 2.8us at 250MHz)\n"
+          "  --inflight N      mailbox in-flight transaction window\n"
+          "                    (default 8)\n"
+          "  --poll-stats N    add a stats_read every N cycles\n"
+          "  --stats-out FILE  write the apply log + final stats as JSON\n"
+          "  --verify          cross-check against the reference VM\n"
+          "                    replay (single or sharded backends)\n"
+          "  --quiet           suppress the per-transaction table\n";
+}
+
+uint64_t
+parseNum(const char *flag, const char *value)
+{
+    if (!value)
+        fatal(flag, " requires a value");
+    try {
+        size_t pos = 0;
+        const uint64_t v = std::stoull(value, &pos);
+        if (pos != std::strlen(value))
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal(flag, ": expected a number, got '", value, "'");
+    }
+}
+
+std::string
+hex(const std::vector<uint8_t> &bytes)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    for (const uint8_t b : bytes) {
+        out += digits[b >> 4];
+        out += digits[b & 0xf];
+    }
+    return out;
+}
+
+Json
+statsJson(const sim::PipeSimStats &s, uint64_t clock_hz)
+{
+    Json j;
+    j.set("cycles", Json::integer(s.cycles))
+        .set("offered", Json::integer(s.offered))
+        .set("accepted", Json::integer(s.accepted))
+        .set("lost", Json::integer(s.lost))
+        .set("completed", Json::integer(s.completed))
+        .set("flushEvents", Json::integer(s.flushEvents))
+        .set("stallCycles", Json::integer(s.stallCycles))
+        .set("throughputMpps", Json::num(s.throughputMpps(clock_hz)));
+    return j;
+}
+
+Json
+reportJson(const ctl::CtlRunReport &report)
+{
+    Json txns = Json::array();
+    for (const ctl::CtlTxnRecord &rec : report.txns) {
+        Json t;
+        t.set("cycle", Json::integer(rec.txn.cycle))
+            .set("kind", Json::str(ctl::ctlOpKindName(rec.txn.kind)))
+            .set("submitCycle", Json::integer(rec.submitCycle))
+            .set("deviceCycle", Json::integer(rec.deviceCycle))
+            .set("completeCycle", Json::integer(rec.completeCycle));
+        Json applies = Json::array();
+        for (const uint64_t c : rec.applyCycle)
+            applies.push(Json::integer(c));
+        t.set("applyCycle", std::move(applies));
+        Json retired = Json::array();
+        for (const uint64_t n : rec.retiredBefore)
+            retired.push(Json::integer(n));
+        t.set("retiredBefore", std::move(retired));
+        if (!rec.results.empty()) {
+            Json replicas = Json::array();
+            for (const auto &ops : rec.results) {
+                Json per_op = Json::array();
+                for (const ctl::CtlOpResult &r : ops) {
+                    Json o;
+                    o.set("rc", Json::integer(
+                               static_cast<uint64_t>(r.rc < 0 ? -r.rc
+                                                              : r.rc)));
+                    if (r.rc < 0)
+                        o.set("negative", Json::boolean(true));
+                    if (r.hit || !r.value.empty()) {
+                        o.set("hit", Json::boolean(r.hit));
+                        o.set("value", Json::str(hex(r.value)));
+                    }
+                    per_op.push(std::move(o));
+                }
+                replicas.push(std::move(per_op));
+            }
+            t.set("results", std::move(replicas));
+        }
+        if (!rec.statsSnapshot.empty()) {
+            Json snaps = Json::array();
+            for (const sim::PipeSimStats &s : rec.statsSnapshot)
+                snaps.push(statsJson(s, 250'000'000));
+            t.set("stats", std::move(snaps));
+        }
+        txns.push(std::move(t));
+    }
+    Json j;
+    j.set("numReplicas", Json::integer(report.numReplicas))
+        .set("txns", std::move(txns));
+    return j;
+}
+
+struct Options
+{
+    std::string schedulePath;
+    std::string app = "router_ipv4";
+    std::vector<std::pair<std::string, std::string>> swaps;
+    unsigned replicas = 1;
+    sim::MapMode mapMode = sim::MapMode::Sharded;
+    bool threaded = false;
+    uint64_t packets = 2000;
+    uint64_t flows = 64;
+    double rateGbps = 100.0;
+    ctl::CtlChannelConfig channel;
+    uint64_t pollStats = 0;
+    std::string statsOut;
+    bool verify = false;
+    bool quiet = false;
+};
+
+/** Inject a periodic stats_read every @p period cycles over the run. */
+void
+addStatsPolling(ctl::CtlSchedule &sched, uint64_t period, uint64_t end)
+{
+    for (uint64_t cycle = period; cycle <= end; cycle += period) {
+        ctl::CtlTxn txn;
+        txn.cycle = cycle;
+        txn.kind = ctl::CtlOpKind::StatsRead;
+        sched.txns.push_back(std::move(txn));
+    }
+    std::stable_sort(sched.txns.begin(), sched.txns.end(),
+                     [](const ctl::CtlTxn &a, const ctl::CtlTxn &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+/** Cross-check one replica's stream against the VM replay of the log. */
+void
+verifyReplica(const ebpf::Program &prog,
+              const std::map<std::string, const ebpf::Program *> &programs,
+              const std::vector<net::Packet> &stream,
+              const ctl::CtlRunReport &report, unsigned replica,
+              ebpf::MapSet &vm_maps, const sim::PipeSim &sim,
+              const ebpf::MapSet &dev_maps)
+{
+    const ctl::CtlVmReplayResult replay = ctl::replayScheduleOnVm(
+        prog, programs, stream, report, replica, vm_maps);
+    const std::vector<sim::PacketOutcome> outcomes = sim.outcomes();
+    if (outcomes.size() != replay.outcomes.size())
+        fatal("verify: replica ", replica, " completed ", outcomes.size(),
+              " packets, VM replay produced ", replay.outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const sim::PacketOutcome &dev = outcomes[i];
+        const ctl::CtlVmOutcome &ref = replay.outcomes[i];
+        if (dev.id != ref.id)
+            fatal("verify: replica ", replica, " retire order differs at ",
+                  i, " (pipeline packet ", dev.id, ", vm packet ", ref.id,
+                  ")");
+        if (dev.action != ref.action || dev.trapped != ref.trapped ||
+            dev.redirectIfindex != ref.redirectIfindex ||
+            dev.bytes != ref.bytes)
+            fatal("verify: replica ", replica, " diverges on packet ",
+                  dev.id);
+    }
+    for (size_t t = 0; t < report.txns.size(); ++t) {
+        const auto &dev_results = report.txns[t].results;
+        if (replica < dev_results.size() &&
+            dev_results[replica] != replay.txnResults[t])
+            fatal("verify: replica ", replica,
+                  " host-op results differ on transaction ", t);
+    }
+    if (!ebpf::MapSet::equal(dev_maps, vm_maps))
+        fatal("verify: replica ", replica, " final map state differs");
+}
+
+int
+run(int argc, char **argv)
+{
+    Options opt;
+    int argi = 1;
+    if (argi < argc && std::string(argv[argi]) == "run")
+        ++argi;
+    for (; argi < argc; ++argi) {
+        const std::string arg = argv[argi];
+        const auto value = [&]() -> const char * {
+            return argi + 1 < argc ? argv[++argi] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--app") {
+            const char *v = value();
+            if (!v)
+                fatal("--app requires a value");
+            opt.app = v;
+        } else if (arg == "--swap") {
+            const char *v = value();
+            const char *eq = v ? std::strchr(v, '=') : nullptr;
+            if (!eq || eq == v || !eq[1])
+                fatal("--swap requires LABEL=APP");
+            opt.swaps.emplace_back(std::string(v, eq), std::string(eq + 1));
+        } else if (arg == "--replicas") {
+            opt.replicas =
+                static_cast<unsigned>(parseNum("--replicas", value()));
+        } else if (arg == "--map-mode") {
+            const char *v = value();
+            if (v && std::string(v) == "sharded")
+                opt.mapMode = sim::MapMode::Sharded;
+            else if (v && std::string(v) == "shared")
+                opt.mapMode = sim::MapMode::Shared;
+            else
+                fatal("--map-mode must be sharded or shared");
+        } else if (arg == "--threaded") {
+            opt.threaded = true;
+        } else if (arg == "--packets") {
+            opt.packets = parseNum("--packets", value());
+        } else if (arg == "--flows") {
+            opt.flows = parseNum("--flows", value());
+        } else if (arg == "--rate") {
+            opt.rateGbps =
+                static_cast<double>(parseNum("--rate", value()));
+        } else if (arg == "--rtt") {
+            opt.channel.roundTripCycles = parseNum("--rtt", value());
+        } else if (arg == "--inflight") {
+            opt.channel.maxInFlight = static_cast<unsigned>(
+                parseNum("--inflight", value()));
+        } else if (arg == "--poll-stats") {
+            opt.pollStats = parseNum("--poll-stats", value());
+        } else if (arg == "--stats-out") {
+            const char *v = value();
+            if (!v)
+                fatal("--stats-out requires a file");
+            opt.statsOut = v;
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(std::cerr);
+            fatal("unknown option '", arg, "'");
+        } else if (opt.schedulePath.empty()) {
+            opt.schedulePath = arg;
+        } else {
+            fatal("more than one schedule file given");
+        }
+    }
+    if (opt.schedulePath.empty()) {
+        usage(std::cerr);
+        fatal("a SCHEDULE.ctl file is required");
+    }
+    if (opt.replicas == 0)
+        fatal("--replicas must be at least 1");
+    if (opt.verify && opt.replicas >= 2 &&
+        opt.mapMode == sim::MapMode::Shared)
+        fatal("--verify is unavailable with --map-mode shared (no global "
+              "sequential packet order to replay)");
+
+    // Application + swap targets: compile everything up front.
+    const apps::AppSpec spec = resolveApp(opt.app);
+    const hdl::Pipeline pipe = hdl::compile(spec.prog);
+    std::vector<std::pair<std::string, apps::AppSpec>> swap_specs;
+    std::vector<std::pair<std::string, hdl::Pipeline>> swap_pipes;
+    for (const auto &[label, ref] : opt.swaps) {
+        swap_specs.emplace_back(label, resolveApp(ref));
+        swap_pipes.emplace_back(label,
+                                hdl::compile(swap_specs.back().second.prog));
+    }
+
+    ctl::CtlSchedule sched = ctl::loadSchedule(opt.schedulePath);
+
+    // Workload: the app's suggested traffic shape at the requested rate.
+    sim::TrafficConfig tc;
+    tc.numFlows = opt.flows;
+    tc.lineRateGbps = opt.rateGbps;
+    tc.ipProto = spec.ipProto;
+    tc.reverseFraction = spec.reverseFraction;
+    tc.seed = 42;
+    sim::TrafficGen gen(tc);
+    std::vector<net::Packet> packets;
+    packets.reserve(opt.packets);
+    for (uint64_t i = 0; i < opt.packets; ++i)
+        packets.push_back(gen.next());
+    if (opt.pollStats > 0) {
+        const uint64_t end = gen.nowNs() / 4 + 2000;
+        addStatsPolling(sched, opt.pollStats, end);
+    }
+
+    // VM-side program registry for --verify swap replay.
+    std::map<std::string, const ebpf::Program *> vm_programs;
+    for (const auto &[label, s] : swap_specs)
+        vm_programs.emplace(label, &s.prog);
+
+    ctl::CtlRunReport report;
+    sim::PipeSimStats final_stats;
+
+    if (opt.replicas == 1) {
+        ebpf::MapSet maps(spec.prog.maps);
+        spec.seedMaps(maps);
+        sim::PipeSimConfig sc;
+        sc.inputQueueCapacity = 1u << 20;
+        sim::PipeSim sim(pipe, maps, sc);
+        for (const net::Packet &pkt : packets)
+            sim.offer(pkt);
+        ctl::CtlController ctrl(sim, maps, opt.channel);
+        for (const auto &[label, p] : swap_pipes)
+            ctrl.addProgram(label, p);
+        report = ctrl.run(sched);
+        sim.drain();
+        final_stats = sim.stats();
+        if (opt.verify) {
+            ebpf::MapSet vm_maps(spec.prog.maps);
+            spec.seedMaps(vm_maps);
+            verifyReplica(spec.prog, vm_programs, packets, report, 0,
+                          vm_maps, sim, maps);
+        }
+    } else {
+        ebpf::MapSet seed(spec.prog.maps);
+        spec.seedMaps(seed);
+        sim::MultiPipeSimConfig mc;
+        mc.numReplicas = opt.replicas;
+        mc.mapMode = opt.mapMode;
+        mc.threaded = opt.threaded;
+        mc.pipe.inputQueueCapacity = 1u << 20;
+        sim::MultiPipeSim multi(pipe, seed, mc);
+        std::vector<std::vector<net::Packet>> streams(opt.replicas);
+        for (const net::Packet &pkt : packets)
+            streams[multi.dispatch(pkt)].push_back(pkt);
+        for (const net::Packet &pkt : packets)
+            multi.offer(pkt);
+        ctl::CtlController ctrl(multi, opt.channel);
+        for (const auto &[label, p] : swap_pipes)
+            ctrl.addProgram(label, p);
+        report = ctrl.run(sched);
+        multi.drain();
+        final_stats = multi.stats();
+        if (opt.verify) {
+            for (unsigned r = 0; r < opt.replicas; ++r) {
+                ebpf::MapSet vm_maps(spec.prog.maps);
+                spec.seedMaps(vm_maps);
+                verifyReplica(spec.prog, vm_programs, streams[r], report,
+                              r, vm_maps, multi.replica(r),
+                              multi.replicaMaps(r));
+            }
+        }
+    }
+
+    if (!opt.quiet) {
+        std::cout << "app " << spec.prog.name << ", " << opt.replicas
+                  << " replica(s), " << packets.size() << " packets, "
+                  << report.txns.size() << " transactions\n";
+        for (const ctl::CtlTxnRecord &rec : report.txns) {
+            std::cout << "  @" << rec.txn.cycle << " "
+                      << ctl::ctlOpKindName(rec.txn.kind) << ": submit="
+                      << rec.submitCycle << " device=" << rec.deviceCycle
+                      << " complete=" << rec.completeCycle;
+            if (!rec.statsSnapshot.empty())
+                std::cout << " completed="
+                          << rec.statsSnapshot[0].completed;
+            std::cout << "\n";
+        }
+        std::cout << "final: " << final_stats.completed << " completed, "
+                  << final_stats.lost << " lost, " << final_stats.cycles
+                  << " cycles, "
+                  << final_stats.throughputMpps(250'000'000) << " Mpps\n";
+        if (opt.verify)
+            std::cout << "verify: OK (VM replay matches)\n";
+    }
+
+    if (!opt.statsOut.empty()) {
+        Json root;
+        root.set("app", Json::str(spec.prog.name))
+            .set("schedule", Json::str(opt.schedulePath));
+        root.set("backend",
+                 Json::str(opt.replicas == 1 ? "pipesim" : "multipipesim"))
+            .set("replicas", Json::integer(opt.replicas))
+            .set("mapMode",
+                 Json::str(opt.mapMode == sim::MapMode::Sharded
+                               ? "sharded"
+                               : "shared"))
+            .set("threaded", Json::boolean(opt.threaded))
+            .set("channel",
+                 Json()
+                     .set("roundTripCycles",
+                          Json::integer(opt.channel.roundTripCycles))
+                     .set("maxInFlight",
+                          Json::integer(opt.channel.maxInFlight)))
+            .set("workload",
+                 Json()
+                     .set("packets", Json::integer(packets.size()))
+                     .set("flows", Json::integer(opt.flows))
+                     .set("rateGbps", Json::num(opt.rateGbps)))
+            .set("finalStats", statsJson(final_stats, 250'000'000))
+            .set("verified", Json::boolean(opt.verify))
+            .set("report", reportJson(report));
+        std::ofstream out(opt.statsOut);
+        if (!out)
+            fatal("cannot write '", opt.statsOut, "'");
+        out << root.dump() << "\n";
+        if (!opt.quiet)
+            std::cout << "stats written to " << opt.statsOut << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << "panic: " << e.what() << "\n";
+        return 3;
+    }
+}

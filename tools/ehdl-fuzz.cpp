@@ -39,6 +39,13 @@ usage(std::ostream &os)
           "  --flows N          max flows per workload (default 6)\n"
           "  --inject-war-bug   compile without WAR delay buffers\n"
           "  --inject-flush-bug compile without flush-evaluation blocks\n"
+          "  --ctl              interleave random host control-plane\n"
+          "                     schedules (map updates/deletes/lookups at\n"
+          "                     random cycles) and cross-check VM vs PipeSim\n"
+          "                     vs sharded MultiPipeSim final map state\n"
+          "  --ctl-txns N       max transactions per schedule (default 8)\n"
+          "  --ctl-replicas N   MultiPipeSim replicas for --ctl cases\n"
+          "                     (default 2, below 2 disables that backend)\n"
           "  --no-shrink        keep reproducers unreduced\n"
           "  --all              keep fuzzing past the first divergence\n"
           "  --corpus DIR       write shrunk reproducers to DIR\n"
@@ -120,6 +127,15 @@ run(int argc, char **argv)
             opts.injectWarBug = true;
         } else if (arg == "--inject-flush-bug") {
             opts.injectFlushBug = true;
+        } else if (arg == "--ctl") {
+            opts.ctl = true;
+        } else if (arg == "--ctl-txns") {
+            opts.ctlMaxTxns =
+                static_cast<unsigned>(parseNum("--ctl-txns", value()));
+        } else if (arg == "--ctl-replicas") {
+            opts.run.ctlReplicas = static_cast<unsigned>(
+                parseNum("--ctl-replicas", value()));
+            opts.shrinkOpts.run.ctlReplicas = opts.run.ctlReplicas;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (arg == "--all") {
@@ -140,6 +156,8 @@ run(int argc, char **argv)
         fatal("--packets-min/--packets-max must satisfy 1 <= min <= max");
     if (opts.maxFlows == 0)
         fatal("--flows must be at least 1");
+    if (opts.ctl && opts.ctlMaxTxns == 0)
+        fatal("--ctl-txns must be at least 1");
 
     if (!replay_paths.empty())
         return replay(replay_paths);

@@ -1,0 +1,17 @@
+# Sample host schedule for app:router_ipv4 (format: docs/CONTROL_PLANE.md).
+#
+# The routes map is an LPM trie with 8-byte keys {prefixlen u32 LE,
+# destination prefix BE} and 16-byte values {ifindex u32 LE, dmac 6B,
+# smac 6B}; rtstats is a 4-entry array of u64 counters.
+#
+# Poll counters early, install a 10/8 route mid-run, read it back,
+# zero two stats slots in one batched transaction, then withdraw the
+# route again and poll once more after the traffic tail.
+@100 stats
+@500 update routes 080000000a000000 05000000aabbccddeeff102030405060 any
+@800 lookup routes 080000000a000000
+@1200 batch update rtstats 00000000 0000000000000000 any ; update rtstats 01000000 0000000000000000 any
+@2000 stats
+@2500 delete routes 080000000a000000
+@4000 drain
+@4500 stats
