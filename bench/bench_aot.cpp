@@ -1,0 +1,206 @@
+/**
+ * @file
+ * AOT engine speedup: host-side simulation rate (simulated cycles per
+ * CPU second) of the interpretive engine vs the AOT-specialized engine
+ * (both backends) on a saturated single-queue run of each evaluation
+ * application. Every AOT row carries a stats-parity bit — the run must
+ * reproduce the interpreter's statistics, per-packet outcomes and final
+ * map contents bit-for-bit, or the speedup does not count.
+ *
+ * Results are mirrored into BENCH_aot.json:
+ *   rows[].interp_mcyc_per_s / aot_mcyc_per_s / speedup / stats_parity
+ *   aot_available: the native backend loaded (false reports the reason)
+ * EHDL_BENCH_QUICK=1 shrinks packet counts for the CI aot-smoke step.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "common/table.hpp"
+#include "sim/pipe_sim.hpp"
+
+using namespace ehdl;
+
+namespace {
+
+struct EngineRun
+{
+    sim::PipeSimStats stats;
+    std::vector<sim::PacketOutcome> outcomes;
+    ebpf::MapSet maps;
+    sim::EngineInfo info;
+    double cpuSeconds = 0;
+
+    double
+    mcycPerSec() const
+    {
+        return static_cast<double>(stats.cycles) / cpuSeconds / 1e6;
+    }
+};
+
+/** Saturated single-queue run of @p spec under the given engine. */
+EngineRun
+runEngine(const apps::AppSpec &spec, const hdl::Pipeline &pipe,
+          sim::SimEngine engine, sim::AotBackend backend, int num_packets)
+{
+    EngineRun out;
+    out.maps = ebpf::MapSet(spec.prog.maps);
+    spec.seedMaps(out.maps);
+
+    sim::TrafficConfig traffic;
+    traffic.numFlows = 10000;
+    traffic.packetLen = 64;
+    traffic.reverseFraction = spec.reverseFraction;
+    traffic.ipProto = spec.ipProto;
+    sim::TrafficGen gen(traffic);
+
+    sim::PipeSimConfig config;
+    config.inputQueueCapacity = 1u << 22;
+    config.engine = engine;
+    config.aotBackend = backend;
+    sim::PipeSim sim(pipe, out.maps, config);
+    for (int i = 0; i < num_packets; ++i) {
+        net::Packet pkt = gen.next();
+        pkt.arrivalNs = 0;  // saturating offered load
+        sim.offer(std::move(pkt));
+    }
+    const double t0 = bench::threadCpuSeconds();
+    sim.drain();
+    out.cpuSeconds = bench::threadCpuSeconds() - t0;
+    out.stats = sim.stats();
+    out.outcomes = sim.outcomes();
+    out.info = sim.engineInfo();
+    return out;
+}
+
+bool
+sameStats(const sim::PipeSimStats &a, const sim::PipeSimStats &b)
+{
+    return a.cycles == b.cycles && a.offered == b.offered &&
+           a.accepted == b.accepted && a.lost == b.lost &&
+           a.completed == b.completed && a.flushEvents == b.flushEvents &&
+           a.flushedPackets == b.flushedPackets &&
+           a.replayedStages == b.replayedStages &&
+           a.stallCycles == b.stallCycles;
+}
+
+bool
+sameOutcomes(const std::vector<sim::PacketOutcome> &a,
+             const std::vector<sim::PacketOutcome> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const sim::PacketOutcome &x = a[i];
+        const sim::PacketOutcome &y = b[i];
+        if (x.id != y.id || x.action != y.action ||
+            x.redirectIfindex != y.redirectIfindex ||
+            x.trapped != y.trapped || x.entryCycle != y.entryCycle ||
+            x.exitCycle != y.exitCycle || x.bytes != y.bytes)
+            return false;
+    }
+    return true;
+}
+
+/** Full behavioural parity: stats, per-packet outcomes, map contents. */
+bool
+parity(const EngineRun &a, const EngineRun &b)
+{
+    return sameStats(a.stats, b.stats) &&
+           sameOutcomes(a.outcomes, b.outcomes) &&
+           ebpf::MapSet::equal(a.maps, b.maps);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const bool quick = std::getenv("EHDL_BENCH_QUICK") != nullptr;
+    const int num_packets = quick ? 20000 : 400000;
+
+    bench::Json json;
+    json.set("bench", bench::Json::str("aot"));
+    json.set("quick", bench::Json::boolean(quick));
+
+    std::printf("AOT engine speedup "
+                "(%d back-to-back 64B packets, 10k flows, single queue)%s\n\n",
+                num_packets, quick ? " [quick]" : "");
+    TextTable table({"Program", "Interp Mcyc/s", "AOT Mcyc/s", "Speedup",
+                     "Native Mcyc/s", "Parity"});
+
+    bool aot_available = false;
+    std::string native_reason;
+    bool all_parity = true;
+
+    bench::Json rows = bench::Json::array();
+    for (bench::NamedApp &app : bench::paperApps()) {
+        const hdl::Pipeline pipe = hdl::compile(app.spec.prog);
+        const EngineRun interp =
+            runEngine(app.spec, pipe, sim::SimEngine::Interp,
+                      sim::AotBackend::DirectThreaded, num_packets);
+        const EngineRun aot =
+            runEngine(app.spec, pipe, sim::SimEngine::Aot,
+                      sim::AotBackend::DirectThreaded, num_packets);
+        const EngineRun native =
+            runEngine(app.spec, pipe, sim::SimEngine::Aot,
+                      sim::AotBackend::Native, num_packets);
+
+        const bool row_parity =
+            parity(interp, aot) && parity(interp, native);
+        all_parity = all_parity && row_parity;
+        if (native.info.nativeLoaded)
+            aot_available = true;
+        else if (native_reason.empty())
+            native_reason = native.info.fallbackReason;
+
+        // Report the faster of the two AOT backends as "the" AOT rate
+        // only in the table; the JSON keeps them separate.
+        const double speedup = aot.mcycPerSec() / interp.mcycPerSec();
+        table.addRow({app.name, fmtF(interp.mcycPerSec(), 1),
+                      fmtF(aot.mcycPerSec(), 1), fmtF(speedup, 2) + "x",
+                      native.info.nativeLoaded
+                          ? fmtF(native.mcycPerSec(), 1)
+                          : "n/a",
+                      row_parity ? "yes" : "NO"});
+
+        bench::Json row;
+        row.set("program", bench::Json::str(app.name));
+        row.set("sim_cycles", bench::Json::integer(interp.stats.cycles));
+        row.set("packets", bench::Json::integer(num_packets));
+        row.set("interp_mcyc_per_s",
+                bench::Json::num(interp.mcycPerSec(), 2));
+        row.set("aot_mcyc_per_s", bench::Json::num(aot.mcycPerSec(), 2));
+        row.set("speedup", bench::Json::num(speedup, 3));
+        row.set("native_loaded",
+                bench::Json::boolean(native.info.nativeLoaded));
+        if (native.info.nativeLoaded) {
+            row.set("native_mcyc_per_s",
+                    bench::Json::num(native.mcycPerSec(), 2));
+            row.set("native_speedup",
+                    bench::Json::num(
+                        native.mcycPerSec() / interp.mcycPerSec(), 3));
+        }
+        row.set("stats_parity", bench::Json::boolean(row_parity));
+        rows.push(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    json.set("rows", std::move(rows));
+    json.set("aot_available", bench::Json::boolean(aot_available));
+    if (!aot_available)
+        json.set("native_fallback_reason", bench::Json::str(native_reason));
+    json.set("stats_parity", bench::Json::boolean(all_parity));
+
+    if (!all_parity)
+        std::printf("WARNING: AOT run diverged from the interpreter!\n");
+    if (!aot_available)
+        std::printf("native backend unavailable: %s\n",
+                    native_reason.c_str());
+
+    bench::writeBenchJson("aot", json);
+    return all_parity ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <regex>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 

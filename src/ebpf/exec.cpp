@@ -176,148 +176,10 @@ ExecState::restore(const Checkpoint &cp)
 }
 
 // --- Memory ------------------------------------------------------------
-
-VmValue
-ExecState::loadCtx(int64_t off, unsigned size) const
-{
-    // xdp_md fields are u32 on the wire but the data/data_end/data_meta
-    // loads produce full pointers, mirroring the kernel verifier's special
-    // casing of those context offsets.
-    if (size != 4)
-        trap("ctx load must be 32-bit");
-    VmValue v;
-    switch (off) {
-      case kXdpMdData:
-      case kXdpMdDataMeta:
-        v.tag = PtrTag::Packet;
-        v.bits = 0;
-        v.pktGen = pktGen_;
-        return v;
-      case kXdpMdDataEnd:
-        v.tag = PtrTag::PacketEnd;
-        v.bits = pkt_->size();
-        v.pktGen = pktGen_;
-        return v;
-      case kXdpMdIngressIfindex:
-        return VmValue::scalar(pkt_->ingressIfindex);
-      case kXdpMdRxQueueIndex:
-        return VmValue::scalar(pkt_->rxQueueIndex);
-      default:
-        trap("ctx load at unsupported offset " + std::to_string(off));
-    }
-}
-
-VmValue
-ExecState::load(const VmValue &addr, int64_t off, unsigned size) const
-{
-    const int64_t at = static_cast<int64_t>(addr.bits) + off;
-    switch (addr.tag) {
-      case PtrTag::Ctx:
-        return loadCtx(at, size);
-      case PtrTag::Packet: {
-        if (addr.pktGen != pktGen_)
-            trap("stale packet pointer after adjust_head");
-        if (at < 0 || static_cast<uint64_t>(at) + size > pkt_->size())
-            trap("packet load out of bounds");
-        const uint8_t *p = pkt_->data() + at;
-        switch (size) {
-          case 1: return VmValue::scalar(*p);
-          case 2: return VmValue::scalar(loadLe<uint16_t>(p));
-          case 4: return VmValue::scalar(loadLe<uint32_t>(p));
-          case 8: return VmValue::scalar(loadLe<uint64_t>(p));
-        }
-        trap("bad load size");
-      }
-      case PtrTag::Stack: {
-        if (at < 0 || static_cast<uint64_t>(at) + size > kStackSize)
-            trap("stack load out of bounds");
-        // Reload a spilled pointer if the whole aligned slot is intact.
-        if (size == 8 && at % 8 == 0 && shadowValid_[at / 8])
-            return shadow_[at / 8];
-        const uint8_t *p = stack_.data() + at;
-        switch (size) {
-          case 1: return VmValue::scalar(*p);
-          case 2: return VmValue::scalar(loadLe<uint16_t>(p));
-          case 4: return VmValue::scalar(loadLe<uint32_t>(p));
-          case 8: return VmValue::scalar(loadLe<uint64_t>(p));
-        }
-        trap("bad load size");
-      }
-      case PtrTag::MapValue: {
-        const MapDef &def = prog_.maps.at(addr.mapId);
-        if (at < 0 || static_cast<uint64_t>(at) + size > def.valueSize)
-            trap("map value load out of bounds");
-        return VmValue::scalar(mapio_->readValue(
-            addr.mapId, addr.entry, static_cast<uint32_t>(at), size, port_));
-      }
-      default:
-        trap("load through non-pointer");
-    }
-}
-
-void
-ExecState::store(const VmValue &addr, int64_t off, unsigned size,
-                 const VmValue &value)
-{
-    const int64_t at = static_cast<int64_t>(addr.bits) + off;
-    switch (addr.tag) {
-      case PtrTag::Packet: {
-        if (addr.pktGen != pktGen_)
-            trap("stale packet pointer after adjust_head");
-        if (at < 0 || static_cast<uint64_t>(at) + size > pkt_->size())
-            trap("packet store out of bounds");
-        if (value.isPtr())
-            trap("pointer store to packet");
-        uint8_t *p = pkt_->data() + at;
-        switch (size) {
-          case 1: *p = static_cast<uint8_t>(value.bits); return;
-          case 2: storeLe<uint16_t>(p, static_cast<uint16_t>(value.bits));
-            return;
-          case 4: storeLe<uint32_t>(p, static_cast<uint32_t>(value.bits));
-            return;
-          case 8: storeLe<uint64_t>(p, value.bits); return;
-        }
-        trap("bad store size");
-      }
-      case PtrTag::Stack: {
-        if (at < 0 || static_cast<uint64_t>(at) + size > kStackSize)
-            trap("stack store out of bounds");
-        // Any write invalidates the shadow of every slot it touches;
-        // an aligned 8-byte pointer store re-establishes one.
-        for (int64_t slot = at / 8; slot <= (at + size - 1) / 8; ++slot)
-            shadowValid_[slot] = false;
-        uint8_t *p = stack_.data() + at;
-        switch (size) {
-          case 1: *p = static_cast<uint8_t>(value.bits); break;
-          case 2: storeLe<uint16_t>(p, static_cast<uint16_t>(value.bits));
-            break;
-          case 4: storeLe<uint32_t>(p, static_cast<uint32_t>(value.bits));
-            break;
-          case 8: storeLe<uint64_t>(p, value.bits); break;
-          default: trap("bad store size");
-        }
-        if (size == 8 && at % 8 == 0 && value.isPtr()) {
-            shadow_[at / 8] = value;
-            shadowValid_[at / 8] = true;
-        }
-        return;
-      }
-      case PtrTag::MapValue: {
-        const MapDef &def = prog_.maps.at(addr.mapId);
-        if (at < 0 || static_cast<uint64_t>(at) + size > def.valueSize)
-            trap("map value store out of bounds");
-        if (value.isPtr())
-            trap("pointer store to map");
-        mapio_->writeValue(addr.mapId, addr.entry, static_cast<uint32_t>(at),
-                           size, value.bits, port_);
-        return;
-      }
-      case PtrTag::Ctx:
-        trap("store to xdp_md");
-      default:
-        trap("store through non-pointer");
-    }
-}
+// The per-instruction semantics (loadCtx/load/store, the ALU, branch
+// predicates and the execute() dispatcher) live in ebpf/exec_inline.hpp;
+// only the cold paths — helper calls and bulk key/value staging — stay
+// out-of-line here.
 
 uint64_t
 ExecState::readBytes(const VmValue &addr, int64_t off, unsigned len,
@@ -356,251 +218,6 @@ ExecState::readKey(const VmValue &addr, unsigned len,
 {
     out.resize(len);
     readBytes(addr, 0, len, out.data());
-}
-
-// --- ALU ----------------------------------------------------------------
-
-void
-ExecState::execAlu(const Insn &insn)
-{
-    const bool is64 = insn.is64();
-    VmValue &dst = regs[insn.dst];
-    const AluOp op = insn.aluOp();
-
-    if (op == AluOp::End) {
-        if (dst.isPtr())
-            trap("byte swap on pointer");
-        const unsigned bits = static_cast<unsigned>(insn.imm);
-        // SrcKind::X encodes "to big endian" on a little-endian target,
-        // which means an actual swap; K ("to little endian") truncates.
-        if (insn.srcKind() == SrcKind::X) {
-            switch (bits) {
-              case 16: dst.bits = bswap16(static_cast<uint16_t>(dst.bits));
-                break;
-              case 32: dst.bits = bswap32(static_cast<uint32_t>(dst.bits));
-                break;
-              case 64: dst.bits = bswap64(dst.bits); break;
-              default: trap("bad byte swap width");
-            }
-        } else {
-            dst.bits = lowBits(dst.bits, bits);
-        }
-        return;
-    }
-
-    if (op == AluOp::Neg) {
-        if (dst.isPtr())
-            trap("negate on pointer");
-        dst.bits = is64 ? (~dst.bits + 1)
-                        : lowBits(~dst.bits + 1, 32);
-        return;
-    }
-
-    const VmValue src = insn.srcKind() == SrcKind::X
-                            ? regs[insn.src]
-                            : VmValue::scalar(static_cast<uint64_t>(
-                                  static_cast<int64_t>(insn.imm)));
-
-    if (op == AluOp::Mov) {
-        if (!is64) {
-            if (src.isPtr())
-                trap("32-bit move of pointer");
-            dst = VmValue::scalar(lowBits(src.bits, 32));
-        } else {
-            dst = src;
-        }
-        return;
-    }
-
-    // Pointer arithmetic: only 64-bit add/sub with a scalar, or pointer
-    // difference within the same region.
-    if (dst.isPtr() || src.isPtr()) {
-        if (!is64)
-            trap("32-bit ALU on pointer");
-        if (op == AluOp::Add) {
-            if (dst.isPtr() && !src.isPtr()) {
-                dst.bits += src.bits;
-                return;
-            }
-            if (!dst.isPtr() && src.isPtr()) {
-                const uint64_t delta = dst.bits;
-                dst = src;
-                dst.bits += delta;
-                return;
-            }
-            trap("pointer + pointer");
-        }
-        if (op == AluOp::Sub) {
-            if (dst.isPtr() && !src.isPtr()) {
-                dst.bits -= src.bits;
-                return;
-            }
-            // Pointer difference within one address space; Packet and
-            // PacketEnd share the packet space (the classic
-            // "data_end - data" length computation).
-            auto space = [](PtrTag t) {
-                return t == PtrTag::PacketEnd ? PtrTag::Packet : t;
-            };
-            if (dst.isPtr() && src.isPtr() &&
-                space(dst.tag) == space(src.tag) &&
-                dst.mapId == src.mapId && dst.entry == src.entry) {
-                dst = VmValue::scalar(dst.bits - src.bits);
-                return;
-            }
-            trap("invalid pointer subtraction");
-        }
-        trap("forbidden ALU op on pointer");
-    }
-
-    const uint64_t a = is64 ? dst.bits : lowBits(dst.bits, 32);
-    const uint64_t b = is64 ? src.bits : lowBits(src.bits, 32);
-    uint64_t r = 0;
-    switch (op) {
-      case AluOp::Add: r = a + b; break;
-      case AluOp::Sub: r = a - b; break;
-      case AluOp::Mul: r = a * b; break;
-      case AluOp::Div: r = b == 0 ? 0 : a / b; break;
-      case AluOp::Mod: r = b == 0 ? a : a % b; break;
-      case AluOp::Or: r = a | b; break;
-      case AluOp::And: r = a & b; break;
-      case AluOp::Xor: r = a ^ b; break;
-      case AluOp::Lsh: r = a << (b & (is64 ? 63 : 31)); break;
-      case AluOp::Rsh: r = a >> (b & (is64 ? 63 : 31)); break;
-      case AluOp::Arsh:
-        if (is64) {
-            r = static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
-        } else {
-            r = static_cast<uint64_t>(static_cast<uint32_t>(
-                static_cast<int32_t>(static_cast<uint32_t>(a)) >> (b & 31)));
-        }
-        break;
-      default:
-        trap("unsupported ALU op");
-    }
-    dst = VmValue::scalar(is64 ? r : lowBits(r, 32));
-}
-
-// --- Branches -------------------------------------------------------------
-
-bool
-ExecState::evalCond(const Insn &insn) const
-{
-    const bool is32 = insn.cls() == InsnClass::Jmp32;
-    const VmValue &lhs = regs[insn.dst];
-    const VmValue rhs = insn.srcKind() == SrcKind::X
-                            ? regs[insn.src]
-                            : VmValue::scalar(static_cast<uint64_t>(
-                                  static_cast<int64_t>(insn.imm)));
-    const JmpOp op = insn.jmpOp();
-
-    uint64_t a, b;
-    if (!lhs.isPtr() && !rhs.isPtr()) {
-        a = is32 ? lowBits(lhs.bits, 32) : lhs.bits;
-        b = is32 ? lowBits(rhs.bits, 32) : rhs.bits;
-    } else if (lhs.isPtr() && !rhs.isPtr() && rhs.bits == 0 &&
-               (op == JmpOp::Jeq || op == JmpOp::Jne)) {
-        // Null check of a pointer (e.g. a map lookup result): pointers are
-        // never null.
-        return op == JmpOp::Jne;
-    } else if (lhs.isPtr() && rhs.isPtr()) {
-        // Pointer comparison within one address space. Packet and
-        // PacketEnd share the packet space (bits = offset / length).
-        auto space = [](PtrTag t) {
-            return t == PtrTag::PacketEnd ? PtrTag::Packet : t;
-        };
-        if (space(lhs.tag) != space(rhs.tag))
-            trap("comparison across address spaces");
-        a = lhs.bits;
-        b = rhs.bits;
-    } else {
-        trap("pointer/scalar comparison");
-    }
-
-    const int64_t sa = is32 ? static_cast<int32_t>(a)
-                            : static_cast<int64_t>(a);
-    const int64_t sb = is32 ? static_cast<int32_t>(b)
-                            : static_cast<int64_t>(b);
-    switch (op) {
-      case JmpOp::Jeq: return a == b;
-      case JmpOp::Jne: return a != b;
-      case JmpOp::Jgt: return a > b;
-      case JmpOp::Jge: return a >= b;
-      case JmpOp::Jlt: return a < b;
-      case JmpOp::Jle: return a <= b;
-      case JmpOp::Jset: return (a & b) != 0;
-      case JmpOp::Jsgt: return sa > sb;
-      case JmpOp::Jsge: return sa >= sb;
-      case JmpOp::Jslt: return sa < sb;
-      case JmpOp::Jsle: return sa <= sb;
-      default:
-        trap("not a conditional jump");
-    }
-}
-
-// --- Loads / stores -------------------------------------------------------
-
-void
-ExecState::execLoad(const Insn &insn)
-{
-    if (insn.isLddw()) {
-        VmValue v;
-        if (insn.isMapLoad) {
-            if (static_cast<uint64_t>(insn.imm) >= prog_.maps.size())
-                trap("lddw references unknown map");
-            v.tag = PtrTag::MapHandle;
-            v.mapId = static_cast<uint16_t>(insn.imm);
-        } else {
-            v = VmValue::scalar(static_cast<uint64_t>(insn.imm));
-        }
-        regs[insn.dst] = v;
-        return;
-    }
-    if (insn.cls() != InsnClass::Ldx || insn.memMode() != MemMode::Mem)
-        trap("unsupported load form");
-    regs[insn.dst] =
-        load(regs[insn.src], insn.off, memSizeBytes(insn.memSize()));
-}
-
-void
-ExecState::execStore(const Insn &insn)
-{
-    const VmValue value =
-        insn.cls() == InsnClass::Stx
-            ? regs[insn.src]
-            : VmValue::scalar(
-                  static_cast<uint64_t>(static_cast<int64_t>(insn.imm)));
-    store(regs[insn.dst], insn.off, memSizeBytes(insn.memSize()), value);
-}
-
-void
-ExecState::execAtomic(const Insn &insn)
-{
-    if (insn.imm != static_cast<int32_t>(AtomicOp::Add) &&
-        insn.imm != static_cast<int32_t>(AtomicOp::AddFetch)) {
-        trap("unsupported atomic op");
-    }
-    const unsigned size = memSizeBytes(insn.memSize());
-    const VmValue &addr = regs[insn.dst];
-    const VmValue &val = regs[insn.src];
-    if (val.isPtr())
-        trap("atomic add of pointer");
-    const int64_t at = static_cast<int64_t>(addr.bits) + insn.off;
-    uint64_t old;
-    if (addr.tag == PtrTag::MapValue) {
-        const MapDef &def = prog_.maps.at(addr.mapId);
-        if (at < 0 || static_cast<uint64_t>(at) + size > def.valueSize)
-            trap("atomic out of bounds");
-        old = mapio_->atomicAdd(addr.mapId, addr.entry,
-                                static_cast<uint32_t>(at), size, val.bits,
-                                port_);
-    } else if (addr.tag == PtrTag::Stack) {
-        old = load(addr, insn.off, size).bits;
-        store(addr, insn.off, size, VmValue::scalar(old + val.bits));
-    } else {
-        trap("atomic on unsupported memory");
-    }
-    if (insn.imm == static_cast<int32_t>(AtomicOp::AddFetch))
-        regs[insn.src] = VmValue::scalar(old);
 }
 
 // --- Helper calls -----------------------------------------------------------
@@ -736,43 +353,6 @@ ExecState::execCall(const Insn &insn)
     // R1-R5 are caller-saved and clobbered by calls.
     for (unsigned r = 1; r <= 5; ++r)
         regs[r] = VmValue{};
-}
-
-void
-ExecState::execute(const Insn &insn)
-{
-    switch (insn.cls()) {
-      case InsnClass::Alu:
-      case InsnClass::Alu64:
-        if (insn.dst == kFp)
-            trap("write to read-only R10");
-        execAlu(insn);
-        return;
-      case InsnClass::Ld:
-      case InsnClass::Ldx:
-        if (insn.dst == kFp)
-            trap("write to read-only R10");
-        execLoad(insn);
-        return;
-      case InsnClass::St:
-        execStore(insn);
-        return;
-      case InsnClass::Stx:
-        if (insn.isAtomic())
-            execAtomic(insn);
-        else
-            execStore(insn);
-        return;
-      case InsnClass::Jmp:
-      case InsnClass::Jmp32:
-        if (insn.isCall()) {
-            execCall(insn);
-            return;
-        }
-        trap("execute() called on a control-flow instruction");
-      default:
-        trap("unknown instruction class");
-    }
 }
 
 }  // namespace ehdl::ebpf

@@ -167,6 +167,9 @@ class ExecState
     void setPort(unsigned port) { port_ = port; }
 
     // --- Instruction semantics ----------------------------------------
+    // Defined inline (ebpf/exec_inline.hpp) so the AOT native backend's
+    // generated code — which passes literal Insn aggregates — gets the
+    // class/op/width dispatch constant-folded per instruction site.
 
     /** Execute a non-control-flow instruction (ALU, load, store, call). */
     void execute(const Insn &insn);
@@ -277,5 +280,7 @@ class ExecState
 };
 
 }  // namespace ehdl::ebpf
+
+#include "ebpf/exec_inline.hpp"
 
 #endif  // EHDL_EBPF_EXEC_HPP_

@@ -21,16 +21,19 @@ mapKindName(MapKind kind)
     return "?";
 }
 
+namespace {
+
+/** Smallest power of two >= 2 * n (keeps probe chains short). */
 size_t
-BytesHash::operator()(const std::vector<uint8_t> &v) const
+tableCapacityFor(uint32_t n)
 {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (uint8_t b : v) {
-        h ^= b;
-        h *= 0x100000001b3ULL;
-    }
-    return static_cast<size_t>(h);
+    size_t cap = 16;
+    while (cap < 2 * size_t(n))
+        cap <<= 1;
+    return cap;
 }
+
+}  // namespace
 
 std::optional<std::vector<uint8_t>>
 Map::hostLookup(const std::vector<uint8_t> &key)
@@ -140,17 +143,92 @@ HashMap::HashMap(MapDef def) : Map(std::move(def))
     freeList_.reserve(def_.maxEntries);
     for (uint32_t i = 0; i < def_.maxEntries; ++i)
         freeList_.push_back(def_.maxEntries - 1 - i);
+    table_.assign(tableCapacityFor(def_.maxEntries), kEmpty);
+}
+
+uint64_t
+HashMap::hashKey(const uint8_t *key) const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t i = 0; i < def_.keySize; ++i) {
+        h ^= key[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+int64_t
+HashMap::findSlot(const uint8_t *key) const
+{
+    const size_t mask = table_.size() - 1;
+    for (size_t b = hashKey(key) & mask;; b = (b + 1) & mask) {
+        const int64_t v = table_[b];
+        if (v == kEmpty)
+            return -1;
+        if (v == kTombstone)
+            continue;
+        if (std::memcmp(slots_[v].key.data(), key, def_.keySize) == 0)
+            return v;
+    }
+}
+
+void
+HashMap::indexInsert(uint64_t slot)
+{
+    const size_t mask = table_.size() - 1;
+    size_t b = hashKey(slots_[slot].key.data()) & mask;
+    while (table_[b] >= 0)
+        b = (b + 1) & mask;
+    if (table_[b] == kEmpty)
+        ++tableOccupied_;
+    table_[b] = static_cast<int64_t>(slot);
+    // Live entries never exceed maxEntries (<= capacity/2); only
+    // tombstone accumulation can drive occupancy up, so a rebuild both
+    // restores headroom and drops every tombstone.
+    if (tableOccupied_ * 4 > table_.size() * 3)
+        rebuildTable();
+}
+
+void
+HashMap::indexErase(uint64_t slot)
+{
+    const size_t mask = table_.size() - 1;
+    for (size_t b = hashKey(slots_[slot].key.data()) & mask;;
+         b = (b + 1) & mask) {
+        if (table_[b] == kEmpty)
+            panic("HashMap: index missing live slot");
+        if (table_[b] == static_cast<int64_t>(slot)) {
+            table_[b] = kTombstone;
+            return;
+        }
+    }
+}
+
+void
+HashMap::rebuildTable()
+{
+    std::fill(table_.begin(), table_.end(), kEmpty);
+    tableOccupied_ = 0;
+    const size_t mask = table_.size() - 1;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].used)
+            continue;
+        size_t b = hashKey(slots_[i].key.data()) & mask;
+        while (table_[b] != kEmpty)
+            b = (b + 1) & mask;
+        table_[b] = static_cast<int64_t>(i);
+        ++tableOccupied_;
+    }
 }
 
 int64_t
 HashMap::lookup(const uint8_t *key)
 {
-    std::vector<uint8_t> k(key, key + def_.keySize);
-    auto it = index_.find(k);
-    if (it == index_.end())
+    const int64_t idx = findSlot(key);
+    if (idx < 0)
         return -1;
-    touched(it->second);
-    return static_cast<int64_t>(it->second);
+    touched(static_cast<uint64_t>(idx));
+    return idx;
 }
 
 int64_t
@@ -162,7 +240,7 @@ HashMap::allocate(const std::vector<uint8_t> &key)
     freeList_.pop_back();
     slots_[idx].used = true;
     slots_[idx].key = key;
-    index_.emplace(key, idx);
+    indexInsert(idx);
     std::memset(values_.data() + idx * def_.valueSize, 0, def_.valueSize);
     return static_cast<int64_t>(idx);
 }
@@ -170,7 +248,7 @@ HashMap::allocate(const std::vector<uint8_t> &key)
 void
 HashMap::freeSlot(uint64_t index)
 {
-    index_.erase(slots_[index].key);
+    indexErase(index);
     slots_[index] = Slot{};
     freeList_.push_back(index);
 }
@@ -178,17 +256,14 @@ HashMap::freeSlot(uint64_t index)
 int
 HashMap::update(const uint8_t *key, const uint8_t *value, uint64_t flags)
 {
-    std::vector<uint8_t> k(key, key + def_.keySize);
-    auto it = index_.find(k);
-    int64_t idx;
-    if (it != index_.end()) {
+    int64_t idx = findSlot(key);
+    if (idx >= 0) {
         if (flags == kBpfNoExist)
             return -17;  // -EEXIST
-        idx = static_cast<int64_t>(it->second);
     } else {
         if (flags == kBpfExist)
             return -2;  // -ENOENT
-        idx = allocate(k);
+        idx = allocate(std::vector<uint8_t>(key, key + def_.keySize));
         if (idx < 0)
             return -7;  // -E2BIG
     }
@@ -201,11 +276,10 @@ HashMap::update(const uint8_t *key, const uint8_t *value, uint64_t flags)
 int
 HashMap::erase(const uint8_t *key)
 {
-    std::vector<uint8_t> k(key, key + def_.keySize);
-    auto it = index_.find(k);
-    if (it == index_.end())
+    const int64_t idx = findSlot(key);
+    if (idx < 0)
         return -2;  // -ENOENT
-    freeSlot(it->second);
+    freeSlot(static_cast<uint64_t>(idx));
     return 0;
 }
 
@@ -220,7 +294,9 @@ HashMap::valueAt(uint64_t index)
 uint32_t
 HashMap::count() const
 {
-    return static_cast<uint32_t>(index_.size());
+    // Invariant: allocate() pops the free list exactly once per live
+    // entry and freeSlot() pushes once per death.
+    return def_.maxEntries - static_cast<uint32_t>(freeList_.size());
 }
 
 std::map<std::vector<uint8_t>, std::vector<uint8_t>>
@@ -246,7 +322,8 @@ HashMap::copyFrom(const Map &other)
     const auto &src = static_cast<const HashMap &>(other);
     slots_ = src.slots_;
     values_ = src.values_;
-    index_ = src.index_;
+    table_ = src.table_;
+    tableOccupied_ = src.tableOccupied_;
     freeList_ = src.freeList_;
     useClock_ = src.useClock_;
     generation_ = src.generation_;
@@ -309,23 +386,36 @@ LpmTrieMap::prefixMatch(const Entry &e, const uint8_t *data) const
 int64_t
 LpmTrieMap::lookup(const uint8_t *key)
 {
+    // order_ holds the live entries longest-prefix-first, so the first
+    // match is the longest match and the scan never visits dead slots.
+    // Within a length, indices descend — the same later-entry-wins
+    // tie-break the original full scan applied (lengths are unique per
+    // prefix anyway because update() replaces exact matches).
     const uint32_t prefix_len = loadLe<uint32_t>(key);
     const uint8_t *data = key + 4;
-    int64_t best = -1;
-    uint32_t best_len = 0;
-    for (size_t i = 0; i < entries_.size(); ++i) {
+    for (const uint32_t i : order_) {
         const Entry &e = entries_[i];
-        if (!e.used || e.prefixLen > prefix_len)
+        if (e.prefixLen > prefix_len)
             continue;
-        if (prefixMatch(e, data) &&
-            (best < 0 || e.prefixLen >= best_len)) {
-            // Ties (equal length) keep the later entry; lengths are unique
-            // per prefix anyway because update() replaces exact matches.
-            best = static_cast<int64_t>(i);
-            best_len = e.prefixLen;
-        }
+        if (prefixMatch(e, data))
+            return static_cast<int64_t>(i);
     }
-    return best;
+    return -1;
+}
+
+void
+LpmTrieMap::rebuildOrder()
+{
+    order_.clear();
+    for (size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].used)
+            order_.push_back(static_cast<uint32_t>(i));
+    std::sort(order_.begin(), order_.end(),
+              [this](uint32_t a, uint32_t b) {
+                  if (entries_[a].prefixLen != entries_[b].prefixLen)
+                      return entries_[a].prefixLen > entries_[b].prefixLen;
+                  return a > b;
+              });
 }
 
 int64_t
@@ -367,6 +457,7 @@ LpmTrieMap::update(const uint8_t *key, const uint8_t *value, uint64_t flags)
         entries_[idx].used = true;
         entries_[idx].prefixLen = prefix_len;
         entries_[idx].data.assign(data, data + dataBytes());
+        rebuildOrder();
     }
     std::memcpy(values_.data() + uint64_t(idx) * def_.valueSize, value,
                 def_.valueSize);
@@ -381,6 +472,7 @@ LpmTrieMap::erase(const uint8_t *key)
     if (idx < 0)
         return -2;
     entries_[idx] = Entry{};
+    rebuildOrder();
     return 0;
 }
 
@@ -425,6 +517,7 @@ LpmTrieMap::copyFrom(const Map &other)
     const auto &src = static_cast<const LpmTrieMap &>(other);
     entries_ = src.entries_;
     values_ = src.values_;
+    order_ = src.order_;
     generation_ = src.generation_;
 }
 

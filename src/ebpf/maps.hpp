@@ -21,7 +21,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace ehdl::ebpf {
@@ -144,12 +143,6 @@ class Map
     uint64_t generation_ = 0;
 };
 
-/** Vector-of-bytes hasher for key lookup tables. */
-struct BytesHash
-{
-    size_t operator()(const std::vector<uint8_t> &v) const;
-};
-
 /** Array map: key is a u32 index; all entries pre-exist and are zeroed. */
 class ArrayMap : public Map
 {
@@ -206,7 +199,27 @@ class HashMap : public Map
 
     std::vector<Slot> slots_;
     std::vector<uint8_t> values_;
-    std::unordered_map<std::vector<uint8_t>, uint64_t, BytesHash> index_;
+    /**
+     * Open-addressed (key hash → slot) index probed over the raw key
+     * bytes, so the hot lookup path performs no allocation. Pure
+     * accelerator: slot allocation (freeList_) and LRU order are
+     * untouched, so entry indices — which are architectural state
+     * (VmValue::entry, hazard addresses, checkpoints) — stay identical
+     * to the original map-backed index. kEmpty marks a never-used
+     * bucket, kTombstone a deleted one (probe chains continue across
+     * tombstones; the table rebuilds when they accumulate).
+     */
+    std::vector<int64_t> table_;
+    size_t tableOccupied_ = 0;  ///< live + tombstone buckets
+    static constexpr int64_t kEmpty = -1;
+    static constexpr int64_t kTombstone = -2;
+
+    uint64_t hashKey(const uint8_t *key) const;
+    /** Probe for @p key; returns the slot index or -1. */
+    int64_t findSlot(const uint8_t *key) const;
+    void indexInsert(uint64_t slot);
+    void indexErase(uint64_t slot);
+    void rebuildTable();
     std::vector<uint64_t> freeList_;
     uint64_t useClock_ = 0;
 };
@@ -252,9 +265,17 @@ class LpmTrieMap : public Map
     unsigned dataBytes() const { return def_.keySize - 4; }
     bool prefixMatch(const Entry &e, const uint8_t *data) const;
     int64_t findExact(uint32_t prefix_len, const uint8_t *data) const;
+    void rebuildOrder();
 
     std::vector<Entry> entries_;
     std::vector<uint8_t> values_;
+    /**
+     * Live entries ordered by prefix length descending (index descending
+     * within a length, preserving the scan's later-entry-wins tie-break):
+     * lookup returns the first match instead of scanning every slot.
+     * Rebuilt on mutation, which is control-plane rare.
+     */
+    std::vector<uint32_t> order_;
 };
 
 /**

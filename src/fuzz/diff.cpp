@@ -173,6 +173,8 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
         ebpf::MapSet pipe_maps(c.prog.maps);
         sim::PipeSimConfig sim_config;
         sim_config.inputQueueCapacity = opts.inputQueueCapacity;
+        sim_config.engine = opts.engine;
+        sim_config.aotBackend = opts.aotBackend;
         try {
             sim::PipeSim sim(pipe, pipe_maps, sim_config);
             for (const net::Packet &pkt : packets)
@@ -201,6 +203,8 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
         mc.numReplicas = opts.ctlReplicas;
         mc.mapMode = sim::MapMode::Sharded;
         mc.pipe.inputQueueCapacity = opts.inputQueueCapacity;
+        mc.pipe.engine = opts.engine;
+        mc.pipe.aotBackend = opts.aotBackend;
         try {
             sim::MultiPipeSim multi(pipe, seed_maps, mc);
             std::vector<std::vector<net::Packet>> streams(mc.numReplicas);
@@ -333,6 +337,8 @@ runCase(const FuzzCase &c, const RunOptions &opts)
     ebpf::MapSet pipe_maps(c.prog.maps);
     sim::PipeSimConfig sim_config;
     sim_config.inputQueueCapacity = opts.inputQueueCapacity;
+    sim_config.engine = opts.engine;
+    sim_config.aotBackend = opts.aotBackend;
     try {
         sim::PipeSim sim(pipe, pipe_maps, sim_config);
         for (const net::Packet &pkt : packets)

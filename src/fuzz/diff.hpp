@@ -88,6 +88,16 @@ struct RunOptions
     unsigned ctlReplicas = 2;
     /** Mailbox timing for cases carrying a ctl schedule. */
     ctl::CtlChannelConfig ctlChannel;
+    /**
+     * Stage-execution engine for the pipeline backends (PipeSim and the
+     * ctl MultiPipeSim cross-check). The differential contract is
+     * engine-independent, so fuzzing under SimEngine::Aot checks the
+     * specializer against the VM exactly like the interpreter is
+     * checked; divergences shrink the same way.
+     */
+    sim::SimEngine engine = sim::SimEngine::Interp;
+    /** Requested AOT backend when engine == SimEngine::Aot. */
+    sim::AotBackend aotBackend = sim::AotBackend::DirectThreaded;
 };
 
 /**

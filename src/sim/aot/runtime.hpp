@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Execution primitives shared by both AOT backends.
+ *
+ * The AOT engine (docs/PERFORMANCE.md, "AOT-specialized engine")
+ * replaces the interpreter's per-cycle walk over `hdl::StageOp` records
+ * with a per-program specialized executor. Both backends bottom out in
+ * the inline primitives defined here, which call straight into the same
+ * `ebpf::ExecState` instruction semantics the interpreter uses:
+ *
+ *  - the direct-threaded backend builds, at load time, per-stage tables
+ *    of `MicroOp` records whose handler pointers are selected per fused
+ *    op shape (sim/aot/specialize.hpp);
+ *
+ *  - the native backend generates C++ that unrolls those tables into
+ *    straight-line per-stage functions with every block id and pc
+ *    constant-folded, compiles them with the host compiler and
+ *    `dlopen`s the result (sim/aot/native.hpp). The generated source
+ *    includes exactly this header, so a native stage and a
+ *    direct-threaded stage execute byte-for-byte the same primitives.
+ *
+ * Because every primitive delegates to ExecState, the AOT engine cannot
+ * drift semantically from the interpreter on instruction behaviour
+ * (including exact trap reasons); the only thing it specializes away is
+ * dispatch.
+ */
+
+#ifndef EHDL_SIM_AOT_RUNTIME_HPP_
+#define EHDL_SIM_AOT_RUNTIME_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebpf/exec.hpp"
+#include "ebpf/isa.hpp"
+#include "ebpf/xdp.hpp"
+
+namespace ehdl::sim::aot {
+
+/**
+ * ABI version stamped into generated native modules and checked at
+ * load time. Bump whenever AotCtx, the primitives below, or the
+ * generated-code calling convention change shape.
+ *
+ * v2: table entries are fused *segment* functions — entry s executes
+ * stages [s, AotSpec::stages[s].segEnd] in one call — rather than
+ * single-stage functions.
+ */
+constexpr uint64_t kAotAbiVersion = 2;
+
+/**
+ * The per-flight execution context a specialized stage runs against.
+ * All fields point into the simulator's Flight record, so a primitive's
+ * side effects land exactly where the interpreter's would.
+ */
+struct AotCtx
+{
+    ebpf::ExecState *st = nullptr;
+    /** Basic-block enable signals (predication, paper section 3.5). */
+    std::vector<bool> *enabled = nullptr;
+    /** The post-unroll program's instruction array. */
+    const ebpf::Insn *insns = nullptr;
+    bool *exited = nullptr;
+    ebpf::XdpAction *action = nullptr;
+    uint32_t *redirectIfindex = nullptr;
+
+    bool
+    blockOn(uint32_t block) const
+    {
+        return (*enabled)[block];
+    }
+};
+
+// --- Primitives -------------------------------------------------------------
+// Each returns true when the packet latches its exit (remaining ops in
+// the stage are dead, exactly like the interpreter's executeOp).
+
+/** Conditional branch: drive the taken or fallthrough enable signal. */
+inline bool
+opBranch(AotCtx &c, uint32_t pc, uint32_t taken_block, uint32_t fall_block)
+{
+    const bool taken = c.st->evalCond(c.insns[pc]);
+    (*c.enabled)[taken ? taken_block : fall_block] = true;
+    return false;
+}
+
+/** Unconditional jump / fallthrough enable propagation. */
+inline bool
+opJump(AotCtx &c, uint32_t taken_block)
+{
+    (*c.enabled)[taken_block] = true;
+    return false;
+}
+
+/** Latch the XDP action. */
+inline bool
+opExit(AotCtx &c)
+{
+    const uint32_t code = c.st->exitCode();
+    *c.action = static_cast<ebpf::XdpAction>(code <= 4 ? code : 0);
+    *c.redirectIfindex = c.st->redirectIfindex;
+    *c.exited = true;
+    return true;
+}
+
+/** Execute one non-control-flow instruction (ALU/load/store/call). */
+inline bool
+opExec(AotCtx &c, uint32_t pc)
+{
+    c.st->execute(c.insns[pc]);
+    return false;
+}
+
+// --- Literal-instruction primitives (native backend) ------------------------
+// Generated modules pass each instruction as a braced Insn literal instead
+// of an index into c.insns. ExecState::execute/evalCond are header-inline
+// (ebpf/exec_inline.hpp), so with every field a compile-time constant the
+// host compiler folds the class/op/width dispatch, the operand selects and
+// the memory-size switches down to straight-line code per instruction —
+// while still running the interpreter's exact bodies.
+
+/** Execute one instruction given as a literal. */
+inline bool
+opExecInsn(AotCtx &c, const ebpf::Insn &insn)
+{
+    c.st->execute(insn);
+    return false;
+}
+
+/** Conditional branch on a literal instruction. */
+inline bool
+opBranchInsn(AotCtx &c, const ebpf::Insn &insn, uint32_t taken_block,
+             uint32_t fall_block)
+{
+    (*c.enabled)[c.st->evalCond(insn) ? taken_block : fall_block] = true;
+    return false;
+}
+
+// --- Direct-threaded micro-ops ---------------------------------------------
+
+struct MicroOp;
+
+/** Fused stage-op handler: returns true when the packet exits. */
+using UopFn = bool (*)(AotCtx &, const MicroOp &);
+
+/**
+ * One pre-decoded stage operation. The handler pointer is chosen at
+ * specialization time for the op's shape (single insn, fused pair,
+ * branch, ...), so the per-cycle path is one predication test plus one
+ * indirect call — no OpKind switch, no pcs vector walk.
+ */
+struct MicroOp
+{
+    UopFn fn = nullptr;
+    /** Basic block whose enable signal predicates the op. */
+    uint32_t block = 0;
+    /** Branch/Jump: taken block. Exec: first pc. */
+    uint32_t a = 0;
+    /** Branch: fallthrough block. */
+    uint32_t b = 0;
+    /** Exec runs: pointer into the spec's flattened pc pool. */
+    const uint32_t *pcs = nullptr;
+    uint32_t npcs = 0;
+};
+
+/** handler: single-instruction op (the common case). */
+inline bool
+uopExec1(AotCtx &c, const MicroOp &op)
+{
+    return opExec(c, op.a);
+}
+
+/** handler: fused instruction pair sharing one stage (section 3.2). */
+inline bool
+uopExec2(AotCtx &c, const MicroOp &op)
+{
+    opExec(c, op.pcs[0]);
+    return opExec(c, op.pcs[1]);
+}
+
+/** handler: general instruction run. */
+inline bool
+uopExecN(AotCtx &c, const MicroOp &op)
+{
+    for (uint32_t i = 0; i < op.npcs; ++i)
+        c.st->execute(c.insns[op.pcs[i]]);
+    return false;
+}
+
+/** handler: conditional branch. */
+inline bool
+uopBranch(AotCtx &c, const MicroOp &op)
+{
+    return opBranch(c, op.pcs[0], op.a, op.b);
+}
+
+/** handler: unconditional jump. */
+inline bool
+uopJump(AotCtx &c, const MicroOp &op)
+{
+    return opJump(c, op.a);
+}
+
+/** handler: exit latch. */
+inline bool
+uopExit(AotCtx &c, const MicroOp &op)
+{
+    (void)op;
+    return opExit(c);
+}
+
+/** Run one specialized stage's micro-op table. */
+inline bool
+runStageUops(AotCtx &c, const MicroOp *ops, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i) {
+        const MicroOp &op = ops[i];
+        if (!(*c.enabled)[op.block])
+            continue;
+        if (op.fn(c, op))
+            return true;
+    }
+    return false;
+}
+
+// --- Native module interface ------------------------------------------------
+
+/**
+ * Signature of one generated segment function. Entry `s` of the module
+ * table covers stages [s, segEnd(s)] as straight-line code; an exit op
+ * returns out of the whole segment, exactly like the engine skipping
+ * the remaining stages of an exited flight.
+ */
+using NativeStageFn = bool (*)(AotCtx &);
+
+/**
+ * The table a generated module exports through its single extern "C"
+ * entry point `ehdl_aot_module`. `sourceHash` is the FNV-1a hash of the
+ * generated source, which keys the on-disk cache and ties a loaded
+ * module to the exact pipeline it specializes.
+ */
+struct NativeModuleTable
+{
+    uint64_t abiVersion = 0;
+    uint64_t sourceHash = 0;
+    uint32_t numStages = 0;
+    const NativeStageFn *stages = nullptr;
+};
+
+using NativeModuleEntry = const NativeModuleTable *(*)();
+
+}  // namespace ehdl::sim::aot
+
+#endif  // EHDL_SIM_AOT_RUNTIME_HPP_

@@ -1,0 +1,203 @@
+#include "sim/aot/specialize.hpp"
+
+#include "common/logging.hpp"
+#include "ebpf/helpers.hpp"
+
+namespace ehdl::sim::aot {
+
+using hdl::OpKind;
+using hdl::Pipeline;
+using hdl::StageOp;
+
+bool
+opTouchesMap(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MapLoad:
+      case OpKind::MapStore:
+      case OpKind::MapAtomic:
+      case OpKind::MapLookup:
+      case OpKind::MapUpdate:
+      case OpKind::MapDelete:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** True when any op in the stage reads or writes map state. */
+bool
+stageTouchesMap(const hdl::Stage &stage)
+{
+    for (const StageOp &op : stage.ops) {
+        if (opTouchesMap(op.kind))
+            return true;
+        if (op.kind == OpKind::Helper) {
+            // Defense in depth: the primitive-map pass classifies map
+            // helpers as Map{Lookup,Update,Delete}, so a Helper op is
+            // packet-local by construction — but if that invariant ever
+            // changes, treat a map-flavoured helper as a map op rather
+            // than silently breaking burst correctness.
+            const ebpf::HelperInfo *info = ebpf::helperInfo(op.helperId);
+            if (info != nullptr && info->isMapOp)
+                return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+AotSpec
+buildAotSpec(const Pipeline &pipe)
+{
+    AotSpec spec;
+    spec.pipe = &pipe;
+    spec.stages.resize(pipe.numStages());
+
+    // Size the pc pool up front: MicroOp::pcs must stay stable.
+    size_t pool_bytes = 0;
+    for (const hdl::Stage &stage : pipe.stages)
+        for (const StageOp &op : stage.ops)
+            pool_bytes += op.pcs.size();
+    spec.pcPool.reserve(pool_bytes);
+
+    for (size_t s = 0; s < pipe.numStages(); ++s) {
+        const hdl::Stage &stage = pipe.stages[s];
+        AotSpec::StageInfo &info = spec.stages[s];
+        info.first = static_cast<uint32_t>(spec.uops.size());
+        info.touchesMap = stageTouchesMap(stage);
+
+        for (const StageOp &op : stage.ops) {
+            MicroOp uop;
+            uop.block = static_cast<uint32_t>(op.blockId);
+            const uint32_t pc_first =
+                static_cast<uint32_t>(spec.pcPool.size());
+            for (size_t pc : op.pcs)
+                spec.pcPool.push_back(static_cast<uint32_t>(pc));
+            uop.npcs = static_cast<uint32_t>(op.pcs.size());
+            // Resolved to a pointer after the pool stops growing.
+            uop.a = pc_first;
+
+            switch (op.kind) {
+              case OpKind::Branch:
+                uop.fn = uopBranch;
+                uop.a = static_cast<uint32_t>(op.takenBlock);
+                uop.b = static_cast<uint32_t>(op.fallBlock);
+                break;
+              case OpKind::Jump:
+                uop.fn = uopJump;
+                uop.a = static_cast<uint32_t>(op.takenBlock);
+                break;
+              case OpKind::Exit:
+                uop.fn = uopExit;
+                break;
+              default:
+                // Fused handler per run length; single-instruction ops
+                // carry their pc inline (no pool indirection).
+                if (uop.npcs == 1) {
+                    uop.fn = uopExec1;
+                    uop.a = spec.pcPool[pc_first];
+                } else if (uop.npcs == 2) {
+                    uop.fn = uopExec2;
+                } else {
+                    uop.fn = uopExecN;
+                }
+                break;
+            }
+            if (uop.fn == uopBranch || uop.fn == uopExec2 ||
+                uop.fn == uopExecN) {
+                // Remember the pool slice; pointer fixed up below.
+                uop.npcs = static_cast<uint32_t>(op.pcs.size());
+                uop.pcs = reinterpret_cast<const uint32_t *>(
+                    static_cast<uintptr_t>(pc_first));
+            }
+            spec.uops.push_back(uop);
+        }
+        info.count =
+            static_cast<uint32_t>(spec.uops.size()) - info.first;
+    }
+
+    // The pool is final: turn recorded offsets into stable pointers.
+    for (MicroOp &uop : spec.uops) {
+        if (uop.fn == uopBranch || uop.fn == uopExec2 ||
+            uop.fn == uopExecN) {
+            const uintptr_t off = reinterpret_cast<uintptr_t>(uop.pcs);
+            uop.pcs = spec.pcPool.data() + off;
+        }
+    }
+
+    // Run-ahead bursts: walk backwards so each stage inherits the
+    // map-free run that starts right behind it.
+    const size_t n = pipe.numStages();
+    if (n > 0) {
+        spec.stages[n - 1].burstEnd = static_cast<uint32_t>(n - 1);
+        for (size_t s = n - 1; s-- > 0;) {
+            if (!spec.stages[s + 1].touchesMap) {
+                spec.stages[s].burstEnd = spec.stages[s + 1].burstEnd;
+                ++spec.burstableStages;
+            } else {
+                spec.stages[s].burstEnd = static_cast<uint32_t>(s);
+            }
+        }
+    }
+
+    // Reads feed only flush-evaluation hazard scans; maps without a
+    // flush block can never match one.
+    size_t num_maps = pipe.prog.maps.size();
+    spec.recordReads.assign(num_maps, 0);
+    for (const hdl::FlushBlockPlan &plan : pipe.flushBlocks)
+        if (plan.mapId < num_maps)
+            spec.recordReads[plan.mapId] = 1;
+
+    // A checkpoint is consumed only by restoreFlight for a flush plan
+    // restarting at that buffer; every other elastic crossing would
+    // checkpoint state nothing can read back.
+    spec.checkpointNeeded.assign(pipe.elasticBuffers.size(), 0);
+    for (const hdl::FlushBlockPlan &plan : pipe.flushBlocks) {
+        if (plan.restartStage == 0)
+            continue;  // restart-0 replays from the pipeline input
+        for (size_t i = 0; i < pipe.elasticBuffers.size(); ++i)
+            if (pipe.elasticBuffers[i] == plan.restartStage)
+                spec.checkpointNeeded[i] = 1;
+    }
+
+    // Native fused segments: run until the burst ends or a live elastic
+    // buffer needs its checkpoint taken between stages.
+    std::vector<uint8_t> live_elastic(n, 0);
+    for (size_t i = 0; i < pipe.elasticBuffers.size(); ++i)
+        if (spec.checkpointNeeded[i])
+            live_elastic[pipe.elasticBuffers[i]] = 1;
+    for (size_t s = 0; s < n; ++s) {
+        uint32_t e = static_cast<uint32_t>(s);
+        while (e < spec.stages[s].burstEnd && !live_elastic[e])
+            ++e;
+        spec.stages[s].segEnd = e;
+    }
+
+    // Entry-stage closure: flights enter at stage 0 (injection and
+    // restart-0 replay) or right after a flush restart buffer; from any
+    // entry the next execution is right after that entry's burst.
+    spec.entryStage.assign(n, 0);
+    std::vector<size_t> worklist;
+    const auto add_entry = [&](size_t s) {
+        if (s < n && !spec.entryStage[s]) {
+            spec.entryStage[s] = 1;
+            worklist.push_back(s);
+        }
+    };
+    add_entry(0);
+    for (const hdl::FlushBlockPlan &plan : pipe.flushBlocks)
+        add_entry(plan.restartStage == 0 ? 0 : plan.restartStage + 1);
+    while (!worklist.empty()) {
+        const size_t s = worklist.back();
+        worklist.pop_back();
+        add_entry(spec.stages[s].burstEnd + 1);
+    }
+
+    return spec;
+}
+
+}  // namespace ehdl::sim::aot

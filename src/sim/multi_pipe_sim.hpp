@@ -130,6 +130,13 @@ class MultiPipeSim
 
     const MultiPipeSimConfig &config() const { return config_; }
 
+    /**
+     * Engine running the replicas (identical across them — every replica
+     * shares one compiled pipeline and one configuration, and the native
+     * AOT module is cached process-wide, so replica 0 speaks for all).
+     */
+    const EngineInfo &engineInfo() const { return replicas_.front()->engineInfo(); }
+
   private:
     void drainLockstep();
     void drainThreaded();

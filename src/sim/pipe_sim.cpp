@@ -7,6 +7,8 @@
 
 #include "common/logging.hpp"
 #include "ebpf/exec.hpp"
+#include "sim/aot/native.hpp"
+#include "sim/aot/specialize.hpp"
 
 namespace ehdl::sim {
 
@@ -35,6 +37,23 @@ hashKeyBytes(uint32_t map_id, const uint8_t *key, unsigned len)
 }
 
 }  // namespace
+
+bool
+parseEngineSpec(const std::string &spec, PipeSimConfig &config)
+{
+    if (spec == "interp") {
+        config.engine = SimEngine::Interp;
+    } else if (spec == "aot") {
+        config.engine = SimEngine::Aot;
+        config.aotBackend = AotBackend::DirectThreaded;
+    } else if (spec == "aot-native") {
+        config.engine = SimEngine::Aot;
+        config.aotBackend = AotBackend::Native;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 struct PipeSim::Impl
 {
@@ -89,6 +108,15 @@ struct PipeSim::Impl
             std::vector<ReadRec> reads;
         };
         std::vector<Checkpoint> checkpoints;
+
+        /**
+         * AOT engine: the execution context handed to specialized stage
+         * code, cached per flight. Every pointer targets a member whose
+         * address is stable for the flight's pooled lifetime; refreshed
+         * on acquire so a hot-swapped pipeline's instruction array is
+         * picked up.
+         */
+        aot::AotCtx aotCtx;
     };
 
     /** A write parked in a WAR delay buffer (section 4.1.1). */
@@ -114,9 +142,11 @@ struct PipeSim::Impl
         lookup(uint32_t map_id, const uint8_t *key, unsigned port) override
         {
             (void)port;
-            const unsigned klen = impl_.maps.at(map_id).def().keySize;
-            impl_.cur->reads.push_back(
-                {map_id, true, hashKeyBytes(map_id, key, klen)});
+            if (impl_.recordReads[map_id]) {
+                const unsigned klen = impl_.maps.at(map_id).def().keySize;
+                impl_.cur->reads.push_back(
+                    {map_id, true, hashKeyBytes(map_id, key, klen)});
+            }
             return impl_.maps.at(map_id).lookup(key);
         }
 
@@ -154,7 +184,8 @@ struct PipeSim::Impl
                   unsigned size, unsigned port) override
         {
             (void)port;
-            impl_.cur->reads.push_back({map_id, false, entry});
+            if (impl_.recordReads[map_id])
+                impl_.cur->reads.push_back({map_id, false, entry});
             uint8_t buf[8];
             const uint8_t *base =
                 impl_.maps.at(map_id).valueAt(entry) + off;
@@ -280,6 +311,33 @@ struct PipeSim::Impl
         for (size_t i = 0; i < pipe.flushBlocks.size(); ++i)
             flushAtStage[pipe.flushBlocks[i].writeStage].push_back(
                 static_cast<uint16_t>(i));
+
+        // Engine selection. The AOT specializer additionally prunes read
+        // recording to maps with a flush block; the interpreter records
+        // every read so it stays the unoptimized reference oracle.
+        const PipeSimConfig &cfg = owner.config();
+        EngineInfo info;
+        info.engine = cfg.engine;
+        if (cfg.engine == SimEngine::Aot) {
+            aotSpec = aot::buildAotSpec(pipe);
+            aotActive = true;
+            recordReads = aotSpec.recordReads;
+            if (cfg.aotBackend == AotBackend::Native) {
+                aot::NativeLoadResult res =
+                    aot::loadNativeModule(aotSpec, cfg.aotCacheDir);
+                if (res) {
+                    nativeMod = res.module;
+                    nativeStages = nativeMod->stages();
+                    info.backend = AotBackend::Native;
+                    info.nativeLoaded = true;
+                } else {
+                    info.fallbackReason = res.error;
+                }
+            }
+        } else {
+            recordReads.assign(pipe.prog.maps.size(), 1);
+        }
+        sim.engineInfo_ = info;
     }
 
     // --- flight pooling ---------------------------------------------------
@@ -326,6 +384,14 @@ struct PipeSim::Impl
         f->checkpoints.resize(pipe.elasticBuffers.size());
         for (Flight::Checkpoint &cp : f->checkpoints)
             cp.valid = false;
+        if (aotActive) {
+            f->aotCtx.st = f->state.get();
+            f->aotCtx.enabled = &f->blockEnabled;
+            f->aotCtx.insns = pipe.prog.insns.data();
+            f->aotCtx.exited = &f->exited;
+            f->aotCtx.action = &f->action;
+            f->aotCtx.redirectIfindex = &f->redirectIfindex;
+        }
         return f;
     }
 
@@ -532,9 +598,38 @@ struct PipeSim::Impl
 
     // --- stage execution -------------------------------------------------
 
+    /**
+     * Elastic buffers checkpoint the pipeline registers (appendix A.2).
+     * Only the liveness-pruned state entering the next stage is saved,
+     * mirroring the pruned registers the hardware buffer carries, and
+     * the per-buffer storage slot is reused so no allocation happens
+     * once its vectors have grown.
+     */
+    void
+    checkpointAt(Flight &flight, size_t stage_idx, int eb)
+    {
+        Flight::Checkpoint &cp = flight.checkpoints[eb];
+        cp.valid = true;
+        cp.stage = stage_idx;
+        flight.state->checkpointInto(cp.state,
+                                     pipe.liveRegsAfter(stage_idx),
+                                     liveSlotsAfter[eb]);
+        flight.pkt.bytesInto(cp.pktBytes);
+        cp.blockEnabled = flight.blockEnabled;
+        cp.exited = flight.exited;
+        cp.trapped = flight.trapped;
+        cp.action = flight.action;
+        cp.redirectIfindex = flight.redirectIfindex;
+        cp.reads = flight.reads;
+    }
+
     void
     executeStage(Flight &flight, size_t stage_idx)
     {
+        if (aotActive) {
+            executeStageAot(flight, stage_idx);
+            return;
+        }
         const hdl::Stage &stage = pipe.stages[stage_idx];
         // (Stages with nothing to do are skipped by the sweep in
         // stepOnce, which inlines that fast path.)
@@ -559,28 +654,83 @@ struct PipeSim::Impl
                 flight.trapReason = trap.reason;
             }
         }
-        // Elastic buffers checkpoint the pipeline registers (appendix A.2).
-        // Only the liveness-pruned state entering the next stage is saved,
-        // mirroring the pruned registers the hardware buffer carries, and
-        // the per-buffer storage slot is reused so no allocation happens
-        // once its vectors have grown.
         const int eb = elasticIndex[stage_idx];
-        if (eb >= 0) {
-            Flight::Checkpoint &cp = flight.checkpoints[eb];
-            cp.valid = true;
-            cp.stage = stage_idx;
-            flight.state->checkpointInto(cp.state,
-                                         pipe.liveRegsAfter(stage_idx),
-                                         liveSlotsAfter[eb]);
-            flight.pkt.bytesInto(cp.pktBytes);
-            cp.blockEnabled = flight.blockEnabled;
-            cp.exited = flight.exited;
-            cp.trapped = flight.trapped;
-            cp.action = flight.action;
-            cp.redirectIfindex = flight.redirectIfindex;
-            cp.reads = flight.reads;
-        }
+        if (eb >= 0)
+            checkpointAt(flight, stage_idx, eb);
         flight.lastExecuted = static_cast<int64_t>(stage_idx);
+        cur = nullptr;
+    }
+
+    /**
+     * AOT engine: execute stage @p stage_idx and burst through the
+     * map-free run behind it (sim/aot/specialize.hpp). Parked delay
+     * buffers drain only for the entry stage — later commit stages
+     * inside the burst are handled by the per-cycle commitPendingWrites
+     * pass at their architectural cycle, and the burst stages themselves
+     * touch no map, so they cannot observe the difference. Elastic
+     * buffers crossed mid-burst checkpoint packet-local state that is
+     * identical whenever it is computed — and only buffers some flush
+     * block actually restarts from are checkpointed at all
+     * (AotSpec::checkpointNeeded); the rest hold state nothing reads.
+     *
+     * The hazard port is set once for the entry stage: every deeper
+     * stage of the burst is map-free, so no other access can observe
+     * the port. Traps latch the abort exactly like the interpreter;
+     * later segments of the burst are skipped via `exited` while any
+     * remaining live checkpoint still records the post-trap state.
+     */
+    void
+    executeStageAot(Flight &flight, size_t stage_idx)
+    {
+        if (!pendingWrites.empty())
+            commitPendingWritesFor(flight, stage_idx);
+        cur = &flight;
+        const size_t burst_end = aotSpec.stages[stage_idx].burstEnd;
+        aot::AotCtx &c = flight.aotCtx;
+        flight.state->setPort(static_cast<unsigned>(stage_idx));
+        if (nativeStages != nullptr) {
+            // Native modules fuse each map-and-checkpoint-free run into
+            // one straight-line segment function; walk the burst one
+            // segment at a time.
+            for (size_t k = stage_idx; k <= burst_end;) {
+                const size_t seg_end = aotSpec.stages[k].segEnd;
+                if (!flight.exited) {
+                    if (const aot::NativeStageFn fn = nativeStages[k]) {
+                        try {
+                            fn(c);
+                        } catch (const VmTrap &trap) {
+                            flight.trapped = true;
+                            flight.exited = true;
+                            flight.action = XdpAction::Aborted;
+                            flight.trapReason = trap.reason;
+                        }
+                    }
+                }
+                const int eb = elasticIndex[seg_end];
+                if (eb >= 0 && aotSpec.checkpointNeeded[eb])
+                    checkpointAt(flight, seg_end, eb);
+                k = seg_end + 1;
+            }
+        } else {
+            for (size_t k = stage_idx; k <= burst_end; ++k) {
+                const aot::AotSpec::StageInfo &si = aotSpec.stages[k];
+                if (!flight.exited && si.count != 0) {
+                    try {
+                        aot::runStageUops(c, aotSpec.uops.data() + si.first,
+                                          si.count);
+                    } catch (const VmTrap &trap) {
+                        flight.trapped = true;
+                        flight.exited = true;
+                        flight.action = XdpAction::Aborted;
+                        flight.trapReason = trap.reason;
+                    }
+                }
+                const int eb = elasticIndex[k];
+                if (eb >= 0 && aotSpec.checkpointNeeded[eb])
+                    checkpointAt(flight, k, eb);
+            }
+        }
+        flight.lastExecuted = static_cast<int64_t>(burst_end);
         cur = nullptr;
     }
 
@@ -636,7 +786,8 @@ struct PipeSim::Impl
     void
     injectFront()
     {
-        std::unique_ptr<Flight> f = std::move(inputQueue.front());
+        std::unique_ptr<Flight> f =
+            acquireFlight(std::move(inputQueue.front()));
         inputQueue.pop_front();
         f->entryCycle = sim.stats_.cycles;
         slots[0] = std::move(f);
@@ -671,7 +822,7 @@ struct PipeSim::Impl
                     sim.stats_.cycles = ffLimit;
                 return;
             }
-            const uint64_t arrival = inputQueue.front()->arrivalNs;
+            const uint64_t arrival = inputQueue.front().arrivalNs;
             uint64_t c = sim.stats_.cycles;
             if (static_cast<uint64_t>(c * cycleNs) < arrival) {
                 // Find the first cycle whose timestamp covers the arrival,
@@ -720,21 +871,46 @@ struct PipeSim::Impl
             static_cast<int64_t>(slots.size()) - 1, sweepBound + 1);
         int64_t deepest = -1;
         size_t seen = 0;
-        for (int64_t s = sweep_top; s >= 0 && seen < occupiedSlots; --s) {
-            Flight *const f = slots[s].get();
-            if (f == nullptr)
-                continue;
-            ++seen;
-            if (deepest < 0)
-                deepest = s;
-            if (f->lastExecuted >= s)
-                continue;
-            if ((f->exited || !stageHasOps[s]) && elasticIndex[s] < 0 &&
-                no_pending) {
-                f->lastExecuted = s;
-                continue;
+        if (aotActive) {
+            // AOT sweep: bursts always run through burstEnd, so a flight
+            // can only be due for execution at a statically known entry
+            // stage (AotSpec::entryStage); everywhere else its occupant
+            // provably satisfies lastExecuted >= stage and the sweep
+            // need not even touch the flight record — the dominant cost
+            // of the generic sweep on deep pipelines.
+            const uint8_t *const entry = aotSpec.entryStage.data();
+            for (int64_t s = sweep_top; s >= 0 && seen < occupiedSlots;
+                 --s) {
+                if (slots[s] == nullptr)
+                    continue;
+                ++seen;
+                if (deepest < 0)
+                    deepest = s;
+                if (!entry[s])
+                    continue;
+                Flight *const f = slots[s].get();
+                if (f->lastExecuted >= s)
+                    continue;  // stall-held at an entry stage
+                executeStageAot(*f, static_cast<size_t>(s));
             }
-            executeStage(*f, static_cast<size_t>(s));
+        } else {
+            for (int64_t s = sweep_top; s >= 0 && seen < occupiedSlots;
+                 --s) {
+                Flight *const f = slots[s].get();
+                if (f == nullptr)
+                    continue;
+                ++seen;
+                if (deepest < 0)
+                    deepest = s;
+                if (f->lastExecuted >= s)
+                    continue;
+                if ((f->exited || !stageHasOps[s]) &&
+                    elasticIndex[s] < 0 && no_pending) {
+                    f->lastExecuted = s;
+                    continue;
+                }
+                executeStage(*f, static_cast<size_t>(s));
+            }
         }
         sweepBound = deepest;
 
@@ -754,7 +930,7 @@ struct PipeSim::Impl
             out.trapReason = f.exited ? f.trapReason : "no exit reached";
             out.entryCycle = f.entryCycle;
             out.exitCycle = sim.stats_.cycles;
-            out.bytes = f.pkt.bytes();
+            f.pkt.bytesInto(out.bytes);
             sim.outcomes_.push_back(std::move(out));
             sim.stats_.completed++;
             // Orphan any pending writes (should have committed already).
@@ -810,7 +986,7 @@ struct PipeSim::Impl
             sim.stats_.stallCycles++;
         } else if (!injectHold && !slots.empty() && !slots[0] &&
                    stall_bound < 0 && !inputQueue.empty() &&
-                   inputQueue.front()->arrivalNs <= now_ns) {
+                   inputQueue.front().arrivalNs <= now_ns) {
             injectFront();
         }
     }
@@ -828,7 +1004,14 @@ struct PipeSim::Impl
     HazardMapIo io;
 
     std::vector<std::unique_ptr<Flight>> slots;
-    std::deque<std::unique_ptr<Flight>> inputQueue;
+    /**
+     * Raw packets awaiting injection. Flights (with their ExecState)
+     * materialize only when a packet enters stage 0, so the live
+     * working set is the pipeline depth — not the queue depth — and a
+     * saturating offered load stays cache-resident instead of paging
+     * through one pre-built Flight per queued packet.
+     */
+    std::deque<net::Packet> inputQueue;
     std::map<size_t, std::deque<std::unique_ptr<Flight>>> replayQueues;
     std::vector<PendingWrite> pendingWrites;
 
@@ -844,6 +1027,13 @@ struct PipeSim::Impl
     std::vector<std::vector<uint16_t>> liveSlotsAfter;
     /** Per stage: indices into pipe.flushBlocks writing at that stage. */
     std::vector<std::vector<uint16_t>> flushAtStage;
+    /** Per map id: record reads for hazard scans (all 1 under interp). */
+    std::vector<uint8_t> recordReads;
+    /** AOT engine state (engine == SimEngine::Aot). */
+    aot::AotSpec aotSpec;
+    bool aotActive = false;
+    std::shared_ptr<aot::NativeModule> nativeMod;
+    const aot::NativeStageFn *nativeStages = nullptr;
     /**
      * Conservative upper bound on the deepest occupied slot. Flights only
      * move one stage per cycle, so the execute sweep can start at
@@ -884,7 +1074,7 @@ PipeSim::offer(net::Packet pkt)
         stats_.lost++;
         return false;
     }
-    impl_->inputQueue.push_back(impl_->acquireFlight(std::move(pkt)));
+    impl_->inputQueue.push_back(std::move(pkt));
     stats_.accepted++;
     return true;
 }
@@ -901,6 +1091,7 @@ PipeSim::drain()
     const uint64_t budget =
         stats_.cycles + 1000000ULL +
         2000ULL * (stats_.accepted + impl_->pipe.numStages());
+    outcomes_.reserve(stats_.accepted);
     while (!impl_->idle()) {
         impl_->stepOnce();
         if (stats_.cycles > budget)
@@ -979,15 +1170,11 @@ PipeSim::swapPipeline(const Pipeline &next)
     MapSet &maps = impl_->maps;
     const bool hold = impl_->injectHold;
     const uint64_t ff_limit = impl_->ffLimit;
-    std::vector<net::Packet> queued;
-    queued.reserve(impl_->inputQueue.size());
-    for (auto &flight : impl_->inputQueue)
-        queued.push_back(std::move(flight->pkt));
+    std::deque<net::Packet> queued = std::move(impl_->inputQueue);
     impl_ = std::make_unique<Impl>(next, maps, *this);
     impl_->injectHold = hold;
     impl_->ffLimit = ff_limit;
-    for (net::Packet &pkt : queued)
-        impl_->inputQueue.push_back(impl_->acquireFlight(std::move(pkt)));
+    impl_->inputQueue = std::move(queued);
 }
 
 double

@@ -27,6 +27,32 @@
 
 namespace ehdl::sim {
 
+/**
+ * Execution engine. Both engines share the cycle loop and the hazard
+ * machinery, so timing, statistics and observable behaviour are
+ * bit-identical by construction; they differ only in how a stage's
+ * operations are executed (docs/PERFORMANCE.md, "AOT-specialized
+ * engine").
+ */
+enum class SimEngine : uint8_t {
+    /** Per-cycle walk over the pipeline IR (the reference engine). */
+    Interp,
+    /** Per-program specialized executor built ahead of time. */
+    Aot,
+};
+
+/** Backend of the AOT engine (ignored under SimEngine::Interp). */
+enum class AotBackend : uint8_t {
+    /** Pre-decoded micro-op tables; needs no toolchain. */
+    DirectThreaded,
+    /**
+     * Generated C++ compiled by the host toolchain and dlopen'ed;
+     * falls back to DirectThreaded when unavailable (the fallback
+     * reason is reported through EngineInfo).
+     */
+    Native,
+};
+
 /** Simulator configuration. */
 struct PipeSimConfig
 {
@@ -36,7 +62,42 @@ struct PipeSimConfig
     unsigned flushReloadCycles = 4;
     /** Input queue depth; arrivals beyond it are lost packets (table 2). */
     size_t inputQueueCapacity = 512;
+    /** Stage-execution engine. */
+    SimEngine engine = SimEngine::Interp;
+    /** Requested AOT backend (engine == SimEngine::Aot only). */
+    AotBackend aotBackend = AotBackend::DirectThreaded;
+    /** Native-module cache dir ("" = $EHDL_AOT_CACHE, else aot-cache). */
+    std::string aotCacheDir;
 };
+
+/** The engine actually running (tools report this in their stats). */
+struct EngineInfo
+{
+    SimEngine engine = SimEngine::Interp;
+    /** Active backend when engine == SimEngine::Aot. */
+    AotBackend backend = AotBackend::DirectThreaded;
+    /** A native module is loaded and executing stages. */
+    bool nativeLoaded = false;
+    /** Why a requested native backend fell back to direct-threaded. */
+    std::string fallbackReason;
+
+    /** "interp", "aot (direct-threaded)" or "aot (native)". */
+    std::string
+    describe() const
+    {
+        if (engine == SimEngine::Interp)
+            return "interp";
+        return backend == AotBackend::Native ? "aot (native)"
+                                             : "aot (direct-threaded)";
+    }
+};
+
+/**
+ * Parse a tool-facing --engine spec into @p config: "interp", "aot"
+ * (direct-threaded) or "aot-native" (host-compiled, falls back to
+ * direct-threaded). Returns false on an unknown spec.
+ */
+bool parseEngineSpec(const std::string &spec, PipeSimConfig &config);
 
 /** Result of one packet's traversal. */
 struct PacketOutcome
@@ -164,6 +225,12 @@ class PipeSim
     const PipeSimStats &stats() const { return stats_; }
     const PipeSimConfig &config() const { return config_; }
 
+    /**
+     * The engine actually executing stages — after any native-backend
+     * fallback, and refreshed when swapPipeline re-specializes.
+     */
+    const EngineInfo &engineInfo() const { return engineInfo_; }
+
     /** Average end-to-end latency over completed packets, in nanoseconds. */
     double avgLatencyNs() const;
 
@@ -171,6 +238,7 @@ class PipeSim
     struct Impl;
     std::unique_ptr<Impl> impl_;
     PipeSimConfig config_;
+    EngineInfo engineInfo_;
     std::vector<PacketOutcome> outcomes_;
     PipeSimStats stats_;
 };

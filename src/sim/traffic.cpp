@@ -66,9 +66,14 @@ TrafficGen::sampleLen()
 Packet
 TrafficGen::next()
 {
-    const uint64_t rank = config_.zipfS > 0
-                              ? zipf_.sample(rng_)
-                              : rng_.below(config_.numFlows);
+    uint64_t rank = config_.zipfS > 0 ? zipf_.sample(rng_)
+                                      : rng_.below(config_.numFlows);
+    if (config_.churnPeriod > 0) {
+        // Epoch-shifted rank: the same distribution walks an unbounded
+        // key space, retiring half the flow population per period.
+        const uint64_t epoch = count_ / config_.churnPeriod;
+        rank += epoch * (config_.numFlows / 2 + 1);
+    }
     FlowKey flow = flowOf(rank);
     const bool reverse = config_.reverseFraction > 0 &&
                          rng_.chance(config_.reverseFraction);

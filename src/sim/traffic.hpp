@@ -33,6 +33,15 @@ struct TrafficConfig
     uint8_t ipProto = net::kIpProtoUdp;
     /** Fraction of packets sent in the reverse flow direction. */
     double reverseFraction = 0.0;
+    /**
+     * Flow churn: when non-zero, the flow population shifts every
+     * @c churnPeriod packets — the sampled flow rank is offset by
+     * numFlows/2 per elapsed epoch, so half the working set is new each
+     * period. Exercises map insertion/eviction steady states (LRU
+     * conntrack churn) instead of a fixed key set. 0 disables churn and
+     * is bit-identical to the pre-knob generator.
+     */
+    uint64_t churnPeriod = 0;
     uint64_t seed = 1;
 };
 

@@ -66,6 +66,23 @@ TEST(FuzzCorpus, ReplayMatchesExpectation)
     }
 }
 
+TEST(FuzzCorpus, ReplayMatchesExpectationUnderAot)
+{
+    // The differential contract is engine-independent: replaying the
+    // corpus with the pipeline backends on the AOT engine must reproduce
+    // every recorded expectation — fault-injected cases still diverge
+    // (the specializer faithfully reproduces the injected bug's
+    // behaviour), regression cases still agree.
+    RunOptions opts;
+    opts.engine = sim::SimEngine::Aot;
+    for (const std::string &path : corpusFiles()) {
+        SCOPED_TRACE(path);
+        const FuzzCase c = loadCase(path);
+        const CaseResult r = runCase(c, opts);
+        EXPECT_EQ(r.diverged(), c.expectDivergence) << outcomeKey(r);
+    }
+}
+
 TEST(FuzzCorpus, ReplayIsDeterministic)
 {
     for (const std::string &path : corpusFiles()) {

@@ -96,6 +96,8 @@ usage(std::ostream &os)
           "                    (default 700 ~= 2.8us at 250MHz)\n"
           "  --inflight N      mailbox in-flight transaction window\n"
           "                    (default 8)\n"
+          "  --engine SPEC     stage-execution engine: interp (default),\n"
+          "                    aot, aot-native\n"
           "  --poll-stats N    add a stats_read every N cycles\n"
           "  --stats-out FILE  write the apply log + final stats as JSON\n"
           "  --verify          cross-check against the reference VM\n"
@@ -211,6 +213,8 @@ struct Options
     uint64_t packets = 2000;
     uint64_t flows = 64;
     double rateGbps = 100.0;
+    sim::SimEngine engine = sim::SimEngine::Interp;
+    sim::AotBackend aotBackend = sim::AotBackend::DirectThreaded;
     ctl::CtlChannelConfig channel;
     uint64_t pollStats = 0;
     std::string statsOut;
@@ -324,6 +328,13 @@ run(int argc, char **argv)
         } else if (arg == "--inflight") {
             opt.channel.maxInFlight = static_cast<unsigned>(
                 parseNum("--inflight", value()));
+        } else if (arg == "--engine") {
+            const char *v = value();
+            sim::PipeSimConfig ec;
+            if (!v || !sim::parseEngineSpec(v, ec))
+                fatal("--engine expects interp, aot or aot-native");
+            opt.engine = ec.engine;
+            opt.aotBackend = ec.aotBackend;
         } else if (arg == "--poll-stats") {
             opt.pollStats = parseNum("--poll-stats", value());
         } else if (arg == "--stats-out") {
@@ -392,12 +403,15 @@ run(int argc, char **argv)
 
     ctl::CtlRunReport report;
     sim::PipeSimStats final_stats;
+    sim::EngineInfo engine_info;
 
     if (opt.replicas == 1) {
         ebpf::MapSet maps(spec.prog.maps);
         spec.seedMaps(maps);
         sim::PipeSimConfig sc;
         sc.inputQueueCapacity = 1u << 20;
+        sc.engine = opt.engine;
+        sc.aotBackend = opt.aotBackend;
         sim::PipeSim sim(pipe, maps, sc);
         for (const net::Packet &pkt : packets)
             sim.offer(pkt);
@@ -407,6 +421,7 @@ run(int argc, char **argv)
         report = ctrl.run(sched);
         sim.drain();
         final_stats = sim.stats();
+        engine_info = sim.engineInfo();
         if (opt.verify) {
             ebpf::MapSet vm_maps(spec.prog.maps);
             spec.seedMaps(vm_maps);
@@ -421,6 +436,8 @@ run(int argc, char **argv)
         mc.mapMode = opt.mapMode;
         mc.threaded = opt.threaded;
         mc.pipe.inputQueueCapacity = 1u << 20;
+        mc.pipe.engine = opt.engine;
+        mc.pipe.aotBackend = opt.aotBackend;
         sim::MultiPipeSim multi(pipe, seed, mc);
         std::vector<std::vector<net::Packet>> streams(opt.replicas);
         for (const net::Packet &pkt : packets)
@@ -433,6 +450,7 @@ run(int argc, char **argv)
         report = ctrl.run(sched);
         multi.drain();
         final_stats = multi.stats();
+        engine_info = multi.engineInfo();
         if (opt.verify) {
             for (unsigned r = 0; r < opt.replicas; ++r) {
                 ebpf::MapSet vm_maps(spec.prog.maps);
@@ -447,7 +465,11 @@ run(int argc, char **argv)
     if (!opt.quiet) {
         std::cout << "app " << spec.prog.name << ", " << opt.replicas
                   << " replica(s), " << packets.size() << " packets, "
-                  << report.txns.size() << " transactions\n";
+                  << report.txns.size() << " transactions, engine "
+                  << engine_info.describe() << "\n";
+        if (!engine_info.fallbackReason.empty())
+            std::cout << "engine fallback: " << engine_info.fallbackReason
+                      << "\n";
         for (const ctl::CtlTxnRecord &rec : report.txns) {
             std::cout << "  @" << rec.txn.cycle << " "
                       << ctl::ctlOpKindName(rec.txn.kind) << ": submit="
@@ -489,6 +511,13 @@ run(int argc, char **argv)
                      .set("packets", Json::integer(packets.size()))
                      .set("flows", Json::integer(opt.flows))
                      .set("rateGbps", Json::num(opt.rateGbps)))
+            .set("engine",
+                 Json()
+                     .set("active", Json::str(engine_info.describe()))
+                     .set("aotAvailable",
+                          Json::boolean(engine_info.nativeLoaded))
+                     .set("fallbackReason",
+                          Json::str(engine_info.fallbackReason)))
             .set("finalStats", statsJson(final_stats, 250'000'000))
             .set("verified", Json::boolean(opt.verify))
             .set("report", reportJson(report));

@@ -45,6 +45,8 @@ usage(std::ostream &os)
           "                     vs sharded MultiPipeSim final map state\n"
           "  --ctl-txns N       max transactions per schedule (default 8)\n"
           "  --ctl-replicas N   MultiPipeSim replicas for --ctl cases\n"
+          "  --engine SPEC      pipeline engine: interp (default), aot,\n"
+          "                     aot-native (also applies to --replay)\n"
           "                     (default 2, below 2 disables that backend)\n"
           "  --no-shrink        keep reproducers unreduced\n"
           "  --all              keep fuzzing past the first divergence\n"
@@ -69,12 +71,12 @@ parseNum(const char *flag, const char *value)
 }
 
 int
-replay(const std::vector<std::string> &paths)
+replay(const std::vector<std::string> &paths, const fuzz::RunOptions &run)
 {
     int failures = 0;
     for (const std::string &path : paths) {
         const fuzz::FuzzCase c = fuzz::loadCase(path);
-        const fuzz::CaseResult r = fuzz::runCase(c);
+        const fuzz::CaseResult r = fuzz::runCase(c, run);
         const bool ok = r.diverged() == c.expectDivergence;
         std::cout << (ok ? "OK   " : "FAIL ") << path << ": "
                   << (r.diverged() ? r.divergence->describe()
@@ -136,6 +138,17 @@ run(int argc, char **argv)
             opts.run.ctlReplicas = static_cast<unsigned>(
                 parseNum("--ctl-replicas", value()));
             opts.shrinkOpts.run.ctlReplicas = opts.run.ctlReplicas;
+        } else if (arg == "--engine") {
+            const char *spec = value();
+            sim::PipeSimConfig ec;
+            if (!spec || !sim::parseEngineSpec(spec, ec))
+                fatal("--engine expects interp, aot or aot-native");
+            opts.run.engine = ec.engine;
+            opts.run.aotBackend = ec.aotBackend;
+            // Shrinking must reproduce the divergence under the same
+            // engine that found it.
+            opts.shrinkOpts.run.engine = ec.engine;
+            opts.shrinkOpts.run.aotBackend = ec.aotBackend;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (arg == "--all") {
@@ -160,7 +173,7 @@ run(int argc, char **argv)
         fatal("--ctl-txns must be at least 1");
 
     if (!replay_paths.empty())
-        return replay(replay_paths);
+        return replay(replay_paths, opts.run);
 
     std::ostream *log = quiet ? nullptr : &std::cout;
     const fuzz::FuzzStats stats = fuzz::runFuzz(opts, log);

@@ -299,6 +299,16 @@ cmdVerify(const std::string &input)
     return 1;
 }
 
+/** Report which engine actually runs, including any native fallback. */
+void
+printEngine(const sim::EngineInfo &info)
+{
+    std::printf("engine: %s\n", info.describe().c_str());
+    if (!info.fallbackReason.empty())
+        std::printf("  native backend unavailable: %s\n",
+                    info.fallbackReason.c_str());
+}
+
 int
 cmdSim(int argc, char **argv)
 {
@@ -307,11 +317,14 @@ cmdSim(int argc, char **argv)
     int packets = 10000;
     unsigned replicas = 1;
     bool threaded = false;
+    std::string engine_spec = "interp";
     sim::TrafficConfig traffic;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--packets" && i + 1 < argc)
             packets = std::stoi(argv[++i]);
+        else if (arg == "--engine" && i + 1 < argc)
+            engine_spec = argv[++i];
         else if (arg == "--pcap-in" && i + 1 < argc)
             pcap_in = argv[++i];
         else if (arg == "--pcap-out" && i + 1 < argc)
@@ -346,7 +359,11 @@ cmdSim(int argc, char **argv)
         mconfig.numReplicas = replicas;
         mconfig.threaded = threaded;
         mconfig.pipe.inputQueueCapacity = 1u << 20;
+        if (!sim::parseEngineSpec(engine_spec, mconfig.pipe))
+            fatal("unknown engine '", engine_spec,
+                  "' (interp, aot, aot-native)");
         sim::MultiPipeSim multi(pipe, maps, mconfig);
+        printEngine(multi.engineInfo());
         if (!pcap_in.empty()) {
             const std::vector<net::Packet> replay = net::readPcap(pcap_in);
             packets = static_cast<int>(replay.size());
@@ -378,7 +395,11 @@ cmdSim(int argc, char **argv)
     ebpf::MapSet maps(prog.maps);
     sim::PipeSimConfig config;
     config.inputQueueCapacity = 1u << 20;
+    if (!sim::parseEngineSpec(engine_spec, config))
+        fatal("unknown engine '", engine_spec,
+              "' (interp, aot, aot-native)");
     sim::PipeSim sim(pipe, maps, config);
+    printEngine(sim.engineInfo());
     if (!pcap_in.empty()) {
         const std::vector<net::Packet> replay = net::readPcap(pcap_in);
         packets = static_cast<int>(replay.size());
@@ -446,6 +467,7 @@ usage()
         "  ehdlc report  <prog>\n"
         "  ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]\n"
         "                [--pcap-in f] [--pcap-out f] [--replicas N] [--threaded]\n"
+        "                [--engine interp|aot|aot-native]\n"
         "\n"
         "<prog>: textual assembly (.s), raw bytecode (.bin), an ELF object\n"
         "built with clang -target bpf, or app:<name> for a built-in\n"
