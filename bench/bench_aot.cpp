@@ -137,6 +137,11 @@ main()
     std::string native_reason;
     bool all_parity = true;
 
+    // Saturated aggregate rates across the apps (total simulated cycles
+    // over total CPU seconds) — the figure the CI perf gate tracks.
+    uint64_t agg_cycles = 0;
+    double agg_interp_sec = 0, agg_aot_sec = 0, agg_native_sec = 0;
+
     bench::Json rows = bench::Json::array();
     for (bench::NamedApp &app : bench::paperApps()) {
         const hdl::Pipeline pipe = hdl::compile(app.spec.prog);
@@ -153,6 +158,10 @@ main()
         const bool row_parity =
             parity(interp, aot) && parity(interp, native);
         all_parity = all_parity && row_parity;
+        agg_cycles += interp.stats.cycles;
+        agg_interp_sec += interp.cpuSeconds;
+        agg_aot_sec += aot.cpuSeconds;
+        agg_native_sec += native.cpuSeconds;
         if (native.info.nativeLoaded)
             aot_available = true;
         else if (native_reason.empty())
@@ -190,6 +199,26 @@ main()
     }
     std::printf("%s\n", table.render().c_str());
     json.set("rows", std::move(rows));
+    {
+        const double interp_rate =
+            static_cast<double>(agg_cycles) / agg_interp_sec / 1e6;
+        const double aot_rate =
+            static_cast<double>(agg_cycles) / agg_aot_sec / 1e6;
+        const double native_rate =
+            static_cast<double>(agg_cycles) / agg_native_sec / 1e6;
+        bench::Json agg;
+        agg.set("sim_cycles", bench::Json::integer(agg_cycles))
+            .set("interp_mcyc_per_s", bench::Json::num(interp_rate, 2))
+            .set("aot_mcyc_per_s", bench::Json::num(aot_rate, 2))
+            .set("native_mcyc_per_s", bench::Json::num(native_rate, 2))
+            .set("native_vs_interp_ratio",
+                 bench::Json::num(native_rate / interp_rate, 3));
+        json.set("aggregate", std::move(agg));
+        std::printf("aggregate: interp %.1f, aot %.1f, native %.1f Mcyc/s "
+                    "(native/interp %.2fx)\n",
+                    interp_rate, aot_rate, native_rate,
+                    native_rate / interp_rate);
+    }
     json.set("aot_available", bench::Json::boolean(aot_available));
     if (!aot_available)
         json.set("native_fallback_reason", bench::Json::str(native_reason));

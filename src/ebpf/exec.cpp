@@ -95,6 +95,11 @@ ExecState::reset()
     regs[1].tag = PtrTag::Ctx;
     regs[10].tag = PtrTag::Stack;
     regs[10].bits = kStackSize;
+    // A reset rewrites everything; the next incremental checkpoint must
+    // record its full live set.
+    dirtyRegs_ = kAllRegsMask;
+    dirtyStack_ = ~uint64_t{0};
+    pktDirty_ = true;
 }
 
 void
@@ -170,9 +175,40 @@ ExecState::restore(const Checkpoint &cp)
         std::memcpy(stack_.data() + rec.slot * 8, rec.bytes.data(), 8);
         shadow_[rec.slot] = rec.shadow;
         shadowValid_[rec.slot] = rec.shadowValid;
+        dirtyStack_ |= uint64_t{1} << rec.slot;
     }
+    dirtyRegs_ |= cp.liveRegs;
     pktGen_ = cp.pktGen;
     prandomSeq_ = cp.prandomSeq;
+}
+
+void
+ExecState::checkpointDirtyInto(Checkpoint &cp, uint16_t live_regs,
+                               const std::vector<uint16_t> &live_slots)
+{
+    static_assert(kStackSize / 8 <= 64, "dirtyStack_ bitmap too narrow");
+    const uint16_t rec_regs = static_cast<uint16_t>(live_regs & dirtyRegs_);
+    cp.liveRegs = rec_regs;
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        if ((rec_regs >> r) & 1)
+            cp.regs[r] = regs[r];
+    cp.stackSlots.clear();
+    for (const uint16_t slot : live_slots) {
+        if (!(dirtyStack_ & (uint64_t{1} << slot)))
+            continue;
+        Checkpoint::StackSlot rec;
+        rec.slot = slot;
+        std::memcpy(rec.bytes.data(), stack_.data() + slot * 8, 8);
+        rec.shadow = shadow_[slot];
+        rec.shadowValid = shadowValid_[slot];
+        cp.stackSlots.push_back(rec);
+    }
+    cp.pktGen = pktGen_;
+    cp.prandomSeq = prandomSeq_;
+    // Unrecorded dirty slots are dead at this stage; any deeper liveness
+    // implies an intervening write that re-dirties them.
+    dirtyRegs_ = 0;
+    dirtyStack_ = 0;
 }
 
 // --- Memory ------------------------------------------------------------
@@ -327,6 +363,7 @@ ExecState::execCall(const Insn &insn)
         const int32_t delta = static_cast<int32_t>(regs[2].bits);
         if (pkt_->adjustHead(delta)) {
             ++pktGen_;  // all prior packet pointers become stale
+            pktDirty_ = true;
             ret = VmValue::scalar(0);
         } else {
             ret = VmValue::scalar(static_cast<uint64_t>(-1));
@@ -339,6 +376,7 @@ ExecState::execCall(const Insn &insn)
         const int32_t delta = static_cast<int32_t>(regs[2].bits);
         if (pkt_->adjustTail(delta)) {
             ++pktGen_;  // pointers must be re-derived, like the kernel
+            pktDirty_ = true;
             ret = VmValue::scalar(0);
         } else {
             ret = VmValue::scalar(static_cast<uint64_t>(-1));
@@ -353,6 +391,7 @@ ExecState::execCall(const Insn &insn)
     // R1-R5 are caller-saved and clobbered by calls.
     for (unsigned r = 1; r <= 5; ++r)
         regs[r] = VmValue{};
+    dirtyRegs_ |= 0x3F;  // R0-R5 written
 }
 
 }  // namespace ehdl::ebpf

@@ -238,6 +238,42 @@ class ExecState
     void checkpointInto(Checkpoint &cp, uint16_t live_regs,
                         const std::vector<uint16_t> &live_slots) const;
 
+    // --- Copy-on-write checkpoint support -------------------------------
+    //
+    // ExecState tracks which registers / aligned 8-byte stack slots / the
+    // packet buffer were written since the last incremental checkpoint.
+    // checkpointDirtyInto() records only the dirty∩live subset and resets
+    // the dirty sets, so a chain of incremental checkpoints shares every
+    // unmodified slot with its ancestors instead of re-copying it. A
+    // restore to checkpoint k overlays all valid checkpoints 0..k in
+    // order onto a freshly reset state (see PipeSim::restoreFlight).
+    //
+    // Soundness of clearing dirty bits that were *not* recorded (dead at
+    // this stage): a slot both dirty and dead here is, by liveness,
+    // rewritten before any later read — so if it is live at a deeper
+    // checkpoint, an intervening write re-dirtied it.
+
+    /**
+     * Record the dirty∩live registers and stack slots into @p cp, then
+     * clear the register/stack dirty sets. The packet-dirty flag is left
+     * to the caller (the packet buffer is owned by the simulator).
+     */
+    void checkpointDirtyInto(Checkpoint &cp, uint16_t live_regs,
+                             const std::vector<uint16_t> &live_slots);
+
+    uint16_t dirtyRegs() const { return dirtyRegs_; }
+    uint64_t dirtyStack() const { return dirtyStack_; }
+    bool pktDirty() const { return pktDirty_; }
+    void setPktDirty(bool dirty) { pktDirty_ = dirty; }
+
+    /** Reset all dirty sets (after a chain restore reproduced state). */
+    void clearDirty()
+    {
+        dirtyRegs_ = 0;
+        dirtyStack_ = 0;
+        pktDirty_ = false;
+    }
+
     /** Overlay the recorded registers and stack slots onto this state. */
     void restore(const Checkpoint &cp);
 
@@ -273,6 +309,13 @@ class ExecState
     uint32_t pktGen_ = 0;
     /** Per-execution counter making bpf_get_prandom_u32 replay-stable. */
     uint32_t prandomSeq_ = 0;
+
+    /** Registers written since the last incremental checkpoint. */
+    uint16_t dirtyRegs_ = kAllRegsMask;
+    /** Aligned 8-byte stack slots written since (one bit per slot). */
+    uint64_t dirtyStack_ = ~uint64_t{0};
+    /** Packet buffer written (stores, adjust_head/tail) since. */
+    bool pktDirty_ = true;
 
     /** Reused key/value staging for map helpers (avoids per-call allocs). */
     mutable std::vector<uint8_t> keyScratch_;

@@ -122,6 +122,7 @@ ExecState::store(const VmValue &addr, int64_t off, unsigned size,
             trap("packet store out of bounds");
         if (value.isPtr())
             trap("pointer store to packet");
+        pktDirty_ = true;
         uint8_t *p = pkt_->data() + at;
         switch (size) {
           case 1: *p = static_cast<uint8_t>(value.bits); return;
@@ -138,8 +139,10 @@ ExecState::store(const VmValue &addr, int64_t off, unsigned size,
             trap("stack store out of bounds");
         // Any write invalidates the shadow of every slot it touches;
         // an aligned 8-byte pointer store re-establishes one.
-        for (int64_t slot = at / 8; slot <= (at + size - 1) / 8; ++slot)
+        for (int64_t slot = at / 8; slot <= (at + size - 1) / 8; ++slot) {
             shadowValid_[slot] = false;
+            dirtyStack_ |= uint64_t{1} << slot;
+        }
         uint8_t *p = stack_.data() + at;
         switch (size) {
           case 1: *p = static_cast<uint8_t>(value.bits); break;
@@ -180,6 +183,7 @@ ExecState::execAlu(const Insn &insn)
 {
     const bool is64 = insn.is64();
     VmValue &dst = regs[insn.dst];
+    dirtyRegs_ |= uint16_t{1} << insn.dst;
     const AluOp op = insn.aluOp();
 
     if (op == AluOp::End) {
@@ -357,6 +361,7 @@ ExecState::evalCond(const Insn &insn) const
 inline void
 ExecState::execLoad(const Insn &insn)
 {
+    dirtyRegs_ |= uint16_t{1} << insn.dst;
     if (insn.isLddw()) {
         VmValue v;
         if (insn.isMapLoad) {
@@ -414,8 +419,10 @@ ExecState::execAtomic(const Insn &insn)
     } else {
         trap("atomic on unsupported memory");
     }
-    if (insn.imm == static_cast<int32_t>(AtomicOp::AddFetch))
+    if (insn.imm == static_cast<int32_t>(AtomicOp::AddFetch)) {
         regs[insn.src] = VmValue::scalar(old);
+        dirtyRegs_ |= uint16_t{1} << insn.src;
+    }
 }
 
 inline void

@@ -604,6 +604,26 @@ MapSet::copyContentsFrom(const MapSet &src)
     }
 }
 
+void
+MapSet::applyRaw(const RawWrite &w)
+{
+    uint8_t *base = at(w.mapId).valueAt(w.entry) + w.off;
+    switch (w.size) {
+      case 1: *base = static_cast<uint8_t>(w.value); return;
+      case 2: storeLe<uint16_t>(base, static_cast<uint16_t>(w.value)); return;
+      case 4: storeLe<uint32_t>(base, static_cast<uint32_t>(w.value)); return;
+      case 8: storeLe<uint64_t>(base, w.value); return;
+    }
+    panic("bad raw write size ", w.size);
+}
+
+void
+MapSet::commitBatch(const RawWrite *writes, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        applyRaw(writes[i]);
+}
+
 std::string
 MapSet::dump() const
 {

@@ -321,6 +321,33 @@ class MapSet
     /** Render all map contents (debugging aid for test failures). */
     std::string dump() const;
 
+    // ------------------------------------------------------------------
+    // Batched raw-value commits.
+    //
+    // The pipeline simulator accumulates delayed (WAR-buffered) value
+    // writes in per-flight arenas and commits them at retire boundaries
+    // through this single path, rather than poking valueAt() at each
+    // call site. The writes address live entries by stable index, so a
+    // batch is position-independent: applying it element-by-element in
+    // order is the definition of its semantics.
+    // ------------------------------------------------------------------
+
+    /** One delayed (entry-indexed) value write. */
+    struct RawWrite
+    {
+        uint32_t mapId = 0;
+        uint64_t entry = 0;
+        uint32_t off = 0;
+        uint32_t size = 0;  ///< 1, 2, 4 or 8 bytes, little-endian
+        uint64_t value = 0;
+    };
+
+    /** Apply one raw value write to the addressed live entry. */
+    void applyRaw(const RawWrite &w);
+
+    /** Apply @p n raw writes in order (the batch-commit path). */
+    void commitBatch(const RawWrite *writes, size_t n);
+
   private:
     std::vector<std::unique_ptr<Map>> maps_;
 };

@@ -175,6 +175,8 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
         sim_config.inputQueueCapacity = opts.inputQueueCapacity;
         sim_config.engine = opts.engine;
         sim_config.aotBackend = opts.aotBackend;
+        sim_config.schedMode = opts.schedMode;
+        sim_config.paranoidChecks = opts.paranoidChecks;
         try {
             sim::PipeSim sim(pipe, pipe_maps, sim_config);
             for (const net::Packet &pkt : packets)
@@ -183,6 +185,8 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
             const ctl::CtlRunReport report = ctrl.run(c.ctl);
             sim.drain();
             result.flushEvents = sim.stats().flushEvents;
+            result.pipeStats = sim.stats();
+            result.engineInfo = sim.engineInfo();
             if (auto d = compareCtlReplica("pipeline", c, packets, report,
                                            0, sim.outcomes(), pipe_maps,
                                            &result.vmInsns)) {
@@ -205,6 +209,8 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
         mc.pipe.inputQueueCapacity = opts.inputQueueCapacity;
         mc.pipe.engine = opts.engine;
         mc.pipe.aotBackend = opts.aotBackend;
+        mc.pipe.schedMode = opts.schedMode;
+        mc.pipe.paranoidChecks = opts.paranoidChecks;
         try {
             sim::MultiPipeSim multi(pipe, seed_maps, mc);
             std::vector<std::vector<net::Packet>> streams(mc.numReplicas);
@@ -339,12 +345,16 @@ runCase(const FuzzCase &c, const RunOptions &opts)
     sim_config.inputQueueCapacity = opts.inputQueueCapacity;
     sim_config.engine = opts.engine;
     sim_config.aotBackend = opts.aotBackend;
+    sim_config.schedMode = opts.schedMode;
+    sim_config.paranoidChecks = opts.paranoidChecks;
     try {
         sim::PipeSim sim(pipe, pipe_maps, sim_config);
         for (const net::Packet &pkt : packets)
             sim.offer(pkt);
         sim.drain();
         result.flushEvents = sim.stats().flushEvents;
+        result.pipeStats = sim.stats();
+        result.engineInfo = sim.engineInfo();
 
         if (sim.outcomes().size() != packets.size()) {
             result.divergence = wholeRun(

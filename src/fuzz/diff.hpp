@@ -69,6 +69,10 @@ struct CaseResult
     uint64_t flushEvents = 0;
     /** Total instructions the reference VM executed over the workload. */
     uint64_t vmInsns = 0;
+    /** Full counters of the single-pipeline backend run (when compiled). */
+    sim::PipeSimStats pipeStats;
+    /** Engine that actually ran the pipeline backend (after fallback). */
+    sim::EngineInfo engineInfo;
 
     bool diverged() const { return divergence.has_value(); }
 };
@@ -98,6 +102,14 @@ struct RunOptions
     sim::SimEngine engine = sim::SimEngine::Interp;
     /** Requested AOT backend when engine == SimEngine::Aot. */
     sim::AotBackend aotBackend = sim::AotBackend::DirectThreaded;
+    /**
+     * Cycle scheduling for the pipeline backends. Event-driven runs are
+     * contracted to be bit-identical to dense ones, so fuzzing under
+     * SchedMode::EventDriven differentially checks the teleport logic.
+     */
+    sim::SchedMode schedMode = sim::SchedMode::Dense;
+    /** Cross-check the O(1) hazard summaries against the full scan. */
+    bool paranoidChecks = false;
 };
 
 /**

@@ -88,6 +88,15 @@ struct FuzzStats
      */
     std::map<std::string, uint64_t> rejectedByPass;
     std::vector<DivergenceRecord> records;
+    /**
+     * Summed pipeline-backend counters over every compiled case (cycles
+     * here are totals, not a max — campaign runs are sequential), so a
+     * campaign's --stats-out JSON reports the same counter vocabulary as
+     * `ehdlc sim` and `ehdl-ctl`.
+     */
+    sim::PipeSimStats pipeAgg;
+    /** Engine the pipeline backend ran (from the last compiled case). */
+    sim::EngineInfo engineInfo;
 };
 
 /**

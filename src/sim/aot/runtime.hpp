@@ -45,8 +45,16 @@ namespace ehdl::sim::aot {
  * v2: table entries are fused *segment* functions — entry s executes
  * stages [s, AotSpec::stages[s].segEnd] in one call — rather than
  * single-stage functions.
+ *
+ * v3: ExecState (reached through AotCtx) grew copy-on-write dirty
+ * tracking, changing its layout; modules built against v2 would update
+ * state without marking it dirty and corrupt checkpoints.
+ *
+ * v4: block enable signals are a byte vector instead of vector<bool>,
+ * so blockOn — executed before every generated instruction — is a
+ * plain byte load rather than bit arithmetic through a proxy.
  */
-constexpr uint64_t kAotAbiVersion = 2;
+constexpr uint64_t kAotAbiVersion = 4;
 
 /**
  * The per-flight execution context a specialized stage runs against.
@@ -57,7 +65,7 @@ struct AotCtx
 {
     ebpf::ExecState *st = nullptr;
     /** Basic-block enable signals (predication, paper section 3.5). */
-    std::vector<bool> *enabled = nullptr;
+    std::vector<uint8_t> *enabled = nullptr;
     /** The post-unroll program's instruction array. */
     const ebpf::Insn *insns = nullptr;
     bool *exited = nullptr;
@@ -67,7 +75,7 @@ struct AotCtx
     bool
     blockOn(uint32_t block) const
     {
-        return (*enabled)[block];
+        return (*enabled)[block] != 0;
     }
 };
 

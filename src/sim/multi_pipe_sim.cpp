@@ -17,6 +17,11 @@ MultiPipeSim::MultiPipeSim(const hdl::Pipeline &pipe, ebpf::MapSet &maps,
     if (config_.threaded && config_.mapMode == MapMode::Shared)
         fatal("threaded MultiPipeSim requires sharded maps: replicas "
               "sharing one MapSet must run in lockstep");
+    if (config_.pipe.schedMode == SchedMode::EventDriven &&
+        config_.mapMode == MapMode::Shared)
+        fatal("event-driven scheduling requires sharded maps: replicas "
+              "sharing one MapSet must tick the same dense cycle sequence "
+              "to interleave their map accesses deterministically");
     for (unsigned i = 0; i < config_.numReplicas; ++i) {
         ebpf::MapSet *replica_maps = &sharedMaps_;
         if (config_.mapMode == MapMode::Sharded) {
@@ -141,6 +146,32 @@ MultiPipeSim::stats() const
         agg.flushedPackets += s.flushedPackets;
         agg.replayedStages += s.replayedStages;
         agg.stallCycles += s.stallCycles;
+        agg.hazardChecks += s.hazardChecks;
+        agg.hazardSummarySkips += s.hazardSummarySkips;
+        agg.hazardPreciseScans += s.hazardPreciseScans;
+        agg.commitBatches += s.commitBatches;
+        agg.committedWrites += s.committedWrites;
+        agg.checkpointsTaken += s.checkpointsTaken;
+        agg.checkpointsMaterialized += s.checkpointsMaterialized;
+        agg.eventJumps += s.eventJumps;
+        agg.eventSkippedCycles += s.eventSkippedCycles;
+    }
+    return agg;
+}
+
+PipeSimPhaseProfile
+MultiPipeSim::phaseProfile() const
+{
+    PipeSimPhaseProfile agg;
+    for (const auto &r : replicas_) {
+        const PipeSimPhaseProfile p = r->phaseProfile();
+        agg.enabled = agg.enabled || p.enabled;
+        agg.executeSec += p.executeSec;
+        agg.hazardSec += p.hazardSec;
+        agg.checkpointSec += p.checkpointSec;
+        agg.commitSec += p.commitSec;
+        agg.advanceRetireSec += p.advanceRetireSec;
+        agg.flushSec += p.flushSec;
     }
     return agg;
 }

@@ -125,6 +125,12 @@ class MultiPipeSim
      */
     PipeSimStats stats() const;
 
+    /**
+     * Summed per-phase host-time profile across replicas (enabled when
+     * the per-replica config set profilePhases; all-zero otherwise).
+     */
+    PipeSimPhaseProfile phaseProfile() const;
+
     /** All replicas' outcomes merged and sorted by packet id. */
     std::vector<PacketOutcome> outcomes() const;
 

@@ -1,6 +1,7 @@
 #include "sim/pipe_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -34,6 +35,40 @@ hashKeyBytes(uint32_t map_id, const uint8_t *key, unsigned len)
         h *= 0x100000001b3ULL;
     }
     return h;
+}
+
+/**
+ * One-bit Bloom signature of a hazard address. Per-flight digests OR
+ * these bits together; a flush check first tests the written addresses'
+ * bits against a flight's digest and only falls back to the precise
+ * read scan on a hit. False positives cost a scan; false negatives are
+ * impossible because both sides derive the bit from the same mix.
+ */
+uint64_t
+readSigBit(uint32_t map_id, bool index_level, uint64_t addr)
+{
+    uint64_t h = addr * 0x9e3779b97f4a7c15ULL +
+                 (static_cast<uint64_t>(map_id) << 1) +
+                 (index_level ? 1 : 0);
+    h ^= h >> 29;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 32;
+    return uint64_t{1} << (h & 63);
+}
+
+/** Per-map bit for the coarse map-id mask (all-ones past 64 maps). */
+uint64_t
+mapMaskBit(uint32_t map_id)
+{
+    return map_id < 64 ? uint64_t{1} << map_id : ~uint64_t{0};
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
 }
 
 }  // namespace
@@ -75,7 +110,9 @@ struct PipeSim::Impl
         uint64_t arrivalNs = 0;
 
         std::unique_ptr<ExecState> state;
-        std::vector<bool> blockEnabled;
+        /** Per-block enable bytes (byte, not bit: blockOn is a single
+         *  load on the native backend's hottest path). */
+        std::vector<uint8_t> blockEnabled;
         bool exited = false;
         bool trapped = false;
         std::string trapReason;
@@ -87,25 +124,66 @@ struct PipeSim::Impl
         uint64_t entryCycle = 0;
 
         std::vector<ReadRec> reads;
+        /** Bloom digest over @c reads (readSigBit bits). */
+        uint64_t readDigest = 0;
+        /** Coarse per-map-id mask over @c reads (mapMaskBit bits). */
+        uint64_t readMapMask = 0;
+
+        /**
+         * Physical ring slot currently holding this flight (SIZE_MAX
+         * while it sits in a replay queue). Stable from placement to
+         * retire/flush — advancing the pipeline rotates the ring head,
+         * not the flights — so the commit path derives the stage on
+         * demand (Impl::stageOf) instead of the advance loop writing a
+         * stage field into every flight every cycle.
+         */
+        size_t ringPos = 0;
+
+        /**
+         * WAR-delayed writes parked by this flight (its arena), in
+         * program order. Global commit order across flights is restored
+         * from @c parkSeq.
+         */
+        struct ParkedWrite
+        {
+            MapSet::RawWrite raw;
+            size_t issueStage;
+            size_t commitStage;
+            uint64_t parkSeq;
+        };
+        std::vector<ParkedWrite> warArena;
 
         /**
          * One elastic-buffer checkpoint slot. Storage is indexed by the
          * buffer's position in Pipeline::elasticBuffers and reused across
          * crossings and pooled-flight reuse, so the steady state performs
          * no allocation.
+         *
+         * Checkpoints are copy-on-write links in a chain: @c state holds
+         * only the registers/stack slots written since the previous
+         * checkpoint (ExecState::checkpointDirtyInto), @c pktBytes is
+         * copied only when the packet changed since the last copy
+         * (@c pktCopied), and the append-only read log is recorded as a
+         * prefix length instead of a copy. A restore overlays the whole
+         * valid chain up to the restart stage onto a reset state
+         * (restoreFlight), materializing the full snapshot only when a
+         * flush actually replays.
          */
         struct Checkpoint
         {
             bool valid = false;
             size_t stage = 0;
-            ExecState::Checkpoint state;
+            ExecState::Checkpoint state;  ///< dirty∩live increment
             std::vector<uint8_t> pktBytes;
-            std::vector<bool> blockEnabled;
+            bool pktCopied = false;  ///< pktBytes captured at this link
+            std::vector<uint8_t> blockEnabled;
             bool exited = false;
             bool trapped = false;
             XdpAction action = XdpAction::Aborted;
             uint32_t redirectIfindex = 0;
-            std::vector<ReadRec> reads;
+            uint32_t readsLen = 0;  ///< reads prefix length at capture
+            uint64_t readDigest = 0;
+            uint64_t readMapMask = 0;
         };
         std::vector<Checkpoint> checkpoints;
 
@@ -117,19 +195,6 @@ struct PipeSim::Impl
          * picked up.
          */
         aot::AotCtx aotCtx;
-    };
-
-    /** A write parked in a WAR delay buffer (section 4.1.1). */
-    struct PendingWrite
-    {
-        uint32_t mapId;
-        uint64_t entry;
-        uint32_t off;
-        unsigned size;
-        uint64_t value;
-        Flight *writer;
-        size_t issueStage;
-        size_t commitStage;
     };
 
     /** MapIo interposing the hazard machinery on every map access. */
@@ -144,8 +209,8 @@ struct PipeSim::Impl
             (void)port;
             if (impl_.recordReads[map_id]) {
                 const unsigned klen = impl_.maps.at(map_id).def().keySize;
-                impl_.cur->reads.push_back(
-                    {map_id, true, hashKeyBytes(map_id, key, klen)});
+                impl_.recordRead(map_id, true,
+                                 hashKeyBytes(map_id, key, klen));
             }
             return impl_.maps.at(map_id).lookup(key);
         }
@@ -185,12 +250,12 @@ struct PipeSim::Impl
         {
             (void)port;
             if (impl_.recordReads[map_id])
-                impl_.cur->reads.push_back({map_id, false, entry});
+                impl_.recordRead(map_id, false, entry);
             uint8_t buf[8];
             const uint8_t *base =
                 impl_.maps.at(map_id).valueAt(entry) + off;
             std::memcpy(buf, base, size);
-            if (impl_.pendingWrites.empty()) {
+            if (impl_.pendingWriteCount == 0) {
                 uint64_t direct = 0;
                 std::memcpy(&direct, buf, size);
                 return direct;
@@ -201,34 +266,32 @@ struct PipeSim::Impl
             // packets never see younger parked writes - that is the WAR
             // protection of figure 6.
             //
-            // Overlay in *sequential* order, not buffer-insertion order:
-            // parked writes of different packets interleave by stage
-            // timing (an older packet's deep store can park after a
-            // younger packet's shallow one), while per writer the buffer
-            // already holds program order (overlapping stores are WAW-
-            // scheduled in order).
-            std::vector<const PendingWrite *> &fwd = impl_.fwdScratch;
+            // Overlay in *sequential* order: writers ordered by seq,
+            // and each writer's arena already holds program order
+            // (overlapping stores are WAW-scheduled in order), which is
+            // exactly the old global-buffer stable sort by writer seq.
+            std::vector<Flight *> &fwd = impl_.fwdScratch;
             fwd.clear();
-            for (const PendingWrite &pw : impl_.pendingWrites) {
-                if (pw.mapId != map_id || pw.entry != entry)
+            for (Flight *w : impl_.pendingWriters) {
+                if (w != impl_.cur && w->seq > impl_.cur->seq)
                     continue;
-                if (pw.writer != impl_.cur &&
-                    pw.writer->seq > impl_.cur->seq)
-                    continue;
-                fwd.push_back(&pw);
+                fwd.push_back(w);
             }
-            std::stable_sort(fwd.begin(), fwd.end(),
-                             [](const PendingWrite *a,
-                                const PendingWrite *b) {
-                                 return a->writer->seq < b->writer->seq;
-                             });
-            for (const PendingWrite *pw : fwd) {
-                const int64_t lo = std::max<int64_t>(pw->off, off);
-                const int64_t hi = std::min<int64_t>(pw->off + pw->size,
-                                                     off + size);
-                for (int64_t b = lo; b < hi; ++b)
-                    buf[b - off] = static_cast<uint8_t>(
-                        pw->value >> (8 * (b - pw->off)));
+            std::sort(fwd.begin(), fwd.end(),
+                      [](const Flight *a, const Flight *b) {
+                          return a->seq < b->seq;
+                      });
+            for (const Flight *w : fwd) {
+                for (const Flight::ParkedWrite &pw : w->warArena) {
+                    if (pw.raw.mapId != map_id || pw.raw.entry != entry)
+                        continue;
+                    const int64_t lo = std::max<int64_t>(pw.raw.off, off);
+                    const int64_t hi = std::min<int64_t>(
+                        pw.raw.off + pw.raw.size, off + size);
+                    for (int64_t b = lo; b < hi; ++b)
+                        buf[b - off] = static_cast<uint8_t>(
+                            pw.raw.value >> (8 * (b - pw.raw.off)));
+                }
             }
             uint64_t out = 0;
             std::memcpy(&out, buf, size);
@@ -244,9 +307,14 @@ struct PipeSim::Impl
             // the value actually becomes visible.
             for (const WarBufferPlan &buf : impl_.pipe.warBuffers) {
                 if (buf.mapId == map_id && buf.writeStage == port) {
-                    impl_.pendingWrites.push_back(
-                        {map_id, entry, off, size, value, impl_.cur, port,
-                         buf.lastReadStage});
+                    Flight *w = impl_.cur;
+                    if (w->warArena.empty())
+                        impl_.pendingWriters.push_back(w);
+                    w->warArena.push_back(
+                        {{map_id, entry, off, static_cast<uint32_t>(size),
+                          value},
+                         port, buf.lastReadStage, impl_.parkSeqCounter++});
+                    ++impl_.pendingWriteCount;
                     // Issue-time evaluation catches readers already in the
                     // window; readers arriving while the write is parked
                     // are caught again at commit time.
@@ -279,9 +347,14 @@ struct PipeSim::Impl
     };
 
     Impl(const Pipeline &pipeline, MapSet &map_set, PipeSim &owner)
-        : pipe(pipeline), maps(map_set), sim(owner), io(*this),
-          slots(pipeline.numStages())
+        : pipe(pipeline), maps(map_set), sim(owner), io(*this)
     {
+        nStages = pipeline.numStages();
+        ringCap = 1;
+        while (ringCap < nStages)
+            ringCap <<= 1;
+        ringMask = ringCap - 1;
+        ring.resize(ringCap);
         cycleNs = 1e9 / static_cast<double>(owner.config().clockHz);
         entryBlock = pipe.cfg.blockOf(0);
         // O(1) elastic-buffer lookup on the per-stage hot path.
@@ -311,6 +384,11 @@ struct PipeSim::Impl
         for (size_t i = 0; i < pipe.flushBlocks.size(); ++i)
             flushAtStage[pipe.flushBlocks[i].writeStage].push_back(
                 static_cast<uint16_t>(i));
+        // Checkpoint-chain restores walk Flight::checkpoints in index
+        // order and rely on it being stage-ascending.
+        for (size_t i = 1; i < pipe.elasticBuffers.size(); ++i)
+            if (pipe.elasticBuffers[i] <= pipe.elasticBuffers[i - 1])
+                panic("elastic buffers not in ascending stage order");
 
         // Engine selection. The AOT specializer additionally prunes read
         // recording to maps with a flush block; the interpreter records
@@ -338,6 +416,42 @@ struct PipeSim::Impl
             recordReads.assign(pipe.prog.maps.size(), 1);
         }
         sim.engineInfo_ = info;
+
+        paranoid = cfg.paranoidChecks;
+        eventDriven = cfg.schedMode == SchedMode::EventDriven;
+        if (cfg.profilePhases)
+            prof = std::make_unique<PipeSimPhaseProfile>();
+
+        // Event-driven mode: per-stage "next stage with observable work"
+        // tables, so the next-event computation is O(occupancy). A stage
+        // is observable when the engine's sweep would do more than mark
+        // it passed: for the interpreter any stage with ops or an
+        // elastic buffer (exited flights still checkpoint at buffers);
+        // for the AOT engine any entry stage (bursts run — and
+        // checkpoint — from entry stages only).
+        const size_t n = pipe.numStages();
+        nextActiveLive.assign(n + 1, SIZE_MAX);
+        nextActiveExited.assign(n + 1, SIZE_MAX);
+        for (size_t s = n; s-- > 0;) {
+            bool live, exited_active;
+            if (aotActive) {
+                live = exited_active = aotSpec.entryStage[s] != 0;
+            } else {
+                live = stageHasOps[s] || elasticIndex[s] >= 0;
+                exited_active = elasticIndex[s] >= 0;
+            }
+            nextActiveLive[s] = live ? s : nextActiveLive[s + 1];
+            nextActiveExited[s] =
+                exited_active ? s : nextActiveExited[s + 1];
+        }
+
+        // AOT sweep order: the descending list of entry stages, so the
+        // per-cycle sweep probes only the few slots where a burst can
+        // begin instead of every occupied slot of a deep pipeline.
+        if (aotActive)
+            for (size_t s = n; s-- > 0;)
+                if (aotSpec.entryStage[s])
+                    aotEntryDesc.push_back(s);
     }
 
     // --- flight pooling ---------------------------------------------------
@@ -381,6 +495,10 @@ struct PipeSim::Impl
         f->redirectIfindex = 0;
         f->entryCycle = 0;
         f->reads.clear();
+        f->readDigest = 0;
+        f->readMapMask = 0;
+        f->ringPos = 0;
+        f->warArena.clear();
         f->checkpoints.resize(pipe.elasticBuffers.size());
         for (Flight::Checkpoint &cp : f->checkpoints)
             cp.valid = false;
@@ -403,29 +521,82 @@ struct PipeSim::Impl
 
     // --- map plumbing ---------------------------------------------------
 
+    /** Record one hazard-relevant read of the current flight. */
+    void
+    recordRead(uint32_t map_id, bool index_level, uint64_t addr)
+    {
+        cur->reads.push_back({map_id, index_level, addr});
+        cur->readDigest |= readSigBit(map_id, index_level, addr);
+        cur->readMapMask |= mapMaskBit(map_id);
+    }
+
     void
     directWrite(uint32_t map_id, uint64_t entry, uint32_t off,
                 unsigned size, uint64_t value)
     {
-        uint8_t *base = maps.at(map_id).valueAt(entry) + off;
-        std::memcpy(base, &value, size);
+        maps.applyRaw({map_id, entry, off, size, value});
     }
 
+    /** Drop @p w from the active-writers list once its arena empties. */
+    void
+    retireWriter(Flight *w)
+    {
+        pendingWriters.erase(
+            std::find(pendingWriters.begin(), pendingWriters.end(), w));
+    }
+
+    /**
+     * Per-cycle batch commit: every parked write whose writer has
+     * reached (or passed — SIZE_MAX marks a flushed writer in a replay
+     * queue) its commit stage lands now, in global park order, through
+     * the MapSet batch path. Younger readers saw these values already
+     * via forwarding, so the commit itself raises no hazard.
+     */
     void
     commitPendingWrites()
     {
-        for (size_t i = 0; i < pendingWrites.size();) {
-            const PendingWrite pw = pendingWrites[i];
-            const size_t wstage = stageOf(pw.writer);
-            if (wstage != SIZE_MAX && wstage < pw.commitStage) {
-                ++i;
+        const auto t0 =
+            prof ? std::chrono::steady_clock::now()
+                 : std::chrono::steady_clock::time_point{};
+        commitScratch.clear();
+        for (size_t wi = 0; wi < pendingWriters.size();) {
+            Flight *w = pendingWriters[wi];
+            const size_t wstage = stageOf(*w);
+            std::vector<Flight::ParkedWrite> &arena = w->warArena;
+            size_t kept = 0;
+            for (Flight::ParkedWrite &pw : arena) {
+                if (wstage != SIZE_MAX && wstage < pw.commitStage)
+                    arena[kept++] = pw;
+                else
+                    commitScratch.push_back(pw);
+            }
+            if (kept == arena.size()) {
+                ++wi;
                 continue;
             }
-            // Younger readers saw this value already via forwarding, so
-            // the commit itself raises no hazard.
-            pendingWrites.erase(pendingWrites.begin() + i);
-            directWrite(pw.mapId, pw.entry, pw.off, pw.size, pw.value);
+            arena.resize(kept);
+            if (arena.empty())
+                pendingWriters.erase(pendingWriters.begin() + wi);
+            else
+                ++wi;
         }
+        if (!commitScratch.empty()) {
+            // Restore the global park (insertion) order across writers.
+            std::sort(commitScratch.begin(), commitScratch.end(),
+                      [](const Flight::ParkedWrite &a,
+                         const Flight::ParkedWrite &b) {
+                          return a.parkSeq < b.parkSeq;
+                      });
+            rawScratch.clear();
+            for (const Flight::ParkedWrite &pw : commitScratch)
+                rawScratch.push_back(pw.raw);
+            maps.commitBatch(rawScratch.data(), rawScratch.size());
+            pendingWriteCount -= rawScratch.size();
+            sim.stats_.commitBatches++;
+            sim.stats_.committedWrites += rawScratch.size();
+        }
+        if (prof)
+            prof->commitSec += secondsSince(t0);
     }
 
     /**
@@ -437,26 +608,49 @@ struct PipeSim::Impl
      * one or the two stores would commit in reverse program order.
      */
     void
-    commitPendingWritesFor(const Flight &flight, size_t stage)
+    commitPendingWritesFor(Flight &flight, size_t stage)
     {
-        for (size_t i = 0; i < pendingWrites.size();) {
-            const PendingWrite pw = pendingWrites[i];
-            if (pw.writer != &flight || pw.commitStage > stage) {
-                ++i;
-                continue;
-            }
-            pendingWrites.erase(pendingWrites.begin() + i);
-            directWrite(pw.mapId, pw.entry, pw.off, pw.size, pw.value);
+        std::vector<Flight::ParkedWrite> &arena = flight.warArena;
+        if (arena.empty())
+            return;
+        const auto t0 =
+            prof ? std::chrono::steady_clock::now()
+                 : std::chrono::steady_clock::time_point{};
+        rawScratch.clear();
+        size_t kept = 0;
+        for (Flight::ParkedWrite &pw : arena) {
+            if (pw.commitStage > stage)
+                arena[kept++] = pw;
+            else
+                rawScratch.push_back(pw.raw);
         }
+        if (!rawScratch.empty()) {
+            arena.resize(kept);
+            maps.commitBatch(rawScratch.data(), rawScratch.size());
+            pendingWriteCount -= rawScratch.size();
+            sim.stats_.commitBatches++;
+            sim.stats_.committedWrites += rawScratch.size();
+            if (arena.empty())
+                retireWriter(&flight);
+        }
+        if (prof)
+            prof->commitSec += secondsSince(t0);
     }
 
-    size_t
-    stageOf(const Flight *flight) const
+    /** Full read scan of one flight against the written addresses. */
+    bool
+    preciseHazardScan(const Flight *f, uint32_t map_id,
+                      const std::vector<std::pair<bool, uint64_t>> &addrs)
+        const
     {
-        for (size_t s = 0; s < slots.size(); ++s)
-            if (slots[s].get() == flight)
-                return s;
-        return SIZE_MAX;  // already exited
+        for (const ReadRec &rec : f->reads) {
+            if (rec.mapId != map_id)
+                continue;
+            for (const auto &[index_level, addr] : addrs)
+                if (rec.indexLevel == index_level && rec.addr == addr)
+                    return true;
+        }
+        return false;
     }
 
     /**
@@ -474,33 +668,52 @@ struct PipeSim::Impl
         if (plan == nullptr)
             return;
 
+        auto t0 = prof ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{};
+
         // Any younger packet inside the hazard window holding a matching
         // unconfirmed read triggers a flush of the whole window. A
         // restart-0 window includes stage 0: its occupant has no reads
         // yet, but it must re-queue behind the replayed older packets or
         // packet order (and with it sequential map semantics) inverts.
+        //
+        // Each slot is first tested against the flight's O(1) read
+        // summary (map mask + Bloom digest); only a summary hit runs
+        // the precise scan, which remains the decider — a digest false
+        // positive costs a scan, never a spurious flush.
         const size_t window_first =
             plan->restartStage == 0 ? 0 : plan->restartStage + 1;
+        uint64_t addr_sig = 0;
+        for (const auto &[index_level, addr] : addrs)
+            addr_sig |= readSigBit(map_id, index_level, addr);
+        const uint64_t map_bit = mapMaskBit(map_id);
         bool hazard = false;
         for (size_t s = window_first; s < plan->writeStage && !hazard; ++s) {
-            const Flight *f = slots[s].get();
+            const Flight *f = slotAt(s).get();
             if (f == nullptr || f == cur)
                 continue;
-            for (const ReadRec &rec : f->reads) {
-                if (rec.mapId != map_id)
-                    continue;
-                for (const auto &[index_level, addr] : addrs) {
-                    if (rec.indexLevel == index_level && rec.addr == addr) {
-                        hazard = true;
-                        break;
-                    }
-                }
-                if (hazard)
-                    break;
+            sim.stats_.hazardChecks++;
+            if (!(f->readMapMask & map_bit) ||
+                !(f->readDigest & addr_sig)) {
+                sim.stats_.hazardSummarySkips++;
+                if (paranoid && preciseHazardScan(f, map_id, addrs))
+                    panic("paranoid hazard cross-check: summary skipped "
+                          "a flight whose read scan finds a hazard (map ",
+                          map_id, ", slot ", s, ")");
+                continue;
             }
+            sim.stats_.hazardPreciseScans++;
+            hazard = preciseHazardScan(f, map_id, addrs);
         }
-        if (!hazard)
+        if (!hazard) {
+            if (prof)
+                prof->hazardSec += secondsSince(t0);
             return;
+        }
+        if (prof) {
+            prof->hazardSec += secondsSince(t0);
+            t0 = std::chrono::steady_clock::now();
+        }
 
         // Flush: every packet between the elastic buffer (restart stage)
         // and the write stage replays from its checkpoint.
@@ -508,9 +721,9 @@ struct PipeSim::Impl
         // Harvest deepest-first: deeper flights are older (smaller seq),
         // so the replay queue comes out oldest-first without sorting.
         for (size_t s = plan->writeStage; s-- > window_first;) {
-            std::unique_ptr<Flight> f = std::move(slots[s]);
+            std::unique_ptr<Flight> f = std::move(slotAt(s));
             if (!f || f.get() == cur) {
-                slots[s] = std::move(f);
+                slotAt(s) = std::move(f);
                 continue;
             }
             sim.stats_.flushedPackets++;
@@ -520,13 +733,21 @@ struct PipeSim::Impl
             // instructions. Writes parked at or before the restart point
             // are architecturally issued (their stage is not re-run) and
             // must stay parked or they would be lost.
-            pendingWrites.erase(
-                std::remove_if(pendingWrites.begin(), pendingWrites.end(),
-                               [&f, window_first](const PendingWrite &pw) {
-                                   return pw.writer == f.get() &&
-                                          pw.issueStage >= window_first;
-                               }),
-                pendingWrites.end());
+            if (!f->warArena.empty()) {
+                std::vector<Flight::ParkedWrite> &arena = f->warArena;
+                const size_t before = arena.size();
+                arena.erase(
+                    std::remove_if(arena.begin(), arena.end(),
+                                   [window_first](
+                                       const Flight::ParkedWrite &pw) {
+                                       return pw.issueStage >= window_first;
+                                   }),
+                    arena.end());
+                pendingWriteCount -= before - arena.size();
+                if (arena.empty())
+                    retireWriter(f.get());
+            }
+            f->ringPos = SIZE_MAX;  // replay-queued: writes commit freely
             restoreFlight(*f, plan->restartStage);
             replayQueues[plan->restartStage].push_back(std::move(f));
             --occupiedSlots;
@@ -543,6 +764,8 @@ struct PipeSim::Impl
         if (!std::is_sorted(queue.begin(), queue.end(), by_seq))
             std::sort(queue.begin(), queue.end(), by_seq);
         reloadStall = sim.config_.flushReloadCycles;
+        if (prof)
+            prof->flushSec += secondsSince(t0);
     }
 
     void
@@ -564,6 +787,8 @@ struct PipeSim::Impl
             flight.trapReason.clear();
             flight.lastExecuted = -1;
             flight.reads.clear();
+            flight.readDigest = 0;
+            flight.readMapMask = 0;
             for (Flight::Checkpoint &cp : flight.checkpoints)
                 cp.valid = false;
             return;
@@ -573,27 +798,56 @@ struct PipeSim::Impl
             panic("flush restart without checkpoint at stage ",
                   restart_stage);
         const Flight::Checkpoint &cp = flight.checkpoints[idx];
-        flight.pkt.assignBytes(cp.pktBytes);
+        // Materialize the copy-on-write chain: packet bytes come from
+        // the deepest link at or before the restart that captured them
+        // (nothing wrote the packet between that link and the restart,
+        // or a deeper link would have captured it) ...
+        const Flight::Checkpoint *pkt_src = nullptr;
+        for (int i = idx; i >= 0; --i) {
+            const Flight::Checkpoint &c = flight.checkpoints[i];
+            if (c.valid && c.stage <= restart_stage && c.pktCopied) {
+                pkt_src = &c;
+                break;
+            }
+        }
+        if (pkt_src == nullptr)
+            panic("checkpoint chain lost its packet snapshot");
+        flight.pkt.assignBytes(pkt_src->pktBytes);
         flight.pkt.id = flight.id;
         flight.pkt.arrivalNs = flight.arrivalNs;
         flight.pkt.ingressIfindex = 1;
-        // Replay resumes from a deterministic reset state overlaid with
-        // the (liveness-pruned) checkpoint, exactly like the hardware
-        // reloading its pruned pipeline registers from the elastic buffer.
+        // ... and registers/stack come from overlaying every valid link
+        // up to the restart, oldest first, onto a deterministic reset
+        // state. Each link holds exactly what was written since its
+        // predecessor, so the overlay reproduces the state the old
+        // eager snapshot recorded; slots a link recorded but that died
+        // before the restart may surface stale values, which is sound
+        // because dead-at-restart state is rewritten before any read.
         flight.state->reset();
         flight.state->nowNs = flight.arrivalNs;
-        flight.state->restore(cp.state);
+        for (int i = 0; i <= idx; ++i) {
+            const Flight::Checkpoint &c = flight.checkpoints[i];
+            if (c.valid && c.stage <= restart_stage)
+                flight.state->restore(c.state);
+        }
+        // The chain now *is* the state: nothing is dirty relative to it.
+        flight.state->clearDirty();
         flight.blockEnabled = cp.blockEnabled;
         flight.exited = cp.exited;
         flight.trapped = cp.trapped;
         flight.action = cp.action;
         flight.redirectIfindex = cp.redirectIfindex;
-        flight.reads = cp.reads;
+        // The read log is append-only, so the log at checkpoint time is
+        // a prefix of the current log: truncate instead of copying.
+        flight.reads.resize(cp.readsLen);
+        flight.readDigest = cp.readDigest;
+        flight.readMapMask = cp.readMapMask;
         flight.lastExecuted = static_cast<int64_t>(restart_stage);
         // Checkpoints deeper than the restart point are stale.
         for (Flight::Checkpoint &deep : flight.checkpoints)
             if (deep.valid && deep.stage > restart_stage)
                 deep.valid = false;
+        sim.stats_.checkpointsMaterialized++;
     }
 
     // --- stage execution -------------------------------------------------
@@ -608,19 +862,37 @@ struct PipeSim::Impl
     void
     checkpointAt(Flight &flight, size_t stage_idx, int eb)
     {
+        std::chrono::steady_clock::time_point t0;
+        if (prof)
+            t0 = std::chrono::steady_clock::now();
         Flight::Checkpoint &cp = flight.checkpoints[eb];
         cp.valid = true;
         cp.stage = stage_idx;
-        flight.state->checkpointInto(cp.state,
-                                     pipe.liveRegsAfter(stage_idx),
-                                     liveSlotsAfter[eb]);
-        flight.pkt.bytesInto(cp.pktBytes);
+        // Copy-on-write: record only what changed since the previous
+        // checkpoint (the dirty ∩ live state) and clear the dirty bits —
+        // restoreFlight materializes the full state by overlaying the
+        // chain of links in stage order.
+        flight.state->checkpointDirtyInto(cp.state,
+                                          pipe.liveRegsAfter(stage_idx),
+                                          liveSlotsAfter[eb]);
+        cp.pktCopied = flight.state->pktDirty();
+        if (cp.pktCopied) {
+            flight.pkt.bytesInto(cp.pktBytes);
+            flight.state->setPktDirty(false);
+        }
         cp.blockEnabled = flight.blockEnabled;
         cp.exited = flight.exited;
         cp.trapped = flight.trapped;
         cp.action = flight.action;
         cp.redirectIfindex = flight.redirectIfindex;
-        cp.reads = flight.reads;
+        // The read log only grows, so its length (plus the summary pair)
+        // is enough to restore it by truncation.
+        cp.readsLen = static_cast<uint32_t>(flight.reads.size());
+        cp.readDigest = flight.readDigest;
+        cp.readMapMask = flight.readMapMask;
+        sim.stats_.checkpointsTaken++;
+        if (prof)
+            prof->checkpointSec += secondsSince(t0);
     }
 
     void
@@ -636,7 +908,8 @@ struct PipeSim::Impl
         // Drain this packet's due delay buffers before the stage executes
         // (older packets ran their deeper stages earlier this cycle, so
         // every protected reader has already gone past).
-        commitPendingWritesFor(flight, stage_idx);
+        if (!flight.warArena.empty())
+            commitPendingWritesFor(flight, stage_idx);
         cur = &flight;
         if (!flight.exited && !stage.ops.empty()) {
             flight.state->setPort(static_cast<unsigned>(stage_idx));
@@ -682,7 +955,7 @@ struct PipeSim::Impl
     void
     executeStageAot(Flight &flight, size_t stage_idx)
     {
-        if (!pendingWrites.empty())
+        if (!flight.warArena.empty())
             commitPendingWritesFor(flight, stage_idx);
         cur = &flight;
         const size_t burst_end = aotSpec.stages[stage_idx].burstEnd;
@@ -790,14 +1063,111 @@ struct PipeSim::Impl
             acquireFlight(std::move(inputQueue.front()));
         inputQueue.pop_front();
         f->entryCycle = sim.stats_.cycles;
-        slots[0] = std::move(f);
+        f->ringPos = head;
+        slotAt(0) = std::move(f);
         ++occupiedSlots;
         sweepBound = std::max<int64_t>(sweepBound, 0);
+    }
+
+    /**
+     * Event-driven scheduling (SchedMode::EventDriven): generalize the
+     * idle fast-forward to a *partially occupied* pipeline. When no
+     * hazard machinery is armed (no replay, no reload stall, no parked
+     * writes), a dense cycle in which no flight reaches an active stage,
+     * no flight retires, and no arrival lands is pure drift: every
+     * occupant shifts down one slot and the clock ticks. Compute the
+     * distance to the nearest such event across all occupants and the
+     * input queue, and teleport — shift every occupant by `skip` slots
+     * and add `skip` to the cycle counter — which reproduces the skipped
+     * dense cycles bit-for-bit (including the interpreter sweep's
+     * lastExecuted marking on inactive stages). Runs before ++cycles so
+     * the following dense step lands exactly on the event cycle.
+     */
+    void
+    eventSkip()
+    {
+        if (occupiedSlots == 0 || replayCount != 0 || reloadStall != 0 ||
+            pendingWriteCount != 0)
+            return;
+        const uint64_t T = sim.stats_.cycles;
+        const size_t n = nStages;
+        uint64_t dmin = UINT64_MAX;
+        size_t seen = 0;
+        const int64_t top = std::min<int64_t>(
+            static_cast<int64_t>(n) - 1, sweepBound + 1);
+        for (int64_t s = top; s >= 0 && seen < occupiedSlots; --s) {
+            const Flight *const f = slotAt(s).get();
+            if (f == nullptr)
+                continue;
+            ++seen;
+            // Retire: the occupant of slot s reaches the last stage in
+            // n - s cycles.
+            dmin = std::min(dmin, static_cast<uint64_t>(n) -
+                                      static_cast<uint64_t>(s));
+            // Execute: the next stage at which this flight does anything
+            // observable (ops / elastic checkpoint under the interpreter,
+            // burst entry under AOT), at or past both its slot and its
+            // already-executed prefix.
+            const size_t m0 = static_cast<size_t>(std::max<int64_t>(
+                f->lastExecuted + 1, s));
+            const size_t m = f->exited
+                                 ? nextActiveExited[std::min(m0, n)]
+                                 : nextActiveLive[std::min(m0, n)];
+            if (m != SIZE_MAX)
+                dmin = std::min(
+                    dmin, static_cast<uint64_t>(m - s) + 1);
+        }
+        // Arrival: the first cycle whose timestamp covers the queue head
+        // (same rounding as the idle fast path), never before T + 1.
+        if (!injectHold && !inputQueue.empty()) {
+            const uint64_t arrival = inputQueue.front().arrivalNs;
+            uint64_t c = T + 1;
+            if (static_cast<uint64_t>(c * cycleNs) < arrival) {
+                uint64_t est = static_cast<uint64_t>(arrival / cycleNs);
+                est = est > 0 ? est - 1 : 0;
+                c = std::max(c, est);
+                while (static_cast<uint64_t>(c * cycleNs) < arrival)
+                    ++c;
+            }
+            dmin = std::min(dmin, c - T);
+        }
+        uint64_t skip = dmin - 1;
+        // Never jump past an armed control-plane cap: the cycle at the
+        // cap must be observed by a dense step.
+        if (ffLimit != UINT64_MAX && ffLimit > T)
+            skip = std::min(skip, ffLimit - T - 1);
+        if (skip == 0)
+            return;
+        // Teleport: a uniform shift is one ring-head rotation — no slot
+        // moves (skip < n by the retire bound, so no occupied stage
+        // rotates past the end). Only the interpreter needs a per-flight
+        // touch: its dense sweep marks each skipped inactive stage as
+        // executed in passing; AOT leaves lastExecuted at the burst end.
+        if (!aotActive) {
+            seen = 0;
+            for (int64_t s = top; s >= 0 && seen < occupiedSlots; --s) {
+                Flight *const f = slotAt(s).get();
+                if (f == nullptr)
+                    continue;
+                ++seen;
+                f->lastExecuted = std::max<int64_t>(
+                    f->lastExecuted,
+                    s + static_cast<int64_t>(skip) - 1);
+            }
+        }
+        head = (head + ringCap - skip) & ringMask;
+        sweepBound = std::min<int64_t>(sweepBound + skip,
+                                       static_cast<int64_t>(n) - 1);
+        sim.stats_.cycles += skip;
+        sim.stats_.eventJumps++;
+        sim.stats_.eventSkippedCycles += skip;
     }
 
     void
     stepOnce()
     {
+        if (eventDriven)
+            eventSkip();
         ++sim.stats_.cycles;
 
         // Fast path: an empty pipeline only waits for the next arrival,
@@ -805,13 +1175,13 @@ struct PipeSim::Impl
         // when the next arrival is still in the future, jump straight to
         // its cycle in O(1) instead of idling one cycle per call.
         if (occupiedSlots == 0 && replayCount == 0 &&
-            pendingWrites.empty()) {
+            pendingWriteCount == 0) {
             if (reloadStall > 0) {
                 --reloadStall;
                 sim.stats_.stallCycles++;
                 return;
             }
-            if (slots.empty())
+            if (nStages == 0)
                 return;
             if (inputQueue.empty() || injectHold) {
                 // Nothing can enter the pipeline before the fast-forward
@@ -863,12 +1233,19 @@ struct PipeSim::Impl
         // O(stages). The fast path for stages with nothing to do — no
         // ops (padding, or the packet already exited), no elastic buffer
         // to checkpoint into, no parked writes to drain — is inlined to
-        // spare the call; hoisting the pendingWrites check out of the
+        // spare the call; hoisting the parked-write check out of the
         // loop is safe because writes parked mid-sweep belong to deeper
         // (older) flights, never to the flight being skipped.
-        const bool no_pending = pendingWrites.empty();
+        const bool no_pending = pendingWriteCount == 0;
+        std::chrono::steady_clock::time_point sweep_t0;
+        double nested0 = 0;
+        if (prof) {
+            sweep_t0 = std::chrono::steady_clock::now();
+            nested0 = prof->hazardSec + prof->flushSec +
+                      prof->checkpointSec + prof->commitSec;
+        }
         const int64_t sweep_top = std::min<int64_t>(
-            static_cast<int64_t>(slots.size()) - 1, sweepBound + 1);
+            static_cast<int64_t>(nStages) - 1, sweepBound + 1);
         int64_t deepest = -1;
         size_t seen = 0;
         if (aotActive) {
@@ -876,27 +1253,25 @@ struct PipeSim::Impl
             // can only be due for execution at a statically known entry
             // stage (AotSpec::entryStage); everywhere else its occupant
             // provably satisfies lastExecuted >= stage and the sweep
-            // need not even touch the flight record — the dominant cost
-            // of the generic sweep on deep pipelines.
-            const uint8_t *const entry = aotSpec.entryStage.data();
-            for (int64_t s = sweep_top; s >= 0 && seen < occupiedSlots;
-                 --s) {
-                if (slots[s] == nullptr)
+            // need not even touch the slot at all — it walks the (short,
+            // descending) entry-stage list rather than every occupied
+            // slot of a deep pipeline, the dominant cost of the generic
+            // sweep. sweepBound stays the conservative one-step growth
+            // (it is only ever used as an upper bound).
+            for (const size_t es : aotEntryDesc) {
+                const int64_t s = static_cast<int64_t>(es);
+                if (s > sweep_top)
                     continue;
-                ++seen;
-                if (deepest < 0)
-                    deepest = s;
-                if (!entry[s])
-                    continue;
-                Flight *const f = slots[s].get();
-                if (f->lastExecuted >= s)
-                    continue;  // stall-held at an entry stage
-                executeStageAot(*f, static_cast<size_t>(s));
+                Flight *const f = slotAt(s).get();
+                if (f == nullptr || f->lastExecuted >= s)
+                    continue;  // empty, or stall-held at an entry stage
+                executeStageAot(*f, es);
             }
+            deepest = occupiedSlots > 0 ? sweep_top : -1;
         } else {
             for (int64_t s = sweep_top; s >= 0 && seen < occupiedSlots;
                  --s) {
-                Flight *const f = slots[s].get();
+                Flight *const f = slotAt(s).get();
                 if (f == nullptr)
                     continue;
                 ++seen;
@@ -913,14 +1288,26 @@ struct PipeSim::Impl
             }
         }
         sweepBound = deepest;
+        if (prof) {
+            // Execute cost excludes the hazard/flush/checkpoint/commit
+            // work nested inside the sweep, so the phases partition.
+            const double nested1 = prof->hazardSec + prof->flushSec +
+                                   prof->checkpointSec + prof->commitSec;
+            prof->executeSec +=
+                secondsSince(sweep_t0) - (nested1 - nested0);
+        }
 
         // 2. Commit WAR-delayed writes whose writer cleared the window.
-        if (!pendingWrites.empty())
+        if (pendingWriteCount != 0)
             commitPendingWrites();
 
+        std::chrono::steady_clock::time_point ar_t0;
+        if (prof)
+            ar_t0 = std::chrono::steady_clock::now();
+
         // 3. Retire from the last stage.
-        if (!slots.empty() && slots.back()) {
-            Flight &f = *slots.back();
+        if (nStages != 0 && slotAt(nStages - 1)) {
+            Flight &f = *slotAt(nStages - 1);
             // A packet that never reached an exit op aborts.
             PacketOutcome out;
             out.id = f.id;
@@ -934,28 +1321,31 @@ struct PipeSim::Impl
             sim.outcomes_.push_back(std::move(out));
             sim.stats_.completed++;
             // Orphan any pending writes (should have committed already).
-            for (auto &pw : pendingWrites)
-                if (pw.writer == slots.back().get())
-                    panic("pending WAR write outlived its writer");
-            releaseFlight(std::move(slots.back()));
+            if (!f.warArena.empty())
+                panic("pending WAR write outlived its writer");
+            releaseFlight(std::move(slotAt(nStages - 1)));
             --occupiedSlots;
         }
 
         // 4. Advance the pipeline (respecting elastic-buffer stalls).
-        // Bounded like the execute sweep: nothing sits above sweepBound
-        // and once every occupied slot has been seen the rest is empty.
+        // The ring makes the stall-free case O(1): retiring always frees
+        // the last stage, so every occupied flight shifts up exactly one
+        // stage — a single head rotation. Under a stall, the held prefix
+        // (stages 0..stall_bound) is rotated back into place afterwards;
+        // each target slot is vacated by the rotation (stage 0's fresh
+        // slot held old stage ringCap-1, empty by the ring invariant) or
+        // by the previous fix-up step, so the ascending moves never
+        // collide.
         int64_t stall_bound = replayCount > 0 ? stallBound() : -1;
-        seen = 0;
-        for (int64_t s = std::min<int64_t>(
-                 static_cast<int64_t>(slots.size()) - 1, sweepBound + 1);
-             s >= 1 && seen < occupiedSlots; --s) {
-            if (slots[s]) {
-                ++seen;
-                continue;
-            }
-            if (slots[s - 1] && s - 1 > stall_bound) {
-                slots[s] = std::move(slots[s - 1]);
-                ++seen;
+        if (occupiedSlots > 0) {
+            head = (head + ringCap - 1) & ringMask;
+            for (int64_t s = 0; s <= stall_bound; ++s) {
+                std::unique_ptr<Flight> &held = slotAt(s + 1);
+                if (held) {
+                    held->ringPos = (head + static_cast<size_t>(s)) &
+                                    ringMask;
+                    slotAt(s) = std::move(held);
+                }
             }
         }
         if (stall_bound >= 0)
@@ -967,8 +1357,9 @@ struct PipeSim::Impl
                 if (queue.empty())
                     continue;
                 const size_t target = restart == 0 ? 0 : restart + 1;
-                if (target < slots.size() && !slots[target]) {
-                    slots[target] = std::move(queue.front());
+                if (target < nStages && !slotAt(target)) {
+                    slotAt(target) = std::move(queue.front());
+                    slotAt(target)->ringPos = (head + target) & ringMask;
                     queue.pop_front();
                     ++occupiedSlots;
                     --replayCount;
@@ -984,17 +1375,19 @@ struct PipeSim::Impl
         if (reloadStall > 0) {
             --reloadStall;
             sim.stats_.stallCycles++;
-        } else if (!injectHold && !slots.empty() && !slots[0] &&
+        } else if (!injectHold && nStages != 0 && !slotAt(0) &&
                    stall_bound < 0 && !inputQueue.empty() &&
                    inputQueue.front().arrivalNs <= now_ns) {
             injectFront();
         }
+        if (prof)
+            prof->advanceRetireSec += secondsSince(ar_t0);
     }
 
     bool
     idle() const
     {
-        return inputQueue.empty() && pendingWrites.empty() &&
+        return inputQueue.empty() && pendingWriteCount == 0 &&
                occupiedSlots == 0 && replayCount == 0;
     }
 
@@ -1003,7 +1396,43 @@ struct PipeSim::Impl
     PipeSim &sim;
     HazardMapIo io;
 
-    std::vector<std::unique_ptr<Flight>> slots;
+    /**
+     * Stage slots as a power-of-two ring: the flight at stage s lives
+     * at ring[(head + s) & ringMask]. A stall-free advance is one head
+     * decrement instead of O(depth) unique_ptr moves, and a flight's
+     * physical slot (Flight::ringPos) is stable from placement to
+     * retire/flush. Invariant: every physical slot not mapped to an
+     * occupied stage < nStages is null, so rotations never expose a
+     * stale flight.
+     */
+    std::vector<std::unique_ptr<Flight>> ring;
+    size_t ringCap = 1;
+    size_t ringMask = 0;
+    /** Physical index of stage 0 (decremented to advance). */
+    size_t head = 0;
+    /** Pipeline depth (number of stage slots in use). */
+    size_t nStages = 0;
+
+    std::unique_ptr<Flight> &
+    slotAt(size_t s)
+    {
+        return ring[(head + s) & ringMask];
+    }
+
+    const std::unique_ptr<Flight> &
+    slotAt(size_t s) const
+    {
+        return ring[(head + s) & ringMask];
+    }
+
+    /** Stage currently holding @p f (SIZE_MAX while replay-queued). */
+    size_t
+    stageOf(const Flight &f) const
+    {
+        return f.ringPos == SIZE_MAX
+                   ? SIZE_MAX
+                   : (f.ringPos + ringCap - head) & ringMask;
+    }
     /**
      * Raw packets awaiting injection. Flights (with their ExecState)
      * materialize only when a packet enters stage 0, so the live
@@ -1013,12 +1442,41 @@ struct PipeSim::Impl
      */
     std::deque<net::Packet> inputQueue;
     std::map<size_t, std::deque<std::unique_ptr<Flight>>> replayQueues;
-    std::vector<PendingWrite> pendingWrites;
+    /**
+     * Flights holding parked (WAR-delayed) writes in their arenas, in
+     * first-park order. A flight is listed iff its arena is non-empty;
+     * pendingWriteCount totals the arena entries so the per-cycle commit
+     * pass and the fast paths test emptiness in O(1).
+     */
+    std::vector<Flight *> pendingWriters;
+    size_t pendingWriteCount = 0;
+    /** Global park order, so batch commits replay insertion order. */
+    uint64_t parkSeqCounter = 0;
+    /** Reused staging for the batch-commit sort (no steady-state alloc). */
+    std::vector<Flight::ParkedWrite> commitScratch;
+    std::vector<ebpf::MapSet::RawWrite> rawScratch;
 
     /** Retired flights recycled by acquireFlight (free-list pool). */
     std::vector<std::unique_ptr<Flight>> flightPool;
     /** Reused staging for store-to-load forwarding in readValue. */
-    std::vector<const PendingWrite *> fwdScratch;
+    std::vector<Flight *> fwdScratch;
+    /**
+     * Event-driven mode: for each stage s, the first stage >= s at which
+     * a live (resp. exited) flight does observable work — interpreter:
+     * ops or an elastic buffer (exited: elastic only); AOT: a burst
+     * entry stage. Size numStages + 1 with SIZE_MAX sentinels at the
+     * tail, so nextActive[min(m0, n)] needs no bounds check.
+     */
+    std::vector<size_t> nextActiveLive;
+    std::vector<size_t> nextActiveExited;
+    /** Entry stages of the AOT plan, deepest first (the sweep order). */
+    std::vector<size_t> aotEntryDesc;
+    /** PipeSimConfig::paranoidChecks (hazard-summary cross-check). */
+    bool paranoid = false;
+    /** PipeSimConfig::schedMode == SchedMode::EventDriven. */
+    bool eventDriven = false;
+    /** Per-phase host-time accumulators (PipeSimConfig::profilePhases). */
+    std::unique_ptr<PipeSimPhaseProfile> prof;
     /** Per-stage index into Pipeline::elasticBuffers (-1 = none). */
     std::vector<int> elasticIndex;
     /** Per-stage "has ops" flag for the inlined sweep fast path. */
@@ -1121,7 +1579,7 @@ bool
 PipeSim::pipelineEmpty() const
 {
     return impl_->occupiedSlots == 0 && impl_->replayCount == 0 &&
-           impl_->pendingWrites.empty();
+           impl_->pendingWriteCount == 0;
 }
 
 size_t
@@ -1175,6 +1633,16 @@ PipeSim::swapPipeline(const Pipeline &next)
     impl_->injectHold = hold;
     impl_->ffLimit = ff_limit;
     impl_->inputQueue = std::move(queued);
+}
+
+PipeSimPhaseProfile
+PipeSim::phaseProfile() const
+{
+    if (impl_->prof == nullptr)
+        return {};
+    PipeSimPhaseProfile p = *impl_->prof;
+    p.enabled = true;
+    return p;
 }
 
 double

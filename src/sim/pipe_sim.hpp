@@ -53,6 +53,25 @@ enum class AotBackend : uint8_t {
     Native,
 };
 
+/**
+ * Cycle-scheduling mode. Both modes account cycles identically (every
+ * counter and outcome is bit-identical); EventDriven merely refuses to
+ * *spend host time* on cycles where provably nothing observable happens.
+ */
+enum class SchedMode : uint8_t {
+    /** Tick every cycle (the reference scheduling). */
+    Dense,
+    /**
+     * Generalized fast-forward: when no flight can execute, retire, or
+     * stall, and no arrival lands, jump the clock to the next event and
+     * teleport the in-flight packets the stages they would have drifted.
+     * Engages only on hazard-quiet stretches (no replay, no reload
+     * stall, no parked writes), so the flush machinery always runs
+     * dense.
+     */
+    EventDriven,
+};
+
 /** Simulator configuration. */
 struct PipeSimConfig
 {
@@ -68,6 +87,34 @@ struct PipeSimConfig
     AotBackend aotBackend = AotBackend::DirectThreaded;
     /** Native-module cache dir ("" = $EHDL_AOT_CACHE, else aot-cache). */
     std::string aotCacheDir;
+    /** Cycle scheduling (Dense is the reference; see SchedMode). */
+    SchedMode schedMode = SchedMode::Dense;
+    /**
+     * Debug cross-check: run the full per-flight read scan alongside the
+     * O(1) hazard summaries and panic if the summary would skip a slot
+     * the scan finds a hazard in (a summary false negative, which would
+     * silently change modeled behavior).
+     */
+    bool paranoidChecks = false;
+    /** Accumulate per-phase host-time costs (PipeSim::phaseProfile). */
+    bool profilePhases = false;
+};
+
+/**
+ * Host-time cost of each phase of the cycle loop, accumulated when
+ * PipeSimConfig::profilePhases is set (seconds of steady_clock time).
+ * Execute excludes the nested hazard/flush/checkpoint/commit work, so
+ * the six phases partition the instrumented cycle-loop cost.
+ */
+struct PipeSimPhaseProfile
+{
+    bool enabled = false;
+    double executeSec = 0;        ///< stage execution sweep (both engines)
+    double hazardSec = 0;         ///< flush-block hazard evaluation
+    double checkpointSec = 0;     ///< elastic-buffer checkpoint capture
+    double commitSec = 0;         ///< pending-write batch commits
+    double advanceRetireSec = 0;  ///< retire + advance + inject bookkeeping
+    double flushSec = 0;          ///< flush harvest + checkpoint restore
 };
 
 /** The engine actually running (tools report this in their stats). */
@@ -124,6 +171,21 @@ struct PipeSimStats
     uint64_t flushedPackets = 0;
     uint64_t replayedStages = 0;
     uint64_t stallCycles = 0;
+
+    // Incremental-core instrumentation. These do not alter modeled
+    // behavior, and the hazard counters legitimately differ between the
+    // interpreter and the AOT engine (the specializer prunes read
+    // recording), so they are *not* part of the bit-identical parity
+    // contract the three-way tests enforce over the counters above.
+    uint64_t hazardChecks = 0;         ///< window slots examined
+    uint64_t hazardSummarySkips = 0;   ///< slots cleared by the summary
+    uint64_t hazardPreciseScans = 0;   ///< slots needing the full scan
+    uint64_t commitBatches = 0;        ///< batched pending-write commits
+    uint64_t committedWrites = 0;      ///< writes those batches applied
+    uint64_t checkpointsTaken = 0;     ///< incremental checkpoints written
+    uint64_t checkpointsMaterialized = 0;  ///< chain restores on flush
+    uint64_t eventJumps = 0;           ///< event-driven clock jumps
+    uint64_t eventSkippedCycles = 0;   ///< cycles those jumps covered
 
     /** Achieved forwarding rate over the simulated interval. */
     double
@@ -233,6 +295,12 @@ class PipeSim
 
     /** Average end-to-end latency over completed packets, in nanoseconds. */
     double avgLatencyNs() const;
+
+    /**
+     * Per-phase host-time breakdown; enabled only when the config set
+     * profilePhases (all-zero otherwise).
+     */
+    PipeSimPhaseProfile phaseProfile() const;
 
   private:
     struct Impl;

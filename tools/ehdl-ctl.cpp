@@ -39,6 +39,7 @@
 #include "ebpf/vm.hpp"
 #include "hdl/compiler.hpp"
 #include "sim/multi_pipe_sim.hpp"
+#include "sim/stats_json.hpp"
 #include "sim/traffic.hpp"
 
 namespace {
@@ -98,6 +99,11 @@ usage(std::ostream &os)
           "                    (default 8)\n"
           "  --engine SPEC     stage-execution engine: interp (default),\n"
           "                    aot, aot-native\n"
+          "  --sched MODE      cycle scheduling: dense (default) or event\n"
+          "                    (bit-identical fast-forward; quiescence\n"
+          "                    boundaries land on the same cycles)\n"
+          "  --paranoid        cross-check hazard summaries against the\n"
+          "                    full read scan\n"
           "  --poll-stats N    add a stats_read every N cycles\n"
           "  --stats-out FILE  write the apply log + final stats as JSON\n"
           "  --verify          cross-check against the reference VM\n"
@@ -133,20 +139,7 @@ hex(const std::vector<uint8_t> &bytes)
     return out;
 }
 
-Json
-statsJson(const sim::PipeSimStats &s, uint64_t clock_hz)
-{
-    Json j;
-    j.set("cycles", Json::integer(s.cycles))
-        .set("offered", Json::integer(s.offered))
-        .set("accepted", Json::integer(s.accepted))
-        .set("lost", Json::integer(s.lost))
-        .set("completed", Json::integer(s.completed))
-        .set("flushEvents", Json::integer(s.flushEvents))
-        .set("stallCycles", Json::integer(s.stallCycles))
-        .set("throughputMpps", Json::num(s.throughputMpps(clock_hz)));
-    return j;
-}
+using sim::statsJson;
 
 Json
 reportJson(const ctl::CtlRunReport &report)
@@ -215,6 +208,8 @@ struct Options
     double rateGbps = 100.0;
     sim::SimEngine engine = sim::SimEngine::Interp;
     sim::AotBackend aotBackend = sim::AotBackend::DirectThreaded;
+    sim::SchedMode schedMode = sim::SchedMode::Dense;
+    bool paranoid = false;
     ctl::CtlChannelConfig channel;
     uint64_t pollStats = 0;
     std::string statsOut;
@@ -335,6 +330,17 @@ run(int argc, char **argv)
                 fatal("--engine expects interp, aot or aot-native");
             opt.engine = ec.engine;
             opt.aotBackend = ec.aotBackend;
+        } else if (arg == "--sched") {
+            const char *v = value();
+            const std::string mode = v ? v : "";
+            if (mode == "dense")
+                opt.schedMode = sim::SchedMode::Dense;
+            else if (mode == "event")
+                opt.schedMode = sim::SchedMode::EventDriven;
+            else
+                fatal("--sched expects dense or event");
+        } else if (arg == "--paranoid") {
+            opt.paranoid = true;
         } else if (arg == "--poll-stats") {
             opt.pollStats = parseNum("--poll-stats", value());
         } else if (arg == "--stats-out") {
@@ -412,6 +418,8 @@ run(int argc, char **argv)
         sc.inputQueueCapacity = 1u << 20;
         sc.engine = opt.engine;
         sc.aotBackend = opt.aotBackend;
+        sc.schedMode = opt.schedMode;
+        sc.paranoidChecks = opt.paranoid;
         sim::PipeSim sim(pipe, maps, sc);
         for (const net::Packet &pkt : packets)
             sim.offer(pkt);
@@ -438,6 +446,8 @@ run(int argc, char **argv)
         mc.pipe.inputQueueCapacity = 1u << 20;
         mc.pipe.engine = opt.engine;
         mc.pipe.aotBackend = opt.aotBackend;
+        mc.pipe.schedMode = opt.schedMode;
+        mc.pipe.paranoidChecks = opt.paranoid;
         sim::MultiPipeSim multi(pipe, seed, mc);
         std::vector<std::vector<net::Packet>> streams(opt.replicas);
         for (const net::Packet &pkt : packets)

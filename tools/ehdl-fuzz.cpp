@@ -12,14 +12,17 @@
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "fuzz/case.hpp"
 #include "fuzz/diff.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "sim/stats_json.hpp"
 
 namespace {
 
@@ -48,6 +51,14 @@ usage(std::ostream &os)
           "  --engine SPEC      pipeline engine: interp (default), aot,\n"
           "                     aot-native (also applies to --replay)\n"
           "                     (default 2, below 2 disables that backend)\n"
+          "  --sched MODE       cycle scheduling: dense (default) or event\n"
+          "                     (event-driven fast-forward, contracted\n"
+          "                     bit-identical to dense)\n"
+          "  --paranoid         cross-check the O(1) hazard summaries\n"
+          "                     against the full read scan (panics on a\n"
+          "                     summary false negative)\n"
+          "  --stats-out FILE   write campaign counters, engine info and\n"
+          "                     aggregated pipeline stats as JSON\n"
           "  --no-shrink        keep reproducers unreduced\n"
           "  --all              keep fuzzing past the first divergence\n"
           "  --corpus DIR       write shrunk reproducers to DIR\n"
@@ -97,6 +108,7 @@ run(int argc, char **argv)
 {
     fuzz::FuzzOptions opts;
     std::vector<std::string> replay_paths;
+    std::string stats_out;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -149,6 +161,28 @@ run(int argc, char **argv)
             // engine that found it.
             opts.shrinkOpts.run.engine = ec.engine;
             opts.shrinkOpts.run.aotBackend = ec.aotBackend;
+        } else if (arg == "--sched") {
+            const char *spec = value();
+            if (!spec)
+                fatal("--sched expects dense or event");
+            const std::string mode = spec;
+            sim::SchedMode sm;
+            if (mode == "dense")
+                sm = sim::SchedMode::Dense;
+            else if (mode == "event")
+                sm = sim::SchedMode::EventDriven;
+            else
+                fatal("--sched expects dense or event, got '", mode, "'");
+            opts.run.schedMode = sm;
+            opts.shrinkOpts.run.schedMode = sm;
+        } else if (arg == "--paranoid") {
+            opts.run.paranoidChecks = true;
+            opts.shrinkOpts.run.paranoidChecks = true;
+        } else if (arg == "--stats-out") {
+            const char *path = value();
+            if (!path)
+                fatal("--stats-out requires a file path");
+            stats_out = path;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (arg == "--all") {
@@ -195,6 +229,25 @@ run(int argc, char **argv)
         if (!rec.savedPath.empty())
             std::cout << " -> " << rec.savedPath;
         std::cout << "\n";
+    }
+    if (!stats_out.empty()) {
+        Json root;
+        Json campaign;
+        campaign.set("iterations", Json::integer(stats.iterations))
+            .set("compiled", Json::integer(stats.compiled))
+            .set("rejected", Json::integer(stats.rejected))
+            .set("divergences", Json::integer(stats.divergences))
+            .set("packetsRun", Json::integer(stats.packetsRun))
+            .set("vmInsns", Json::integer(stats.vmInsns));
+        root.set("campaign", std::move(campaign))
+            .set("engine", sim::engineJson(stats.engineInfo))
+            .set("pipeStats", sim::statsJson(stats.pipeAgg, 250'000'000));
+        std::ofstream out(stats_out);
+        if (!out)
+            fatal("cannot write '", stats_out, "'");
+        out << root.dump() << "\n";
+        if (!quiet)
+            std::cout << "stats written to " << stats_out << "\n";
     }
     return stats.divergences == 0 ? 0 : 1;
 }

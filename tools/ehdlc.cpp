@@ -48,6 +48,7 @@
 #include "sim/multi_pipe_sim.hpp"
 #include "sim/nic_shell.hpp"
 #include "sim/pipe_sim.hpp"
+#include "sim/stats_json.hpp"
 #include "sim/traffic.hpp"
 
 using namespace ehdl;
@@ -309,15 +310,42 @@ printEngine(const sim::EngineInfo &info)
                     info.fallbackReason.c_str());
 }
 
+/** Machine-readable stats for `sim --stats-out` (both backends). */
+void
+writeSimStats(const std::string &path, const std::string &prog_name,
+              unsigned replicas, bool threaded, const std::string &sched,
+              const sim::EngineInfo &engine, const sim::PipeSimStats &stats,
+              uint64_t clock_hz, const sim::PipeSimPhaseProfile &phases)
+{
+    Json root;
+    root.set("app", Json::str(prog_name))
+        .set("replicas", Json::integer(replicas))
+        .set("threaded", Json::boolean(threaded))
+        .set("sched", Json::str(sched))
+        .set("engine", sim::engineJson(engine))
+        .set("stats", sim::statsJson(stats, clock_hz));
+    if (phases.enabled)
+        root.set("phases", sim::phaseProfileJson(phases));
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '", path, "'");
+    out << root.dump() << "\n";
+    std::printf("stats written to %s\n", path.c_str());
+}
+
 int
 cmdSim(int argc, char **argv)
 {
     std::string input;
     std::string pcap_in, pcap_out;
+    std::string stats_out;
     int packets = 10000;
     unsigned replicas = 1;
     bool threaded = false;
     std::string engine_spec = "interp";
+    std::string sched_spec = "dense";
+    bool paranoid = false;
+    bool profile_phases = false;
     sim::TrafficConfig traffic;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -325,10 +353,18 @@ cmdSim(int argc, char **argv)
             packets = std::stoi(argv[++i]);
         else if (arg == "--engine" && i + 1 < argc)
             engine_spec = argv[++i];
+        else if (arg == "--sched" && i + 1 < argc)
+            sched_spec = argv[++i];
+        else if (arg == "--paranoid")
+            paranoid = true;
+        else if (arg == "--profile-phases")
+            profile_phases = true;
         else if (arg == "--pcap-in" && i + 1 < argc)
             pcap_in = argv[++i];
         else if (arg == "--pcap-out" && i + 1 < argc)
             pcap_out = argv[++i];
+        else if (arg == "--stats-out" && i + 1 < argc)
+            stats_out = argv[++i];
         else if (arg == "--flows" && i + 1 < argc)
             traffic.numFlows = std::stoull(argv[++i]);
         else if (arg == "--zipf" && i + 1 < argc)
@@ -347,6 +383,13 @@ cmdSim(int argc, char **argv)
     }
     if (input.empty())
         fatal("sim: missing input file");
+    sim::SchedMode sched_mode;
+    if (sched_spec == "dense")
+        sched_mode = sim::SchedMode::Dense;
+    else if (sched_spec == "event")
+        sched_mode = sim::SchedMode::EventDriven;
+    else
+        fatal("unknown sched mode '", sched_spec, "' (dense, event)");
 
     const ebpf::Program prog = loadProgram(input);
     const hdl::Pipeline pipe = hdl::compile(prog);
@@ -359,6 +402,9 @@ cmdSim(int argc, char **argv)
         mconfig.numReplicas = replicas;
         mconfig.threaded = threaded;
         mconfig.pipe.inputQueueCapacity = 1u << 20;
+        mconfig.pipe.schedMode = sched_mode;
+        mconfig.pipe.paranoidChecks = paranoid;
+        mconfig.pipe.profilePhases = profile_phases;
         if (!sim::parseEngineSpec(engine_spec, mconfig.pipe))
             fatal("unknown engine '", engine_spec,
                   "' (interp, aot, aot-native)");
@@ -389,12 +435,19 @@ cmdSim(int argc, char **argv)
                         static_cast<unsigned long long>(s.cycles),
                         static_cast<unsigned long long>(s.flushEvents));
         }
+        if (!stats_out.empty())
+            writeSimStats(stats_out, prog.name, replicas, threaded,
+                          sched_spec, multi.engineInfo(), agg,
+                          mconfig.pipe.clockHz, multi.phaseProfile());
         return 0;
     }
 
     ebpf::MapSet maps(prog.maps);
     sim::PipeSimConfig config;
     config.inputQueueCapacity = 1u << 20;
+    config.schedMode = sched_mode;
+    config.paranoidChecks = paranoid;
+    config.profilePhases = profile_phases;
     if (!sim::parseEngineSpec(engine_spec, config))
         fatal("unknown engine '", engine_spec,
               "' (interp, aot, aot-native)");
@@ -449,6 +502,10 @@ cmdSim(int argc, char **argv)
                             .c_str(),
                         static_cast<unsigned long long>(actions[a]));
     }
+    if (!stats_out.empty())
+        writeSimStats(stats_out, prog.name, 1, false, sched_spec,
+                      sim.engineInfo(), sim.stats(), config.clockHz,
+                      sim.phaseProfile());
     return 0;
 }
 
@@ -467,7 +524,8 @@ usage()
         "  ehdlc report  <prog>\n"
         "  ehdlc sim     <prog> [--packets N] [--flows N] [--zipf S] [--len N]\n"
         "                [--pcap-in f] [--pcap-out f] [--replicas N] [--threaded]\n"
-        "                [--engine interp|aot|aot-native]\n"
+        "                [--engine interp|aot|aot-native] [--sched dense|event]\n"
+        "                [--paranoid] [--profile-phases] [--stats-out f]\n"
         "\n"
         "<prog>: textual assembly (.s), raw bytecode (.bin), an ELF object\n"
         "built with clang -target bpf, or app:<name> for a built-in\n"
