@@ -37,6 +37,9 @@ struct CtlChannelConfig
      * Host→device→host round trip in shell cycles. 700 cycles at the
      * 250 MHz shell clock is 2.8 µs — a typical small-transfer PCIe
      * round trip (two DMA/MMIO crossings plus doorbell processing).
+     * The host DMA datapath shares this budget: its default per-burst
+     * one-way latency is half this round trip
+     * (host::kPcieRoundTripCycles, src/host/host_dma.hpp).
      */
     uint64_t roundTripCycles = 700;
     /** Mailbox ring depth: transactions in flight before backpressure. */

@@ -164,6 +164,7 @@ ctlOpKindName(CtlOpKind kind)
       case CtlOpKind::MapDelete: return "map_delete";
       case CtlOpKind::MapBatch: return "map_batch";
       case CtlOpKind::StatsRead: return "stats_read";
+      case CtlOpKind::StatsStream: return "stats_stream";
       case CtlOpKind::Drain: return "drain";
       case CtlOpKind::SwapProgram: return "swap_program";
     }
@@ -197,6 +198,12 @@ serializeSchedule(const CtlSchedule &sched)
             break;
           case CtlOpKind::StatsRead:
             os << "stats";
+            break;
+          case CtlOpKind::StatsStream:
+            if (txn.streamPeriod == 0 || txn.streamCount == 0)
+                fatal("ctl schedule: stats_stream needs a nonzero "
+                      "period and count");
+            os << "stream " << txn.streamPeriod << " " << txn.streamCount;
             break;
           case CtlOpKind::Drain:
             os << "drain";
@@ -246,6 +253,18 @@ parseSchedule(const std::string &text)
                 fatal("ctl schedule line ", lineno, ": empty batch");
         } else if (verb == "stats") {
             txn.kind = CtlOpKind::StatsRead;
+        } else if (verb == "stream") {
+            txn.kind = CtlOpKind::StatsStream;
+            std::string period_word, count_word;
+            ls >> period_word >> count_word;
+            if (period_word.empty() || count_word.empty())
+                fatal("ctl schedule line ", lineno,
+                      ": stream needs <period> <count>");
+            txn.streamPeriod = parseU64(period_word, lineno);
+            txn.streamCount = parseU64(count_word, lineno);
+            if (txn.streamPeriod == 0 || txn.streamCount == 0)
+                fatal("ctl schedule line ", lineno,
+                      ": stream period and count must be nonzero");
         } else if (verb == "drain") {
             txn.kind = CtlOpKind::Drain;
         } else if (verb == "swap") {

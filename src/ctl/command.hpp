@@ -15,6 +15,9 @@
  *   map_batch     several lookup/update/delete primitives in one mailbox
  *                 transaction (one channel round trip, one quiescence)
  *   stats_read    sample the datapath counters (side-band: no quiescence)
+ *   stats_stream  nfbmeter-style periodic sampling: the device samples
+ *                 the counters <count> times, <period> cycles apart,
+ *                 autonomously after one mailbox transaction (side-band)
  *   drain         block until every packet offered so far has retired
  *   swap_program  quiesce, hot-swap the compiled pipeline, keep the maps
  *
@@ -26,6 +29,7 @@
  *   @140 delete flows deadbeef00000000
  *   @200 lookup counters 01000000
  *   @300 stats
+ *   @350 stream 500 8
  *   @400 drain
  *   @500 swap alt
  *   @600 batch update m 01000000 aa00000000000000 any ; delete m 02000000
@@ -54,6 +58,7 @@ enum class CtlOpKind : uint8_t {
     MapDelete,
     MapBatch,
     StatsRead,
+    StatsStream,
     Drain,
     SwapProgram,
 };
@@ -84,6 +89,10 @@ struct CtlTxn
     std::vector<CtlMapOp> ops;
     /** swap_program: label of a pipeline registered with the controller. */
     std::string program;
+    /** stats_stream: cycles between device-side samples. */
+    uint64_t streamPeriod = 0;
+    /** stats_stream: number of samples the device takes. */
+    uint64_t streamCount = 0;
 
     bool operator==(const CtlTxn &) const = default;
 };

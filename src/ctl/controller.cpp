@@ -135,6 +135,13 @@ CtlController::validate(const CtlSchedule &sched) const
                 fatal("ctl: swap_program target '", txn.program,
                       "' is not registered");
             break;
+          case CtlOpKind::StatsStream:
+            if (txn.streamPeriod == 0 || txn.streamCount == 0)
+                fatal("ctl: stats_stream needs a nonzero period and count");
+            if (txn.streamCount > 65536)
+                fatal("ctl: stats_stream of ", txn.streamCount,
+                      " samples exceeds the limit of 65536");
+            break;
           case CtlOpKind::StatsRead:
           case CtlOpKind::Drain:
             break;
@@ -156,6 +163,30 @@ CtlController::applyOnReplica(size_t r, const CtlTxn &txn,
         rec.applyCycle[r] = s.cycle();
         rec.retiredBefore[r] = s.stats().completed;
         rec.statsSnapshot[r] = s.stats();
+        return;
+    }
+    if (txn.kind == CtlOpKind::StatsStream) {
+        // Device-side autonomous sampling: one mailbox transaction, the
+        // device samples every streamPeriod cycles, streamCount times.
+        // Side-band like stats_read — the datapath never quiesces — but
+        // the mailbox stays busy until the last sample ships.
+        std::vector<CtlStreamSample> &series = rec.streamSamples[r];
+        series.reserve(txn.streamCount);
+        for (uint64_t i = 0; i < txn.streamCount; ++i) {
+            const uint64_t at = device_cycle + i * txn.streamPeriod;
+            advanceTo(s, at);
+            CtlStreamSample sample;
+            sample.cycle = s.cycle();
+            sample.stats = s.stats();
+            if (host_ != nullptr && r < host_->numQueues()) {
+                sample.hostValid = true;
+                sample.host = host_->queue(static_cast<unsigned>(r))
+                                  .sampleAt(sample.cycle);
+            }
+            series.push_back(std::move(sample));
+        }
+        rec.applyCycle[r] = s.cycle();
+        rec.retiredBefore[r] = s.stats().completed;
         return;
     }
     if (txn.kind == CtlOpKind::Drain) {
@@ -212,6 +243,30 @@ CtlController::applyShared(const CtlTxn &txn, uint64_t device_cycle,
         }
         return;
     }
+    if (txn.kind == CtlOpKind::StatsStream) {
+        for (uint64_t i = 0; i < txn.streamCount; ++i) {
+            const uint64_t at = device_cycle + i * txn.streamPeriod;
+            for (sim::PipeSim *s : sims_)
+                s->setFastForwardLimit(at);
+            lockstep([at](sim::PipeSim &s) { return s.cycle() < at; },
+                     [](sim::PipeSim &s) { s.step(); });
+            for (size_t r = 0; r < sims_.size(); ++r) {
+                CtlStreamSample sample;
+                sample.cycle = sims_[r]->cycle();
+                sample.stats = sims_[r]->stats();
+                if (host_ != nullptr && r < host_->numQueues()) {
+                    sample.hostValid = true;
+                    sample.host =
+                        host_->queue(static_cast<unsigned>(r))
+                            .sampleAt(sample.cycle);
+                }
+                rec.streamSamples[r].push_back(std::move(sample));
+            }
+        }
+        for (size_t r = 0; r < sims_.size(); ++r)
+            record(r);
+        return;
+    }
     if (txn.kind == CtlOpKind::Drain) {
         for (sim::PipeSim *s : sims_)
             s->setFastForwardLimit(UINT64_MAX);
@@ -258,6 +313,10 @@ CtlController::run(const CtlSchedule &sched)
         rec.results.resize(replicas);
         if (txn.kind == CtlOpKind::StatsRead)
             rec.statsSnapshot.resize(replicas);
+        // Preallocated before any worker runs: each threaded worker then
+        // writes only its own replica's series.
+        if (txn.kind == CtlOpKind::StatsStream)
+            rec.streamSamples.resize(replicas);
 
         if (sharedMode_) {
             applyShared(txn, rec.deviceCycle, rec);
@@ -321,6 +380,7 @@ replayScheduleOnVm(const ebpf::Program &prog,
             const CtlTxnRecord &rec = report.txns[next_txn];
             switch (rec.txn.kind) {
               case CtlOpKind::StatsRead:
+              case CtlOpKind::StatsStream:
               case CtlOpKind::Drain:
                 break;  // timing-only: no architectural effect
               case CtlOpKind::SwapProgram: {

@@ -47,6 +47,7 @@
 #include "ctl/channel.hpp"
 #include "ctl/command.hpp"
 #include "ebpf/maps.hpp"
+#include "host/host_dma.hpp"
 #include "ebpf/program.hpp"
 #include "ebpf/xdp.hpp"
 #include "hdl/pipeline.hpp"
@@ -66,6 +67,20 @@ struct CtlOpResult
     bool operator==(const CtlOpResult &) const = default;
 };
 
+/**
+ * One device-side sample of a stats_stream transaction: the datapath
+ * counters, and (when a host datapath is attached) the replica's host
+ * queue advanced to the same cycle — ring occupancy, coalescing and
+ * drop-reason counters included.
+ */
+struct CtlStreamSample
+{
+    uint64_t cycle = 0;
+    sim::PipeSimStats stats;
+    bool hostValid = false;
+    host::HostQueueCounters host;
+};
+
 /** Everything observed about one executed transaction. */
 struct CtlTxnRecord
 {
@@ -83,6 +98,13 @@ struct CtlTxnRecord
     std::vector<std::vector<CtlOpResult>> results;
     /** stats_read only: per-replica counter snapshot at deviceCycle. */
     std::vector<sim::PipeSimStats> statsSnapshot;
+    /**
+     * stats_stream only: the timestamped series, indexed
+     * [replica][sample]. Sample i is taken at deviceCycle + i * period;
+     * the transaction completes after the last sample (the mailbox stays
+     * busy while the device streams), all side-band — no quiescence.
+     */
+    std::vector<std::vector<CtlStreamSample>> streamSamples;
 };
 
 /** The full apply log of one schedule execution. */
@@ -126,6 +148,14 @@ class CtlController
     const CtlChannel &channel() const { return channel_; }
 
     /**
+     * Attach the host DMA datapath (nullptr detaches). stats_stream
+     * samples then include each replica's host-queue counters (queue r
+     * serves replica r). @p host must outlive the controller's run().
+     */
+    void attachHost(host::HostDatapath *host) { host_ = host; }
+    host::HostDatapath *attachedHost() const { return host_; }
+
+    /**
      * Execute @p sched to completion and return the apply log. Remaining
      * traffic is NOT drained — call the simulator's drain() afterwards.
      * @throw FatalError on malformed schedules (unknown map or swap
@@ -144,6 +174,7 @@ class CtlController
     std::vector<ebpf::MapSet *> maps_;
     bool sharedMode_ = false;
     bool threaded_ = false;
+    host::HostDatapath *host_ = nullptr;
     CtlChannel channel_;
     std::map<std::string, const hdl::Pipeline *> programs_;
 };

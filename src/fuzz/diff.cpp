@@ -1,12 +1,14 @@
 #include "fuzz/diff.hpp"
 
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hpp"
 #include "ctl/controller.hpp"
 #include "ebpf/vm.hpp"
 #include "hdl/compiler.hpp"
+#include "host/host_dma.hpp"
 #include "sim/baselines.hpp"
 #include "sim/multi_pipe_sim.hpp"
 
@@ -85,6 +87,56 @@ wholeRun(const std::string &backend, const std::string &field,
     d.field = field;
     d.detail = std::move(detail);
     return d;
+}
+
+/**
+ * Fuzz-mode host datapath: a deliberately tiny ring so DMA batching,
+ * coalescing, TX re-emit and FIFO backpressure all trigger on the short
+ * fuzz workloads. The model only observes retirements, so the
+ * differential contract is unaffected by attaching it.
+ */
+host::HostDmaConfig
+fuzzHostConfig(const RunOptions &opts, unsigned queues)
+{
+    host::HostDmaConfig hc;
+    hc.numQueues = queues;
+    hc.ringDepth = opts.hostRingDepth;
+    hc.shellFifoDepth = opts.hostRingDepth;
+    hc.batchSize = 4;
+    hc.coalesceCount = 4;
+    hc.coalesceTimeoutCycles = 64;
+    hc.txReinjectFraction = 0.25;
+    return hc;
+}
+
+/**
+ * Descriptor conservation on a drained host queue: every PASS retirement
+ * was either consumed by the host or dropped at the shell FIFO, and
+ * nothing is left in flight. Violations are executor bugs surfaced as a
+ * divergence with field "host".
+ */
+std::optional<Divergence>
+checkHostQueue(const std::string &backend, const host::HostQueue &q,
+               uint64_t pass_packets)
+{
+    const host::HostQueueCounters &c = q.counters();
+    if (c.enqueued != pass_packets)
+        return wholeRun(backend, "host",
+                        "queue " + std::to_string(q.index()) + " saw " +
+                            std::to_string(c.enqueued) +
+                            " PASS retirements, pipeline retired " +
+                            std::to_string(pass_packets));
+    if (c.consumed + c.shellDrops != c.enqueued ||
+        c.fifoOccupancy != 0 || c.ringOccupancy != 0)
+        return wholeRun(backend, "host",
+                        "queue " + std::to_string(q.index()) +
+                            " descriptor conservation: enqueued=" +
+                            std::to_string(c.enqueued) + " consumed=" +
+                            std::to_string(c.consumed) + " shellDrops=" +
+                            std::to_string(c.shellDrops) + " fifo=" +
+                            std::to_string(c.fifoOccupancy) + " ring=" +
+                            std::to_string(c.ringOccupancy));
+    return std::nullopt;
 }
 
 /** RefOutcome view of one VM-replay outcome (for comparePacket). */
@@ -179,6 +231,12 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
         sim_config.paranoidChecks = opts.paranoidChecks;
         try {
             sim::PipeSim sim(pipe, pipe_maps, sim_config);
+            std::unique_ptr<host::HostDatapath> host;
+            if (opts.hostModel) {
+                host = std::make_unique<host::HostDatapath>(
+                    fuzzHostConfig(opts, 1));
+                host->attach(sim);
+            }
             for (const net::Packet &pkt : packets)
                 sim.offer(pkt);
             ctl::CtlController ctrl(sim, pipe_maps, opts.ctlChannel);
@@ -192,6 +250,14 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
                                            &result.vmInsns)) {
                 result.divergence = std::move(d);
                 return;
+            }
+            if (host) {
+                host->finishAll();
+                if (auto d = checkHostQueue("pipeline", host->queue(0),
+                                            sim.stats().passPackets)) {
+                    result.divergence = std::move(d);
+                    return;
+                }
             }
         } catch (const PanicError &e) {
             result.divergence = wholeRun("pipeline", "panic", e.what());
@@ -213,6 +279,12 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
         mc.pipe.paranoidChecks = opts.paranoidChecks;
         try {
             sim::MultiPipeSim multi(pipe, seed_maps, mc);
+            std::unique_ptr<host::HostDatapath> host;
+            if (opts.hostModel) {
+                host = std::make_unique<host::HostDatapath>(
+                    fuzzHostConfig(opts, mc.numReplicas));
+                host->attach(multi);
+            }
             std::vector<std::vector<net::Packet>> streams(mc.numReplicas);
             for (const net::Packet &pkt : packets)
                 streams[multi.dispatch(pkt)].push_back(pkt);
@@ -228,6 +300,17 @@ runCtlBackends(const FuzzCase &c, const RunOptions &opts,
                         nullptr)) {
                     result.divergence = std::move(d);
                     return;
+                }
+            }
+            if (host) {
+                host->finishAll();
+                for (unsigned r = 0; r < mc.numReplicas; ++r) {
+                    if (auto d = checkHostQueue(
+                            "multi", host->queue(r),
+                            multi.replica(r).stats().passPackets)) {
+                        result.divergence = std::move(d);
+                        return;
+                    }
                 }
             }
         } catch (const PanicError &e) {
@@ -349,9 +432,23 @@ runCase(const FuzzCase &c, const RunOptions &opts)
     sim_config.paranoidChecks = opts.paranoidChecks;
     try {
         sim::PipeSim sim(pipe, pipe_maps, sim_config);
+        std::unique_ptr<host::HostDatapath> host;
+        if (opts.hostModel) {
+            host = std::make_unique<host::HostDatapath>(
+                fuzzHostConfig(opts, 1));
+            host->attach(sim);
+        }
         for (const net::Packet &pkt : packets)
             sim.offer(pkt);
         sim.drain();
+        if (host) {
+            host->finishAll();
+            if (auto d = checkHostQueue("pipeline", host->queue(0),
+                                        sim.stats().passPackets)) {
+                result.divergence = std::move(d);
+                return result;
+            }
+        }
         result.flushEvents = sim.stats().flushEvents;
         result.pipeStats = sim.stats();
         result.engineInfo = sim.engineInfo();

@@ -39,7 +39,10 @@ struct Divergence
     std::string backend;  ///< "pipeline" or "hxdp"
     /** Packet on which the disagreement surfaced (0 for whole-run fields). */
     uint64_t packetId = 0;
-    /** "action", "bytes", "redirect", "trap", "maps", "completion", "panic" */
+    /**
+     * "action", "bytes", "redirect", "trap", "maps", "completion",
+     * "ctl-op", "host", "panic"
+     */
     std::string field;
     std::string detail;
 
@@ -110,6 +113,18 @@ struct RunOptions
     sim::SchedMode schedMode = sim::SchedMode::Dense;
     /** Cross-check the O(1) hazard summaries against the full scan. */
     bool paranoidChecks = false;
+    /**
+     * Attach a small-ring host DMA datapath (src/host) to every pipeline
+     * backend. The host model is a pure retirement observer, so the
+     * differential contract must hold unchanged with it attached; a
+     * deliberately tiny ring keeps its backpressure paths hot. After the
+     * drain, descriptor conservation (consumed + shellDrops == enqueued,
+     * enqueued == PASS retirements) is checked and any violation is
+     * reported as a divergence with field "host".
+     */
+    bool hostModel = false;
+    /** RX/TX ring depth of the fuzz host model (small on purpose). */
+    unsigned hostRingDepth = 16;
 };
 
 /**

@@ -146,6 +146,11 @@ MultiPipeSim::stats() const
         agg.flushedPackets += s.flushedPackets;
         agg.replayedStages += s.replayedStages;
         agg.stallCycles += s.stallCycles;
+        agg.passPackets += s.passPackets;
+        agg.dropPackets += s.dropPackets;
+        agg.txPackets += s.txPackets;
+        agg.redirectPackets += s.redirectPackets;
+        agg.abortedPackets += s.abortedPackets;
         agg.hazardChecks += s.hazardChecks;
         agg.hazardSummarySkips += s.hazardSummarySkips;
         agg.hazardPreciseScans += s.hazardPreciseScans;

@@ -1320,6 +1320,16 @@ struct PipeSim::Impl
             f.pkt.bytesInto(out.bytes);
             sim.outcomes_.push_back(std::move(out));
             sim.stats_.completed++;
+            switch (sim.outcomes_.back().action) {
+            case XdpAction::Pass: sim.stats_.passPackets++; break;
+            case XdpAction::Drop: sim.stats_.dropPackets++; break;
+            case XdpAction::Tx: sim.stats_.txPackets++; break;
+            case XdpAction::Redirect: sim.stats_.redirectPackets++; break;
+            case XdpAction::Aborted: sim.stats_.abortedPackets++; break;
+            }
+            if (sim.retireSink_ != nullptr)
+                sim.retireSink_->onRetire(sim.stats_.cycles,
+                                          sim.outcomes_.back());
             // Orphan any pending writes (should have committed already).
             if (!f.warArena.empty())
                 panic("pending WAR write outlived its writer");

@@ -146,6 +146,21 @@ struct EngineInfo
  */
 bool parseEngineSpec(const std::string &spec, PipeSimConfig &config);
 
+/**
+ * Observer of the retirement stream. The NIC-shell/host side (src/host)
+ * implements this to see each packet the instant it leaves the last
+ * stage. The sink is strictly an observer of (cycle, outcome): it cannot
+ * stall the pipeline or alter any contracted counter, so attaching one
+ * never perturbs the bit-identical engine/sched contract. Retirements
+ * arrive in order, at most one per simulated cycle.
+ */
+class RetireSink
+{
+  public:
+    virtual ~RetireSink() = default;
+    virtual void onRetire(uint64_t cycle, const struct PacketOutcome &out) = 0;
+};
+
 /** Result of one packet's traversal. */
 struct PacketOutcome
 {
@@ -171,6 +186,15 @@ struct PipeSimStats
     uint64_t flushedPackets = 0;
     uint64_t replayedStages = 0;
     uint64_t stallCycles = 0;
+
+    // Per-verdict retirement counters. Verdicts are part of the
+    // bit-identical three-way contract, so these are contracted too:
+    // they must match across engines, sched modes and the reference VM.
+    uint64_t passPackets = 0;
+    uint64_t dropPackets = 0;
+    uint64_t txPackets = 0;
+    uint64_t redirectPackets = 0;
+    uint64_t abortedPackets = 0;
 
     // Incremental-core instrumentation. These do not alter modeled
     // behavior, and the hazard counters legitimately differ between the
@@ -283,6 +307,13 @@ class PipeSim
     /** The pipeline currently executing (changes across swapPipeline). */
     const hdl::Pipeline &pipeline() const;
 
+    /**
+     * Attach a retirement observer (nullptr detaches). The sink survives
+     * swapPipeline. It must outlive the simulator or be detached first.
+     */
+    void attachRetireSink(RetireSink *sink) { retireSink_ = sink; }
+    RetireSink *retireSink() const { return retireSink_; }
+
     const std::vector<PacketOutcome> &outcomes() const { return outcomes_; }
     const PipeSimStats &stats() const { return stats_; }
     const PipeSimConfig &config() const { return config_; }
@@ -309,6 +340,7 @@ class PipeSim
     EngineInfo engineInfo_;
     std::vector<PacketOutcome> outcomes_;
     PipeSimStats stats_;
+    RetireSink *retireSink_ = nullptr;
 };
 
 }  // namespace ehdl::sim

@@ -38,6 +38,11 @@ statsJson(const PipeSimStats &s, uint64_t clock_hz)
         .set("throughputMpps", Json::num(s.throughputMpps(clock_hz)))
         .set("flushedPackets", Json::integer(s.flushedPackets))
         .set("replayedStages", Json::integer(s.replayedStages))
+        .set("passPackets", Json::integer(s.passPackets))
+        .set("dropPackets", Json::integer(s.dropPackets))
+        .set("txPackets", Json::integer(s.txPackets))
+        .set("redirectPackets", Json::integer(s.redirectPackets))
+        .set("abortedPackets", Json::integer(s.abortedPackets))
         .set("hazardChecks", Json::integer(s.hazardChecks))
         .set("hazardSummarySkips", Json::integer(s.hazardSummarySkips))
         .set("hazardPreciseScans", Json::integer(s.hazardPreciseScans))

@@ -34,8 +34,21 @@ TrafficGen::flowOf(uint64_t rank) const
                                                     65000);
     key.srcPort = static_cast<uint16_t>(1024 + rank % 50000);
     key.dstPort = static_cast<uint16_t>(53 + (rank % 7) * 1000);
-    key.proto = config_.ipProto;
+    key.proto = hostDestined(rank) ? config_.hostProto : config_.ipProto;
     return key;
+}
+
+bool
+TrafficGen::hostDestined(uint64_t rank) const
+{
+    if (config_.hostFlowFraction <= 0.0)
+        return false;
+    const uint64_t permille = static_cast<uint64_t>(
+        std::clamp(config_.hostFlowFraction, 0.0, 1.0) * 1000.0 + 0.5);
+    // Fibonacci-hash the rank so tagged flows interleave with untagged
+    // ones across the whole rank (and Zipf popularity) range.
+    const uint64_t h = (rank * 0x9E3779B97F4A7C15ull) >> 32;
+    return h % 1000 < permille;
 }
 
 uint32_t

@@ -42,6 +42,20 @@ struct TrafficConfig
      * is bit-identical to the pre-knob generator.
      */
     uint64_t churnPeriod = 0;
+    /**
+     * Fraction of flows tagged host-destined: a deterministic hash of
+     * the flow rank selects ~this fraction of the flow population and
+     * rewrites their packets to @c hostProto (TCP by default — every
+     * shipped app PASSes non-UDP traffic to the host, so tagged flows
+     * land on the host datapath while the rest stay forward-heavy).
+     * Tagging is a property of the flow, not the packet, so a flow is
+     * consistently host- or forward-destined across its whole lifetime
+     * (including churn epochs). 0 disables tagging and is bit-identical
+     * to the pre-knob generator.
+     */
+    double hostFlowFraction = 0.0;
+    /** IP protocol stamped on host-destined flows. */
+    uint8_t hostProto = net::kIpProtoTcp;
     uint64_t seed = 1;
 };
 
@@ -57,6 +71,9 @@ class TrafficGen
 
     /** The 5-tuple of flow @p rank. */
     net::FlowKey flowOf(uint64_t rank) const;
+
+    /** True when flow @p rank is tagged host-destined (PASS-heavy). */
+    bool hostDestined(uint64_t rank) const;
 
     /** Generate the next packet. */
     net::Packet next();

@@ -32,12 +32,15 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "apps/apps.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
 #include "ctl/controller.hpp"
 #include "ebpf/vm.hpp"
 #include "hdl/compiler.hpp"
+#include "host/host_dma.hpp"
 #include "sim/multi_pipe_sim.hpp"
 #include "sim/stats_json.hpp"
 #include "sim/traffic.hpp"
@@ -105,6 +108,16 @@ usage(std::ostream &os)
           "  --paranoid        cross-check hazard summaries against the\n"
           "                    full read scan\n"
           "  --poll-stats N    add a stats_read every N cycles\n"
+          "  --host-rings      attach the host DMA datapath (RX rings,\n"
+          "                    coalescing, host consumer; src/host)\n"
+          "  --ring-depth N    host RX ring depth (implies --host-rings)\n"
+          "  --host-rate MPPS  host consumer service rate (implies\n"
+          "                    --host-rings)\n"
+          "  --coalesce C[,T]  completion coalescing: IRQ after C\n"
+          "                    completions or T cycles (implies\n"
+          "                    --host-rings)\n"
+          "  --host-frac F     tag fraction F of workload flows as\n"
+          "                    host-destined (PASS-heavy)\n"
           "  --stats-out FILE  write the apply log + final stats as JSON\n"
           "  --verify          cross-check against the reference VM\n"
           "                    replay (single or sharded backends)\n"
@@ -187,6 +200,24 @@ reportJson(const ctl::CtlRunReport &report)
                 snaps.push(statsJson(s, 250'000'000));
             t.set("stats", std::move(snaps));
         }
+        if (!rec.streamSamples.empty()) {
+            // The nfbmeter-style timestamped series, one array of
+            // samples per replica/queue.
+            Json replicas = Json::array();
+            for (const auto &series : rec.streamSamples) {
+                Json samples = Json::array();
+                for (const ctl::CtlStreamSample &s : series) {
+                    Json sample;
+                    sample.set("cycle", Json::integer(s.cycle))
+                        .set("stats", statsJson(s.stats, 250'000'000));
+                    if (s.hostValid)
+                        sample.set("host", host::hostQueueJson(s.host));
+                    samples.push(std::move(sample));
+                }
+                replicas.push(std::move(samples));
+            }
+            t.set("streamSamples", std::move(replicas));
+        }
         txns.push(std::move(t));
     }
     Json j;
@@ -215,6 +246,9 @@ struct Options
     std::string statsOut;
     bool verify = false;
     bool quiet = false;
+    bool hostRings = false;
+    host::HostDmaConfig hostConfig;
+    double hostFrac = 0.0;
 };
 
 /** Inject a periodic stats_read every @p period cycles over the run. */
@@ -341,6 +375,35 @@ run(int argc, char **argv)
                 fatal("--sched expects dense or event");
         } else if (arg == "--paranoid") {
             opt.paranoid = true;
+        } else if (arg == "--host-rings") {
+            opt.hostRings = true;
+        } else if (arg == "--ring-depth") {
+            opt.hostRings = true;
+            opt.hostConfig.ringDepth =
+                static_cast<unsigned>(parseNum("--ring-depth", value()));
+        } else if (arg == "--host-rate") {
+            const char *v = value();
+            if (!v)
+                fatal("--host-rate requires a value");
+            opt.hostRings = true;
+            opt.hostConfig.hostRateMpps = std::stod(v);
+        } else if (arg == "--coalesce") {
+            const char *v = value();
+            if (!v)
+                fatal("--coalesce requires COUNT[,TIMEOUT]");
+            opt.hostRings = true;
+            const std::string spec = v;
+            const size_t comma = spec.find(',');
+            opt.hostConfig.coalesceCount = static_cast<unsigned>(
+                std::stoul(spec.substr(0, comma)));
+            if (comma != std::string::npos)
+                opt.hostConfig.coalesceTimeoutCycles =
+                    std::stoull(spec.substr(comma + 1));
+        } else if (arg == "--host-frac") {
+            const char *v = value();
+            if (!v)
+                fatal("--host-frac requires a value");
+            opt.hostFrac = std::stod(v);
         } else if (arg == "--poll-stats") {
             opt.pollStats = parseNum("--poll-stats", value());
         } else if (arg == "--stats-out") {
@@ -391,6 +454,7 @@ run(int argc, char **argv)
     tc.lineRateGbps = opt.rateGbps;
     tc.ipProto = spec.ipProto;
     tc.reverseFraction = spec.reverseFraction;
+    tc.hostFlowFraction = opt.hostFrac;
     tc.seed = 42;
     sim::TrafficGen gen(tc);
     std::vector<net::Packet> packets;
@@ -410,6 +474,11 @@ run(int argc, char **argv)
     ctl::CtlRunReport report;
     sim::PipeSimStats final_stats;
     sim::EngineInfo engine_info;
+    std::unique_ptr<host::HostDatapath> host;
+    if (opt.hostRings) {
+        opt.hostConfig.numQueues = opt.replicas;
+        host = std::make_unique<host::HostDatapath>(opt.hostConfig);
+    }
 
     if (opt.replicas == 1) {
         ebpf::MapSet maps(spec.prog.maps);
@@ -421,9 +490,12 @@ run(int argc, char **argv)
         sc.schedMode = opt.schedMode;
         sc.paranoidChecks = opt.paranoid;
         sim::PipeSim sim(pipe, maps, sc);
+        if (host)
+            host->attach(sim);
         for (const net::Packet &pkt : packets)
             sim.offer(pkt);
         ctl::CtlController ctrl(sim, maps, opt.channel);
+        ctrl.attachHost(host.get());
         for (const auto &[label, p] : swap_pipes)
             ctrl.addProgram(label, p);
         report = ctrl.run(sched);
@@ -449,12 +521,15 @@ run(int argc, char **argv)
         mc.pipe.schedMode = opt.schedMode;
         mc.pipe.paranoidChecks = opt.paranoid;
         sim::MultiPipeSim multi(pipe, seed, mc);
+        if (host)
+            host->attach(multi);
         std::vector<std::vector<net::Packet>> streams(opt.replicas);
         for (const net::Packet &pkt : packets)
             streams[multi.dispatch(pkt)].push_back(pkt);
         for (const net::Packet &pkt : packets)
             multi.offer(pkt);
         ctl::CtlController ctrl(multi, opt.channel);
+        ctrl.attachHost(host.get());
         for (const auto &[label, p] : swap_pipes)
             ctrl.addProgram(label, p);
         report = ctrl.run(sched);
@@ -472,6 +547,9 @@ run(int argc, char **argv)
         }
     }
 
+    if (host)
+        host->finishAll();
+
     if (!opt.quiet) {
         std::cout << "app " << spec.prog.name << ", " << opt.replicas
                   << " replica(s), " << packets.size() << " packets, "
@@ -488,12 +566,24 @@ run(int argc, char **argv)
             if (!rec.statsSnapshot.empty())
                 std::cout << " completed="
                           << rec.statsSnapshot[0].completed;
+            if (!rec.streamSamples.empty())
+                std::cout << " samples="
+                          << rec.streamSamples[0].size() << "x"
+                          << rec.streamSamples.size() << " @"
+                          << rec.txn.streamPeriod << "cyc";
             std::cout << "\n";
         }
         std::cout << "final: " << final_stats.completed << " completed, "
                   << final_stats.lost << " lost, " << final_stats.cycles
                   << " cycles, "
                   << final_stats.throughputMpps(250'000'000) << " Mpps\n";
+        if (host) {
+            const host::HostQueueCounters t = host->totals();
+            std::cout << "host: " << t.consumed << " consumed, "
+                      << t.shellDrops << " shell drops, " << t.interrupts
+                      << " IRQs (" << t.countTriggeredIrqs << " count, "
+                      << t.timerTriggeredIrqs << " timer)\n";
+        }
         if (opt.verify)
             std::cout << "verify: OK (VM replay matches)\n";
     }
@@ -531,6 +621,8 @@ run(int argc, char **argv)
             .set("finalStats", statsJson(final_stats, 250'000'000))
             .set("verified", Json::boolean(opt.verify))
             .set("report", reportJson(report));
+        if (host)
+            root.set("host", host::hostDatapathJson(*host));
         std::ofstream out(opt.statsOut);
         if (!out)
             fatal("cannot write '", opt.statsOut, "'");

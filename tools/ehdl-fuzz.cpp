@@ -54,6 +54,13 @@ usage(std::ostream &os)
           "  --sched MODE       cycle scheduling: dense (default) or event\n"
           "                     (event-driven fast-forward, contracted\n"
           "                     bit-identical to dense)\n"
+          "  --host             attach a small-ring host DMA datapath to\n"
+          "                     every pipeline backend; the differential\n"
+          "                     contract must hold unchanged and drained\n"
+          "                     host queues must conserve descriptors\n"
+          "                     (consumed + shellDrops == PASS verdicts)\n"
+          "  --host-ring N      ring depth of the --host model (default\n"
+          "                     16; small keeps backpressure paths hot)\n"
           "  --paranoid         cross-check the O(1) hazard summaries\n"
           "                     against the full read scan (panics on a\n"
           "                     summary false negative)\n"
@@ -175,6 +182,18 @@ run(int argc, char **argv)
                 fatal("--sched expects dense or event, got '", mode, "'");
             opts.run.schedMode = sm;
             opts.shrinkOpts.run.schedMode = sm;
+        } else if (arg == "--host") {
+            opts.run.hostModel = true;
+            opts.shrinkOpts.run.hostModel = true;
+        } else if (arg == "--host-ring") {
+            const unsigned depth =
+                static_cast<unsigned>(parseNum("--host-ring", value()));
+            if (depth == 0)
+                fatal("--host-ring must be at least 1");
+            opts.run.hostModel = true;
+            opts.run.hostRingDepth = depth;
+            opts.shrinkOpts.run.hostModel = true;
+            opts.shrinkOpts.run.hostRingDepth = depth;
         } else if (arg == "--paranoid") {
             opts.run.paranoidChecks = true;
             opts.shrinkOpts.run.paranoidChecks = true;

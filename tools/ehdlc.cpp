@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -43,6 +44,7 @@
 #include "hdl/flush_model.hpp"
 #include "hdl/resources.hpp"
 #include "hdl/vhdl.hpp"
+#include "host/host_dma.hpp"
 #include "net/headers.hpp"
 #include "net/pcap.hpp"
 #include "sim/multi_pipe_sim.hpp"
@@ -315,7 +317,8 @@ void
 writeSimStats(const std::string &path, const std::string &prog_name,
               unsigned replicas, bool threaded, const std::string &sched,
               const sim::EngineInfo &engine, const sim::PipeSimStats &stats,
-              uint64_t clock_hz, const sim::PipeSimPhaseProfile &phases)
+              uint64_t clock_hz, const sim::PipeSimPhaseProfile &phases,
+              const host::HostDatapath *host = nullptr)
 {
     Json root;
     root.set("app", Json::str(prog_name))
@@ -326,11 +329,49 @@ writeSimStats(const std::string &path, const std::string &prog_name,
         .set("stats", sim::statsJson(stats, clock_hz));
     if (phases.enabled)
         root.set("phases", sim::phaseProfileJson(phases));
+    if (host != nullptr)
+        root.set("host", host::hostDatapathJson(*host));
     std::ofstream out(path);
     if (!out)
         fatal("cannot write '", path, "'");
     out << root.dump() << "\n";
     std::printf("stats written to %s\n", path.c_str());
+}
+
+/** Human-readable host-datapath summary after the drain. */
+void
+printHostSummary(const host::HostDatapath &host)
+{
+    const host::HostQueueCounters t = host.totals();
+    std::printf("  host: %llu consumed (%.1f MB), %llu shell drops, "
+                "%llu IRQs (%llu count, %llu timer)\n",
+                static_cast<unsigned long long>(t.consumed),
+                static_cast<double>(t.consumedBytes) / 1e6,
+                static_cast<unsigned long long>(t.shellDrops),
+                static_cast<unsigned long long>(t.interrupts),
+                static_cast<unsigned long long>(t.countTriggeredIrqs),
+                static_cast<unsigned long long>(t.timerTriggeredIrqs));
+    for (unsigned q = 0; q < host.numQueues(); ++q) {
+        const host::HostQueue &hq = host.queue(q);
+        std::printf("  host queue %u: %llu consumed, %llu drops, "
+                    "ring occupancy p50 %u / p99 %u\n", q,
+                    static_cast<unsigned long long>(hq.counters().consumed),
+                    static_cast<unsigned long long>(
+                        hq.counters().shellDrops),
+                    hq.occupancyPercentile(0.50),
+                    hq.occupancyPercentile(0.99));
+    }
+}
+
+/** Parse `--coalesce COUNT[,TIMEOUT]` into @p config. */
+void
+parseCoalesceSpec(const std::string &spec, host::HostDmaConfig &config)
+{
+    const size_t comma = spec.find(',');
+    config.coalesceCount =
+        static_cast<unsigned>(std::stoul(spec.substr(0, comma)));
+    if (comma != std::string::npos)
+        config.coalesceTimeoutCycles = std::stoull(spec.substr(comma + 1));
 }
 
 int
@@ -346,11 +387,27 @@ cmdSim(int argc, char **argv)
     std::string sched_spec = "dense";
     bool paranoid = false;
     bool profile_phases = false;
+    bool host_rings = false;
+    host::HostDmaConfig host_config;
     sim::TrafficConfig traffic;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--packets" && i + 1 < argc)
             packets = std::stoi(argv[++i]);
+        else if (arg == "--host-rings")
+            host_rings = true;
+        else if (arg == "--ring-depth" && i + 1 < argc) {
+            host_rings = true;
+            host_config.ringDepth =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--host-rate" && i + 1 < argc) {
+            host_rings = true;
+            host_config.hostRateMpps = std::stod(argv[++i]);
+        } else if (arg == "--coalesce" && i + 1 < argc) {
+            host_rings = true;
+            parseCoalesceSpec(argv[++i], host_config);
+        } else if (arg == "--host-frac" && i + 1 < argc)
+            traffic.hostFlowFraction = std::stod(argv[++i]);
         else if (arg == "--engine" && i + 1 < argc)
             engine_spec = argv[++i];
         else if (arg == "--sched" && i + 1 < argc)
@@ -410,6 +467,13 @@ cmdSim(int argc, char **argv)
                   "' (interp, aot, aot-native)");
         sim::MultiPipeSim multi(pipe, maps, mconfig);
         printEngine(multi.engineInfo());
+        std::unique_ptr<host::HostDatapath> host;
+        if (host_rings) {
+            host_config.numQueues = replicas;
+            host_config.clockHz = mconfig.pipe.clockHz;
+            host = std::make_unique<host::HostDatapath>(host_config);
+            host->attach(multi);
+        }
         if (!pcap_in.empty()) {
             const std::vector<net::Packet> replay = net::readPcap(pcap_in);
             packets = static_cast<int>(replay.size());
@@ -435,10 +499,15 @@ cmdSim(int argc, char **argv)
                         static_cast<unsigned long long>(s.cycles),
                         static_cast<unsigned long long>(s.flushEvents));
         }
+        if (host) {
+            host->finishAll();
+            printHostSummary(*host);
+        }
         if (!stats_out.empty())
             writeSimStats(stats_out, prog.name, replicas, threaded,
                           sched_spec, multi.engineInfo(), agg,
-                          mconfig.pipe.clockHz, multi.phaseProfile());
+                          mconfig.pipe.clockHz, multi.phaseProfile(),
+                          host.get());
         return 0;
     }
 
@@ -453,6 +522,13 @@ cmdSim(int argc, char **argv)
               "' (interp, aot, aot-native)");
     sim::PipeSim sim(pipe, maps, config);
     printEngine(sim.engineInfo());
+    std::unique_ptr<host::HostDatapath> host;
+    if (host_rings) {
+        host_config.numQueues = 1;
+        host_config.clockHz = config.clockHz;
+        host = std::make_unique<host::HostDatapath>(host_config);
+        host->attach(sim);
+    }
     if (!pcap_in.empty()) {
         const std::vector<net::Packet> replay = net::readPcap(pcap_in);
         packets = static_cast<int>(replay.size());
@@ -502,10 +578,14 @@ cmdSim(int argc, char **argv)
                             .c_str(),
                         static_cast<unsigned long long>(actions[a]));
     }
+    if (host) {
+        host->finishAll();
+        printHostSummary(*host);
+    }
     if (!stats_out.empty())
         writeSimStats(stats_out, prog.name, 1, false, sched_spec,
                       sim.engineInfo(), sim.stats(), config.clockHz,
-                      sim.phaseProfile());
+                      sim.phaseProfile(), host.get());
     return 0;
 }
 
@@ -526,6 +606,8 @@ usage()
         "                [--pcap-in f] [--pcap-out f] [--replicas N] [--threaded]\n"
         "                [--engine interp|aot|aot-native] [--sched dense|event]\n"
         "                [--paranoid] [--profile-phases] [--stats-out f]\n"
+        "                [--host-rings] [--ring-depth N] [--host-rate MPPS]\n"
+        "                [--coalesce COUNT[,TIMEOUT]] [--host-frac F]\n"
         "\n"
         "<prog>: textual assembly (.s), raw bytecode (.bin), an ELF object\n"
         "built with clang -target bpf, or app:<name> for a built-in\n"

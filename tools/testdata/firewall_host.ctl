@@ -1,0 +1,12 @@
+# Host-datapath schedule for app:firewall (format: docs/CONTROL_PLANE.md).
+#
+# Meant to run with --host-rings and a nonzero --host-frac so a share of
+# the flows is host-destined (TCP passes the firewall): the stream verb
+# then samples per-queue ring occupancy, coalescing counters and drop
+# reasons while the host model absorbs the PASS stream — the nfbmeter-
+# style periodic readback. The mailbox stays busy until the last sample,
+# so the closing stats poll serializes behind the stream.
+@100 stats
+@400 stream 500 8
+@6000 stats
+@8000 drain
